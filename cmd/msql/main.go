@@ -1,0 +1,206 @@
+// Command msql is an interactive shell (and script runner) for the
+// measures-enabled SQL engine.
+//
+//	msql                      # REPL
+//	msql -f script.sql        # run a script
+//	msql -c "SELECT 1 AS x"   # run one statement
+//	msql -paper -c "SELECT prodName, AGGREGATE(profitMargin)
+//	                FROM EnhancedOrders GROUP BY prodName"
+//
+// Meta commands inside the REPL:
+//
+//	\d              list tables and views
+//	\expand  <sql>  print the measure-free expansion of a query
+//	\explain <sql>  print the logical plan
+//	\paper          load the paper's example data and views
+//	\gen N          generate a synthetic dataset with N orders
+//	\strategy S     set measure strategy: default | memo | naive
+//	\q              quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/measures-sql/msql/internal/datagen"
+	"github.com/measures-sql/msql/internal/paperdata"
+	"github.com/measures-sql/msql/msql"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "run a SQL script file and exit")
+		command = flag.String("c", "", "run one SQL string and exit")
+		paper   = flag.Bool("paper", false, "preload the paper's example data")
+	)
+	flag.Parse()
+
+	db := msql.Open()
+	if *paper {
+		db.MustExec(paperdata.All)
+	}
+
+	switch {
+	case *command != "":
+		if err := runScript(db, *command); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := runScript(db, string(data)); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		repl(db)
+	}
+}
+
+func runScript(db *msql.DB, sql string) error {
+	results, err := db.Run(sql)
+	for _, res := range results {
+		if res.Rows != nil || len(res.Columns) > 0 {
+			fmt.Print(msql.Format(res))
+		} else if res.Message != "" {
+			fmt.Println(res.Message)
+		}
+	}
+	return err
+}
+
+func repl(db *msql.DB) {
+	fmt.Println("msql — SQL with measures (type \\q to quit, \\d for objects)")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "msql> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if quit := metaCommand(db, trimmed); quit {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.HasSuffix(trimmed, ";") {
+			prompt = "  ... "
+			continue
+		}
+		prompt = "msql> "
+		sql := buf.String()
+		buf.Reset()
+		execute(db, sql)
+	}
+}
+
+func execute(db *msql.DB, sql string) {
+	results, err := db.Run(sql)
+	for _, res := range results {
+		if res.Rows != nil || len(res.Columns) > 0 {
+			fmt.Print(msql.Format(res))
+			fmt.Printf("(%d rows)\n", len(res.Rows))
+		} else if res.Message != "" {
+			fmt.Println(res.Message)
+		} else {
+			fmt.Println("ok")
+		}
+	}
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+}
+
+func metaCommand(db *msql.DB, line string) (quit bool) {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "\\q", "\\quit":
+		return true
+	case "\\d":
+		tables, views := db.Tables()
+		sort.Strings(tables)
+		sort.Strings(views)
+		for _, t := range tables {
+			fmt.Println("table", t)
+		}
+		for _, v := range views {
+			fmt.Println("view ", v)
+		}
+	case "\\paper":
+		if err := db.Exec(paperdata.All); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("loaded paper tables (Customers, Orders) and views")
+		}
+	case "\\gen":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n <= 0 {
+			fmt.Println("usage: \\gen N   (N = number of orders)")
+			return false
+		}
+		cfg := datagen.DefaultConfig()
+		cfg.Orders = n
+		ds := datagen.Generate(cfg)
+		if err := db.Exec(datagen.SetupSQL); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		if err := db.InsertRows("Customers", ds.Customers); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		if err := db.InsertRows("Orders", ds.Orders); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("generated %d customers, %d orders\n", len(ds.Customers), len(ds.Orders))
+	case "\\expand":
+		out, err := db.Expand(strings.TrimSuffix(rest, ";"))
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println(out)
+		}
+	case "\\explain":
+		out, err := db.Explain(strings.TrimSuffix(rest, ";"))
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Print(out)
+		}
+	case "\\strategy":
+		switch strings.ToLower(rest) {
+		case "default":
+			db.SetStrategy(msql.StrategyDefault)
+		case "memo":
+			db.SetStrategy(msql.StrategyMemo)
+		case "naive":
+			db.SetStrategy(msql.StrategyNaive)
+		default:
+			fmt.Println("usage: \\strategy default|memo|naive")
+			return false
+		}
+		fmt.Println("strategy set to", strings.ToLower(rest))
+	default:
+		fmt.Println("unknown command", cmd)
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+// Conciseness (paper §5.7): measure queries are a smaller, less
+// repetitive target language than the plain SQL they expand to — the
+// paper argues this helps humans and LLM text-to-SQL systems alike.
+// This example prints measure queries next to their mechanical
+// expansions with size metrics.
+//
+//	go run ./examples/conciseness
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/measures-sql/msql/internal/lexer"
+	"github.com/measures-sql/msql/internal/paperdata"
+	"github.com/measures-sql/msql/msql"
+)
+
+func main() {
+	db := msql.Open()
+	db.MustExec(paperdata.All)
+
+	queries := []struct {
+		title string
+		sql   string
+	}{
+		{"profit margin by product", `
+			SELECT prodName, AGGREGATE(profitMargin) AS margin
+			FROM EnhancedOrders
+			GROUP BY prodName`},
+		{"share of total revenue", `
+			SELECT prodName,
+			       AGGREGATE(sumRevenue) AS revenue,
+			       sumRevenue / sumRevenue AT (ALL prodName) AS share
+			FROM OrdersWithRevenue
+			GROUP BY prodName`},
+		{"year-over-year ratio", `
+			SELECT prodName, YEAR(orderDate) AS orderYear,
+			       sumRevenue / sumRevenue AT (SET orderYear = CURRENT orderYear - 1) AS ratio
+			FROM OrdersWithRevenue
+			GROUP BY prodName, YEAR(orderDate)`},
+		{"three contexts at once", `
+			SELECT prodName, YEAR(orderDate) AS orderYear,
+			       AGGREGATE(sumRevenue) AS rev,
+			       sumRevenue AT (SET orderYear = CURRENT orderYear - 1) AS lastYear,
+			       sumRevenue AT (ALL) AS grandTotal
+			FROM OrdersWithRevenue
+			GROUP BY prodName, YEAR(orderDate)`},
+	}
+
+	fmt.Printf("%-28s %10s %10s %8s %14s\n", "query", "chars", "tokens", "ratio", "subqueries")
+	for _, q := range queries {
+		expanded, err := db.Expand(q.sql)
+		if err != nil {
+			panic(err)
+		}
+		mc, mt := size(q.sql)
+		ec, et := size(expanded)
+		subqueries := strings.Count(strings.ToUpper(expanded), "SELECT") - 1
+		fmt.Printf("%-28s %4d→%-5d %4d→%-5d %7.1fx %14d\n",
+			q.title, mc, ec, mt, et, float64(et)/float64(mt), subqueries)
+	}
+
+	fmt.Println("\nExample expansion (year-over-year ratio):")
+	expanded, _ := db.Expand(queries[2].sql)
+	fmt.Println(expanded)
+}
+
+// size returns (characters, tokens) of a SQL string, whitespace
+// normalized.
+func size(sql string) (int, int) {
+	toks, err := lexer.Tokenize(sql)
+	if err != nil {
+		panic(err)
+	}
+	chars := 0
+	for _, t := range toks {
+		chars += len(t.Text)
+	}
+	return chars, len(toks) - 1 // minus EOF
+}

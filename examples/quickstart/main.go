@@ -1,0 +1,97 @@
+// Quickstart: the paper's running example, end to end.
+//
+// It creates the Orders table (Table 2 of the paper), defines a measure
+// view, and walks through the queries of Listings 3–8: AGGREGATE, the
+// AT operator with ALL / SET / VISIBLE, and ROLLUP totals.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"github.com/measures-sql/msql/msql"
+)
+
+func main() {
+	db := msql.Open()
+
+	db.MustExec(`
+		CREATE TABLE Orders (prodName VARCHAR, custName VARCHAR,
+		                     orderDate DATE, revenue INTEGER, cost INTEGER);
+		INSERT INTO Orders VALUES
+		  ('Happy', 'Alice', DATE '2023-11-28', 6, 4),
+		  ('Acme',  'Bob',   DATE '2023-11-27', 5, 2),
+		  ('Happy', 'Alice', DATE '2024-11-28', 7, 4),
+		  ('Whizz', 'Celia', DATE '2023-11-25', 3, 1),
+		  ('Happy', 'Bob',   DATE '2022-11-27', 4, 1);
+	`)
+
+	// A measure attaches a calculation to the table. Note: no GROUP BY —
+	// the view has the same rows as Orders, plus a formula that knows how
+	// to aggregate itself in any evaluation context.
+	db.MustExec(`
+		CREATE VIEW EnhancedOrders AS
+		SELECT *,
+		       (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin,
+		       SUM(revenue) AS MEASURE sumRevenue
+		FROM Orders;
+	`)
+
+	section("Profit margin per product (paper Listing 4)")
+	show(db, `
+		SELECT prodName, AGGREGATE(profitMargin) AS profitMargin, COUNT(*) AS c
+		FROM EnhancedOrders
+		GROUP BY prodName
+		ORDER BY prodName`)
+
+	section("Share of total revenue — AT (ALL prodName) removes the product filter (Listing 6)")
+	show(db, `
+		SELECT prodName,
+		       AGGREGATE(sumRevenue) AS revenue,
+		       sumRevenue / sumRevenue AT (ALL prodName) AS shareOfTotal
+		FROM EnhancedOrders
+		GROUP BY prodName
+		ORDER BY prodName`)
+
+	section("Comparing against last year — AT (SET ...) rewrites the context (Listing 7)")
+	show(db, `
+		SELECT prodName, orderYear,
+		       profitMargin,
+		       profitMargin AT (SET orderYear = CURRENT orderYear - 1) AS lastYear
+		FROM (SELECT *, YEAR(orderDate) AS orderYear,
+		             (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin
+		      FROM Orders)
+		WHERE orderYear = 2024
+		GROUP BY prodName, orderYear`)
+
+	section("VISIBLE vs default under a WHERE clause and ROLLUP (Listing 8)")
+	show(db, `
+		SELECT o.prodName,
+		       COUNT(*) AS c,
+		       AGGREGATE(o.sumRevenue) AS visibleTotal,
+		       o.sumRevenue AS unfilteredTotal
+		FROM EnhancedOrders AS o
+		WHERE o.custName <> 'Bob'
+		GROUP BY ROLLUP(o.prodName)
+		ORDER BY o.prodName NULLS LAST`)
+
+	section("Every measure query expands to plain SQL (Listing 5)")
+	expanded, err := db.Expand(`
+		SELECT prodName, AGGREGATE(profitMargin) AS profitMargin
+		FROM EnhancedOrders
+		GROUP BY prodName`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(expanded)
+}
+
+func section(title string) {
+	fmt.Println()
+	fmt.Println("──", title)
+}
+
+func show(db *msql.DB, sql string) {
+	fmt.Print(msql.Format(db.MustQuery(sql)))
+}

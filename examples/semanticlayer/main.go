@@ -1,0 +1,95 @@
+// A semantic layer as SQL (paper §5.6): the paper describes Looker's
+// Open SQL Interface, where each "Explore" — a wide join view with
+// centrally defined measures — appears as a SQL table that any BI tool
+// can query. This example builds such an Explore over a small star
+// schema and plays the part of three different downstream tools, each
+// issuing plain SQL against the one shared model.
+//
+//	go run ./examples/semanticlayer
+package main
+
+import (
+	"fmt"
+
+	"github.com/measures-sql/msql/internal/datagen"
+	"github.com/measures-sql/msql/msql"
+)
+
+func main() {
+	db := msql.Open()
+
+	// The warehouse: a fact table and two dimension tables.
+	db.MustExec(datagen.SetupSQL)
+	ds := datagen.Generate(datagen.Config{Seed: 4, Customers: 40, Products: 8, Orders: 4000, Years: 2})
+	must(db.InsertRows("Customers", ds.Customers))
+	must(db.InsertRows("Orders", ds.Orders))
+	db.MustExec(`
+		CREATE TABLE Products (prodName VARCHAR, category VARCHAR);
+		INSERT INTO Products
+		SELECT DISTINCT prodName,
+		       CASE WHEN prodName < 'prod004' THEN 'Toys' ELSE 'Tools' END
+		FROM Orders;
+	`)
+
+	// The Explore: defined ONCE by the data team. Joins, grain and
+	// calculations are encapsulated; consumers never repeat a formula.
+	db.MustExec(`
+		CREATE VIEW SalesExplore AS
+		SELECT o.prodName, o.custName, o.orderDate, o.revenue, o.cost,
+		       p.category, c.custAge,
+		       YEAR(o.orderDate) AS orderYear,
+		       SUM(o.revenue)                                   AS MEASURE totalRevenue,
+		       (SUM(o.revenue) - SUM(o.cost)) / SUM(o.revenue)  AS MEASURE profitMargin,
+		       COUNT(*)                                          AS MEASURE orderCount,
+		       SUM(o.revenue) / COUNT(DISTINCT o.custName)       AS MEASURE revenuePerCustomer
+		FROM Orders AS o
+		JOIN Products AS p ON o.prodName = p.prodName
+		JOIN Customers AS c ON o.custName = c.custName;
+	`)
+
+	tables, views := db.Tables()
+	fmt.Println("Connected. Tables:", tables, "Explores:", views)
+
+	fmt.Println("\n[dashboard tool] category KPIs, one query, zero formulas:")
+	show(db, `
+		SELECT category,
+		       AGGREGATE(totalRevenue)       AS revenue,
+		       ROUND(AGGREGATE(profitMargin), 3) AS margin,
+		       AGGREGATE(orderCount)         AS orders,
+		       ROUND(AGGREGATE(revenuePerCustomer), 1) AS revPerCustomer
+		FROM SalesExplore
+		GROUP BY category
+		ORDER BY category`)
+
+	fmt.Println("[spreadsheet tool] pivot: margin by category and year, with totals:")
+	show(db, `
+		SELECT category, orderYear,
+		       ROUND(AGGREGATE(profitMargin), 3) AS margin,
+		       AGGREGATE(totalRevenue) AS revenue
+		FROM SalesExplore
+		GROUP BY ROLLUP(category, orderYear)
+		ORDER BY category NULLS LAST, orderYear NULLS LAST`)
+
+	fmt.Println("[analyst] ad hoc: adult customers only, share of all adult revenue:")
+	show(db, `
+		SELECT prodName,
+		       AGGREGATE(totalRevenue) AS revenue,
+		       ROUND(totalRevenue AT (VISIBLE) /
+		             totalRevenue AT (VISIBLE ALL prodName), 3) AS shareOfVisible
+		FROM SalesExplore
+		WHERE custAge >= 18
+		GROUP BY prodName
+		ORDER BY revenue DESC
+		LIMIT 5`)
+}
+
+func show(db *msql.DB, sql string) {
+	fmt.Print(msql.Format(db.MustQuery(sql)))
+	fmt.Println()
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

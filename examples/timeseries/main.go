@@ -1,0 +1,61 @@
+// Time series with measures (paper §6.5): a calendar dimension supplies
+// the rows, and measures evaluate over dates that have no orders at all
+// — the paper's question "how can I evaluate a measure on a table that
+// has no rows?" answered with NULL/0, plus a moving average computed by
+// shifting the context with AT (SET ...).
+//
+//	go run ./examples/timeseries
+package main
+
+import (
+	"fmt"
+
+	"github.com/measures-sql/msql/msql"
+)
+
+func main() {
+	db := msql.Open()
+
+	db.MustExec(`
+		CREATE TABLE Sales (day DATE, amount INTEGER);
+		INSERT INTO Sales VALUES
+		  (DATE '2024-03-01', 10),
+		  (DATE '2024-03-01', 5),
+		  (DATE '2024-03-02', 8),
+		  -- the 3rd is a holiday: no rows at all
+		  (DATE '2024-03-04', 12),
+		  (DATE '2024-03-06', 20);
+
+		CREATE TABLE Calendar (day DATE);
+		INSERT INTO Calendar VALUES
+		  (DATE '2024-03-01'), (DATE '2024-03-02'), (DATE '2024-03-03'),
+		  (DATE '2024-03-04'), (DATE '2024-03-05'), (DATE '2024-03-06');
+
+		-- Project only the day dimension: the measure's dimensionality is
+		-- the non-measure columns of its table (§3.4), and the context
+		-- will constrain exactly the day.
+		CREATE VIEW SalesM AS
+		SELECT day, SUM(amount) AS MEASURE rev FROM Sales;
+	`)
+
+	// The calendar drives the output rows; each measure evaluation uses
+	// AT (SET day = ...) to point the context at the calendar date — even
+	// dates with no sales rows. COALESCE turns the empty-context NULL
+	// into a zero, synthesizing the "revenue of a closed day" (§6.5).
+	fmt.Println("Daily revenue with gap filling and a trailing 3-day average:")
+	fmt.Print(msql.Format(db.MustQuery(`
+		SELECT c.day,
+		       COALESCE(s.rev AT (SET day = c.day), 0) AS revenue,
+		       ROUND((COALESCE(s.rev AT (SET day = c.day), 0)
+		            + COALESCE(s.rev AT (SET day = c.day - 1), 0)
+		            + COALESCE(s.rev AT (SET day = c.day - 2), 0)) / 3.0, 2)
+		         AS trailing3
+		FROM Calendar AS c
+		CROSS JOIN (SELECT * FROM SalesM LIMIT 1) AS s
+		ORDER BY c.day`)))
+
+	fmt.Println("\nThe same series through plain grouping misses the empty days:")
+	fmt.Print(msql.Format(db.MustQuery(`
+		SELECT day, SUM(amount) AS revenue
+		FROM Sales GROUP BY day ORDER BY day`)))
+}

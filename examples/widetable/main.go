@@ -1,0 +1,85 @@
+// Wide tables and complex measures (paper §5.3): a denormalized join
+// view carrying measures that keep their own grain — no double-counting
+// — plus a semi-additive inventory measure (last value over time, summed
+// over warehouses via ARG_MAX) and a non-additive return-rate measure.
+//
+//	go run ./examples/widetable
+package main
+
+import (
+	"fmt"
+
+	"github.com/measures-sql/msql/msql"
+)
+
+func main() {
+	db := msql.Open()
+
+	db.MustExec(`
+		CREATE TABLE Products (prodName VARCHAR, category VARCHAR);
+		INSERT INTO Products VALUES
+		  ('Happy', 'Toys'), ('Acme', 'Tools'), ('Whizz', 'Toys');
+
+		CREATE TABLE Sales (prodName VARCHAR, units INTEGER, returned INTEGER);
+		INSERT INTO Sales VALUES
+		  ('Happy', 100, 7), ('Happy', 50, 3),
+		  ('Acme', 80, 2), ('Whizz', 40, 4);
+
+		CREATE TABLE Inventory (prodName VARCHAR, warehouse VARCHAR,
+		                        snapDate DATE, onHand INTEGER);
+		INSERT INTO Inventory VALUES
+		  ('Happy', 'East', DATE '2024-01-01', 20),
+		  ('Happy', 'East', DATE '2024-02-01', 12),
+		  ('Happy', 'West', DATE '2024-01-01', 9),
+		  ('Acme',  'East', DATE '2024-02-01', 5),
+		  ('Whizz', 'West', DATE '2024-01-01', 30),
+		  ('Whizz', 'West', DATE '2024-03-01', 8);
+	`)
+
+	// The paper recommends wide tables once measures exist, because
+	// "calculations maintain their own consistency". The sales measures
+	// are locked to the Sales grain even though the view joins Products.
+	db.MustExec(`
+		CREATE VIEW WideSales AS
+		SELECT s.prodName, s.units, s.returned, p.category,
+		       SUM(s.units) AS MEASURE unitsSold,
+		       SUM(s.returned) / SUM(s.units) AS MEASURE returnRate
+		FROM Sales AS s
+		JOIN Products AS p ON s.prodName = p.prodName;
+	`)
+
+	fmt.Println("Non-additive return rate by category (never a sum of rates):")
+	fmt.Print(msql.Format(db.MustQuery(`
+		SELECT category,
+		       AGGREGATE(unitsSold) AS units,
+		       AGGREGATE(returnRate) AS returnRate
+		FROM WideSales
+		GROUP BY category
+		ORDER BY category`)))
+
+	// Semi-additive: last snapshot per (product, warehouse) — ARG_MAX
+	// over the time dimension — then SUM over warehouses. The helper view
+	// does the per-warehouse LAST_VALUE step; the measure sums it.
+	db.MustExec(`
+		CREATE VIEW LatestInventory AS
+		SELECT prodName, warehouse,
+		       ARG_MAX(onHand, snapDate) AS onHandNow
+		FROM Inventory
+		GROUP BY prodName, warehouse;
+
+		CREATE VIEW InventoryM AS
+		SELECT *, SUM(onHandNow) AS MEASURE onHand
+		FROM LatestInventory;
+	`)
+
+	fmt.Println("\nSemi-additive items-on-hand (last value in time, sum across warehouses):")
+	fmt.Print(msql.Format(db.MustQuery(`
+		SELECT prodName, AGGREGATE(onHand) AS onHand
+		FROM InventoryM
+		GROUP BY prodName
+		ORDER BY prodName`)))
+
+	fmt.Println("\nGrand total on hand (sums the last snapshots, not all snapshots):")
+	fmt.Print(msql.Format(db.MustQuery(`
+		SELECT AGGREGATE(onHand) AS totalOnHand FROM InventoryM`)))
+}

@@ -1,0 +1,63 @@
+// Year-over-year analysis on a synthetic retail dataset (paper §3.5 and
+// Listing 10): a single measure definition supports this-year,
+// last-year, growth-ratio and share-of-total columns without repeating a
+// single filter — the evaluation context does the work.
+//
+//	go run ./examples/yoy
+package main
+
+import (
+	"fmt"
+
+	"github.com/measures-sql/msql/internal/datagen"
+	"github.com/measures-sql/msql/msql"
+)
+
+func main() {
+	db := msql.Open()
+	db.MustExec(datagen.SetupSQL)
+	cfg := datagen.Config{Seed: 42, Customers: 50, Products: 6, Orders: 5000, Years: 3}
+	ds := datagen.Generate(cfg)
+	must(db.InsertRows("Customers", ds.Customers))
+	must(db.InsertRows("Orders", ds.Orders))
+
+	// One view, one measure. Every column in the report below is this
+	// measure evaluated in a different context.
+	db.MustExec(`
+		CREATE VIEW Sales AS
+		SELECT *, YEAR(orderDate) AS orderYear,
+		       SUM(revenue) AS MEASURE rev
+		FROM Orders;
+	`)
+
+	fmt.Println("Revenue by product and year, with last year and growth:")
+	fmt.Print(msql.Format(db.MustQuery(`
+		SELECT prodName, orderYear,
+		       rev                                            AS revenue,
+		       rev AT (SET orderYear = CURRENT orderYear - 1) AS lastYear,
+		       rev / rev AT (SET orderYear = CURRENT orderYear - 1) - 1
+		                                                      AS growth,
+		       rev / rev AT (ALL prodName)                    AS shareOfYear,
+		       rev / rev AT (ALL)                             AS shareOfAll
+		FROM Sales
+		WHERE orderYear >= 2023
+		GROUP BY prodName, orderYear
+		ORDER BY prodName, orderYear`)))
+
+	fmt.Println("\nProducts that grew year-over-year in 2024 (measures in HAVING):")
+	fmt.Print(msql.Format(db.MustQuery(`
+		SELECT prodName,
+		       AGGREGATE(rev) AS revenue2024,
+		       rev AT (SET orderYear = 2023) AS revenue2023
+		FROM Sales
+		WHERE orderYear = 2024
+		GROUP BY prodName
+		HAVING AGGREGATE(rev) > rev AT (SET orderYear = 2023)
+		ORDER BY prodName`)))
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/measures-sql/msql
+
+go 1.22

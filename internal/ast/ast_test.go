@@ -1,0 +1,102 @@
+package ast
+
+import (
+	"testing"
+)
+
+func ident(name string) *Ident { return &Ident{Parts: []string{name}} }
+
+func TestWalkExpr(t *testing.T) {
+	// a + m AT (SET y = CURRENT y - 1 WHERE z = 2)
+	e := &Binary{
+		Op: "+",
+		L:  ident("a"),
+		R: &At{
+			X: ident("m"),
+			Mods: []AtMod{
+				&AtSet{Dim: ident("y"), Value: &Binary{Op: "-", L: &Current{Dim: ident("y")}, R: &NumberLit{Text: "1", IsInt: true, Int: 1}}},
+				&AtWhere{Pred: &Binary{Op: "=", L: ident("z"), R: &NumberLit{Text: "2", IsInt: true, Int: 2}}},
+			},
+		},
+	}
+	var names []string
+	WalkExpr(e, func(x Expr) bool {
+		if id, ok := x.(*Ident); ok {
+			names = append(names, id.Name())
+		}
+		return true
+	})
+	want := map[string]bool{"a": true, "m": true, "y": true, "z": true}
+	if len(names) != 5 { // y appears twice (SET dim and CURRENT)
+		t.Errorf("visited %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected ident %q", n)
+		}
+	}
+}
+
+func TestTransformExpr(t *testing.T) {
+	e := &Binary{Op: "+", L: ident("a"), R: ident("b")}
+	out := TransformExpr(e, func(x Expr) Expr {
+		if id, ok := x.(*Ident); ok && id.Name() == "a" {
+			return ident("renamed")
+		}
+		return x
+	})
+	if FormatExpr(out) != "renamed + b" {
+		t.Errorf("got %q", FormatExpr(out))
+	}
+	// Original is unchanged (copy-on-write).
+	if FormatExpr(e) != "a + b" {
+		t.Errorf("original mutated: %q", FormatExpr(e))
+	}
+}
+
+func TestIdentHelpers(t *testing.T) {
+	q := &Ident{Parts: []string{"t", "col"}}
+	if q.Name() != "col" || q.Qualifier() != "t" {
+		t.Errorf("%q %q", q.Name(), q.Qualifier())
+	}
+	u := ident("col")
+	if u.Qualifier() != "" {
+		t.Errorf("unqualified should have empty qualifier")
+	}
+}
+
+func TestQuoteIdentInPrinter(t *testing.T) {
+	// A column named like a keyword must print quoted and reparse.
+	e := &Ident{Parts: []string{"select"}}
+	if got := FormatExpr(e); got != `"select"` {
+		t.Errorf("got %q", got)
+	}
+	e2 := &Ident{Parts: []string{"weird name"}}
+	if got := FormatExpr(e2); got != `"weird name"` {
+		t.Errorf("got %q", got)
+	}
+	e3 := &Ident{Parts: []string{"normal_name2"}}
+	if got := FormatExpr(e3); got != "normal_name2" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFormatStatementKinds(t *testing.T) {
+	stmts := []Statement{
+		&CreateTable{Name: "t", Cols: []ColumnDef{{Name: "a", TypeName: "INTEGER"}}},
+		&CreateView{Name: "v", OrReplace: true, Query: &Query{Body: &Select{Items: []SelectItem{{Expr: &NumberLit{Text: "1", IsInt: true, Int: 1}, Alias: "x"}}}}},
+		&Insert{Table: "t", Rows: [][]Expr{{&NumberLit{Text: "1", IsInt: true, Int: 1}}}},
+		&Drop{Kind: "VIEW", Name: "v"},
+	}
+	want := []string{
+		"CREATE TABLE t (a INTEGER)",
+		"CREATE OR REPLACE VIEW v AS\nSELECT 1 AS x",
+		"INSERT INTO t VALUES (1)",
+		"DROP VIEW v",
+	}
+	for i, s := range stmts {
+		if got := FormatStatement(s); got != want[i] {
+			t.Errorf("stmt %d:\ngot  %q\nwant %q", i, got, want[i])
+		}
+	}
+}

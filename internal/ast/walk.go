@@ -1,0 +1,195 @@
+package ast
+
+import "github.com/measures-sql/msql/internal/lexer"
+
+func isKeywordName(s string) bool { return lexer.IsKeyword(s) }
+
+// WalkExpr calls f for e and every expression nested inside it (including
+// expressions inside AT modifiers, CASE arms, subquery-free positions).
+// It does not descend into subqueries; callers that need that handle
+// *ScalarSubquery etc. themselves. If f returns false the node's children
+// are skipped.
+func WalkExpr(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *Unary:
+		WalkExpr(e.X, f)
+	case *Binary:
+		WalkExpr(e.L, f)
+		WalkExpr(e.R, f)
+	case *IsNull:
+		WalkExpr(e.X, f)
+	case *IsDistinct:
+		WalkExpr(e.L, f)
+		WalkExpr(e.R, f)
+	case *Between:
+		WalkExpr(e.X, f)
+		WalkExpr(e.Lo, f)
+		WalkExpr(e.Hi, f)
+	case *InList:
+		WalkExpr(e.X, f)
+		for _, x := range e.List {
+			WalkExpr(x, f)
+		}
+	case *InSubquery:
+		WalkExpr(e.X, f)
+	case *Case:
+		WalkExpr(e.Operand, f)
+		for _, w := range e.Whens {
+			WalkExpr(w.Cond, f)
+			WalkExpr(w.Then, f)
+		}
+		WalkExpr(e.Else, f)
+	case *Cast:
+		WalkExpr(e.X, f)
+	case *FuncCall:
+		for _, a := range e.Args {
+			WalkExpr(a, f)
+		}
+		for _, k := range e.WithinDistinct {
+			WalkExpr(k, f)
+		}
+		WalkExpr(e.Filter, f)
+		if e.Over != nil {
+			for _, pb := range e.Over.PartitionBy {
+				WalkExpr(pb, f)
+			}
+			for _, ob := range e.Over.OrderBy {
+				WalkExpr(ob.Expr, f)
+			}
+		}
+	case *At:
+		WalkExpr(e.X, f)
+		for _, m := range e.Mods {
+			switch m := m.(type) {
+			case *AtAll:
+				for _, d := range m.Dims {
+					WalkExpr(d, f)
+				}
+			case *AtSet:
+				WalkExpr(m.Dim, f)
+				WalkExpr(m.Value, f)
+			case *AtWhere:
+				WalkExpr(m.Pred, f)
+			}
+		}
+	case *Current:
+		WalkExpr(e.Dim, f)
+	}
+}
+
+// TransformExpr returns a copy of e with f applied bottom-up to every
+// node. f receives an already-transformed node and returns its
+// replacement. Subqueries are not descended into.
+func TransformExpr(e Expr, f func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Unary:
+		c := *x
+		c.X = TransformExpr(x.X, f)
+		return f(&c)
+	case *Binary:
+		c := *x
+		c.L = TransformExpr(x.L, f)
+		c.R = TransformExpr(x.R, f)
+		return f(&c)
+	case *IsNull:
+		c := *x
+		c.X = TransformExpr(x.X, f)
+		return f(&c)
+	case *IsDistinct:
+		c := *x
+		c.L = TransformExpr(x.L, f)
+		c.R = TransformExpr(x.R, f)
+		return f(&c)
+	case *Between:
+		c := *x
+		c.X = TransformExpr(x.X, f)
+		c.Lo = TransformExpr(x.Lo, f)
+		c.Hi = TransformExpr(x.Hi, f)
+		return f(&c)
+	case *InList:
+		c := *x
+		c.X = TransformExpr(x.X, f)
+		c.List = transformList(x.List, f)
+		return f(&c)
+	case *InSubquery:
+		c := *x
+		c.X = TransformExpr(x.X, f)
+		return f(&c)
+	case *Case:
+		c := *x
+		c.Operand = TransformExpr(x.Operand, f)
+		c.Whens = make([]When, len(x.Whens))
+		for i, w := range x.Whens {
+			c.Whens[i] = When{Cond: TransformExpr(w.Cond, f), Then: TransformExpr(w.Then, f)}
+		}
+		c.Else = TransformExpr(x.Else, f)
+		return f(&c)
+	case *Cast:
+		c := *x
+		c.X = TransformExpr(x.X, f)
+		return f(&c)
+	case *FuncCall:
+		c := *x
+		c.Args = transformList(x.Args, f)
+		c.WithinDistinct = transformList(x.WithinDistinct, f)
+		c.Filter = TransformExpr(x.Filter, f)
+		if x.Over != nil {
+			over := *x.Over
+			over.PartitionBy = transformList(x.Over.PartitionBy, f)
+			over.OrderBy = make([]OrderItem, len(x.Over.OrderBy))
+			for i, o := range x.Over.OrderBy {
+				o.Expr = TransformExpr(o.Expr, f)
+				over.OrderBy[i] = o
+			}
+			c.Over = &over
+		}
+		return f(&c)
+	case *At:
+		c := *x
+		c.X = TransformExpr(x.X, f)
+		c.Mods = make([]AtMod, len(x.Mods))
+		for i, m := range x.Mods {
+			switch m := m.(type) {
+			case *AtAll:
+				mc := *m
+				mc.Dims = transformList(m.Dims, f)
+				c.Mods[i] = &mc
+			case *AtSet:
+				mc := *m
+				mc.Dim = TransformExpr(m.Dim, f)
+				mc.Value = TransformExpr(m.Value, f)
+				c.Mods[i] = &mc
+			case *AtWhere:
+				mc := *m
+				mc.Pred = TransformExpr(m.Pred, f)
+				c.Mods[i] = &mc
+			default:
+				c.Mods[i] = m
+			}
+		}
+		return f(&c)
+	case *Current:
+		c := *x
+		c.Dim = TransformExpr(x.Dim, f)
+		return f(&c)
+	default:
+		return f(e)
+	}
+}
+
+func transformList(list []Expr, f func(Expr) Expr) []Expr {
+	if list == nil {
+		return nil
+	}
+	out := make([]Expr, len(list))
+	for i, e := range list {
+		out[i] = TransformExpr(e, f)
+	}
+	return out
+}

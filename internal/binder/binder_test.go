@@ -1,0 +1,263 @@
+package binder
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/measures-sql/msql/internal/catalog"
+	"github.com/measures-sql/msql/internal/parser"
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	mustTable := func(name string, cols []string, kinds []sqltypes.Kind) {
+		types := make([]sqltypes.Type, len(kinds))
+		for i, k := range kinds {
+			types[i] = sqltypes.Type{Kind: k}
+		}
+		if _, err := cat.CreateTable(name, cols, types, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustTable("Orders",
+		[]string{"prodName", "custName", "orderDate", "revenue", "cost"},
+		[]sqltypes.Kind{sqltypes.KindString, sqltypes.KindString, sqltypes.KindDate, sqltypes.KindInt, sqltypes.KindInt})
+	mustTable("Customers",
+		[]string{"custName", "custAge"},
+		[]sqltypes.Kind{sqltypes.KindString, sqltypes.KindInt})
+
+	mv, err := parser.ParseQuery(`SELECT *, SUM(revenue) AS MEASURE rev FROM Orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.CreateView("MV", mv, false); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func bind(t *testing.T, cat *catalog.Catalog, sql string) plan.Node {
+	t.Helper()
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := New(cat).BindQuery(q)
+	if err != nil {
+		t.Fatalf("bind %q: %v", sql, err)
+	}
+	return node
+}
+
+func bindErr(t *testing.T, cat *catalog.Catalog, sql, needle string) {
+	t.Helper()
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	_, err = New(cat).BindQuery(q)
+	if err == nil {
+		t.Fatalf("bind %q: expected error containing %q", sql, needle)
+	}
+	if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(needle)) {
+		t.Errorf("bind %q: error %q missing %q", sql, err, needle)
+	}
+}
+
+func TestSchemaAndTypes(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat, `SELECT prodName, revenue * 2 AS dbl, revenue / cost AS ratio FROM Orders`)
+	cols := node.Schema().Cols
+	if cols[0].Typ.Kind != sqltypes.KindString {
+		t.Errorf("col0 type %v", cols[0].Typ)
+	}
+	if cols[1].Typ.Kind != sqltypes.KindInt || cols[1].Name != "dbl" {
+		t.Errorf("col1 %v %s", cols[1].Typ, cols[1].Name)
+	}
+	// Division is always DOUBLE.
+	if cols[2].Typ.Kind != sqltypes.KindFloat {
+		t.Errorf("division type %v", cols[2].Typ)
+	}
+}
+
+func TestMeasureSchemaMetadata(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat, `SELECT * FROM MV`)
+	cols := node.Schema().Cols
+	if len(cols) != 6 {
+		t.Fatalf("MV has %d cols: %v", len(cols), node.Schema().ColNames())
+	}
+	m := cols[5]
+	if m.Name != "rev" || m.Measure == nil || !m.Typ.Measure || m.Typ.Kind != sqltypes.KindInt {
+		t.Fatalf("measure col: %+v", m)
+	}
+	info := m.Measure
+	if len(info.Dims) != 5 {
+		t.Errorf("dims: %d", len(info.Dims))
+	}
+	if len(info.Aggs) != 1 || info.Aggs[0].Name != "SUM" {
+		t.Errorf("aggs: %v", info.Aggs)
+	}
+	// The positional invariant: dims correspond to non-measure columns.
+	for i, d := range info.Dims {
+		if !strings.EqualFold(d.Name, cols[i].Name) {
+			t.Errorf("dim %d name %s vs col %s", i, d.Name, cols[i].Name)
+		}
+	}
+}
+
+// With inlining on (default), the canonical group-by query has no measure
+// subquery: the formula becomes plain aggregate calls.
+func TestInlineFastPath(t *testing.T) {
+	cat := testCatalog(t)
+	sql := `SELECT prodName, AGGREGATE(rev) AS r FROM MV GROUP BY prodName`
+	node := bind(t, cat, sql)
+	if planHasSubquery(node) {
+		t.Errorf("inline path should not produce a subquery:\n%s", plan.ExplainTree(node))
+	}
+
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err = New(cat).WithInline(false).BindQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !planHasSubquery(node) {
+		t.Errorf("with inlining off the measure must expand to a subquery:\n%s", plan.ExplainTree(node))
+	}
+}
+
+// Inlining is NOT applied when it would change semantics.
+func TestInlineGuards(t *testing.T) {
+	cat := testCatalog(t)
+	guards := []string{
+		// Bare measure ignores WHERE; partition does not.
+		`SELECT prodName, rev AS r FROM MV WHERE custName <> 'Bob' GROUP BY prodName`,
+		// ROLLUP has multiple grouping sets.
+		`SELECT prodName, AGGREGATE(rev) AS r FROM MV GROUP BY ROLLUP(prodName)`,
+		// Modified contexts.
+		`SELECT prodName, rev AT (ALL) AS r FROM MV GROUP BY prodName`,
+	}
+	for _, sql := range guards {
+		node := bind(t, cat, sql)
+		if !planHasSubquery(node) {
+			t.Errorf("%q must not inline:\n%s", sql, plan.ExplainTree(node))
+		}
+	}
+	// But AGGREGATE(m) with a mappable WHERE can inline.
+	node := bind(t, cat, `SELECT prodName, AGGREGATE(rev) AS r FROM MV WHERE custName <> 'Bob' GROUP BY prodName`)
+	if planHasSubquery(node) {
+		t.Errorf("VISIBLE with mappable WHERE should inline:\n%s", plan.ExplainTree(node))
+	}
+}
+
+func planHasSubquery(n plan.Node) bool {
+	found := false
+	plan.VisitNodeExprs(n, func(e plan.Expr) {
+		plan.WalkExprs(e, func(x plan.Expr) {
+			if _, ok := x.(*plan.Subquery); ok {
+				found = true
+			}
+		})
+	})
+	if found {
+		return true
+	}
+	for _, c := range n.Children() {
+		if planHasSubquery(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCorrelationLevels(t *testing.T) {
+	cat := testCatalog(t)
+	// Doubly-nested correlation: the innermost query references the
+	// outermost row two frames up.
+	node := bind(t, cat, `
+		SELECT prodName FROM Orders AS o
+		WHERE EXISTS (SELECT 1 FROM Customers AS c
+		              WHERE c.custName = o.custName
+		                AND EXISTS (SELECT 1 FROM Orders AS i
+		                            WHERE i.prodName = o.prodName))`)
+	var deepest int
+	var walk func(n plan.Node, depth int)
+	walk = func(n plan.Node, depth int) {
+		plan.VisitNodeExprs(n, func(e plan.Expr) {
+			plan.WalkExprs(e, func(x plan.Expr) {
+				switch x := x.(type) {
+				case *plan.CorrRef:
+					if x.Levels > deepest {
+						deepest = x.Levels
+					}
+				case *plan.Subquery:
+					walk(x.Plan, depth+1)
+				}
+			})
+		})
+		for _, c := range n.Children() {
+			walk(c, depth)
+		}
+	}
+	walk(node, 0)
+	if deepest != 2 {
+		t.Errorf("deepest correlation level = %d, want 2", deepest)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cat := testCatalog(t)
+	bindErr(t, cat, `SELECT AGGREGATE(prodName) FROM MV GROUP BY prodName`, "measure")
+	bindErr(t, cat, `SELECT SUM(rev) FROM MV GROUP BY prodName`, "AGGREGATE")
+	bindErr(t, cat, `SELECT prodName, AGGREGATE(rev) AS r FROM MV GROUP BY prodName, rev`, "measure")
+	bindErr(t, cat, `SELECT prodName FROM MV AS a JOIN MV AS b USING (prodName) GROUP BY prodName HAVING AGGREGATE(revenue) > 1`, "ambiguous")
+	bindErr(t, cat, `SELECT o.rev FROM MV AS o JOIN Customers USING (custName)`, "join")
+	bindErr(t, cat, `SELECT prodName, SUM(revenue) AS MEASURE m FROM Orders GROUP BY prodName`, "aggregate query")
+	bindErr(t, cat, `SELECT m AT (WHERE (SELECT 1 FROM Orders) = 1) FROM (SELECT *, SUM(revenue) AS MEASURE m FROM Orders) AS v GROUP BY prodName`, "subquer")
+	bindErr(t, cat, `SELECT CURRENT prodName FROM Orders`, "CURRENT")
+	bindErr(t, cat, `SELECT prodName FROM Orders GROUP BY prodName ORDER BY revenue`, "GROUP BY")
+	bindErr(t, cat, `SELECT DISTINCT prodName FROM Orders ORDER BY revenue`, "output column")
+}
+
+func TestViewBindingIsolation(t *testing.T) {
+	cat := testCatalog(t)
+	// Views cannot see the outer query's scope.
+	q, err := parser.ParseQuery(`SELECT (SELECT rev FROM MV WHERE prodName = o.prodName LIMIT 1) FROM Orders AS o`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binding may fail (measure in scalar position) but must not panic,
+	// and the failure must be about the measure, not scope leakage.
+	if _, err := New(cat).BindQuery(q); err == nil {
+		t.Log("bound successfully (row-context measure)")
+	}
+}
+
+func TestUsingResolvesUnambiguously(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat, `
+		SELECT custName, COUNT(*) AS c
+		FROM Orders JOIN Customers USING (custName)
+		GROUP BY custName`)
+	if node.Schema().Cols[0].Name != "custName" {
+		t.Errorf("schema: %v", node.Schema().ColNames())
+	}
+	bindErr(t, cat, `
+		SELECT custName FROM Orders JOIN Customers ON Orders.custName = Customers.custName`,
+		"ambiguous")
+}
+
+func TestSetOpTypeUnification(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat, `SELECT revenue FROM Orders UNION ALL SELECT custAge / 2 FROM Customers`)
+	if node.Schema().Cols[0].Typ.Kind != sqltypes.KindFloat {
+		t.Errorf("unified type: %v", node.Schema().Cols[0].Typ)
+	}
+	bindErr(t, cat, `SELECT revenue FROM Orders UNION SELECT prodName FROM Orders`, "incompatible")
+}

@@ -1,0 +1,888 @@
+package binder
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/measures-sql/msql/internal/ast"
+	"github.com/measures-sql/msql/internal/core"
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// This file drives the paper's measure semantics: definitions
+// (AS MEASURE → plan.MeasureInfo), re-export through non-aggregating
+// projections (closure, §5.4), and expansion of measure uses into
+// correlated scalar subqueries whose WHERE clause is the reified
+// evaluation context (§4.2), at both aggregate and row call sites.
+
+// dimMapping returns a substitution from FROM-row column references
+// within rel to expressions over the measure's base row. Columns outside
+// rel, measure columns, and non-derivable dimensions map to (nil, false).
+func dimMapping(rel *Rel, info *plan.MeasureInfo) func(*plan.ColRef) (plan.Expr, bool) {
+	m := map[int]plan.Expr{}
+	k := 0
+	for ci, col := range rel.Cols {
+		if col.Measure != nil || col.Typ.Measure {
+			continue
+		}
+		if k >= len(info.Dims) {
+			break
+		}
+		if e := info.Dims[k].Expr; e != nil {
+			m[rel.Offset+ci] = e
+		}
+		k++
+	}
+	return func(c *plan.ColRef) (plan.Expr, bool) {
+		e, ok := m[c.Index]
+		return e, ok
+	}
+}
+
+// mapWholeExpr rewrites e over the base row using mapping; ok is false if
+// any column fails to map or the expression contains constructs that
+// cannot move into the measure subquery (correlations, subqueries,
+// placeholders, aggregate references).
+func mapWholeExpr(e plan.Expr, mapping func(*plan.ColRef) (plan.Expr, bool)) (plan.Expr, bool) {
+	ok := true
+	out := plan.TransformExpr(e, func(x plan.Expr) plan.Expr {
+		switch x := x.(type) {
+		case *plan.ColRef:
+			if mapped, found := mapping(x); found {
+				return mapped
+			}
+			ok = false
+		case *plan.CorrRef, *plan.Subquery, *plan.AggRef, *aggPH, *measurePH, *windowPH:
+			ok = false
+		}
+		return x
+	})
+	if !ok {
+		return nil, false
+	}
+	return out, true
+}
+
+func validateModExpr(e plan.Expr, what string) error {
+	var err error
+	plan.WalkExprs(e, func(x plan.Expr) {
+		switch x.(type) {
+		case *plan.Subquery:
+			err = fmt.Errorf("subqueries are not supported in %s", what)
+		case *aggPH, *measurePH, *windowPH, *plan.AggRef:
+			err = fmt.Errorf("aggregates and measures are not supported in %s", what)
+		}
+	})
+	return err
+}
+
+func dimNameOf(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name()
+	}
+	return ast.FormatExpr(e)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate call site
+
+// expandAggSite expands a measure reference appearing above an Aggregate:
+// the default evaluation context binds every grouping expression that is
+// derivable from the measure's dimensions to the current group's value
+// (disabled on ROLLUP super-aggregate rows via GROUPING guards); group
+// keys that are not derivable link the base table to the group through
+// the visible joined rows. AT modifiers then transform the context.
+func (ab *aggBinder) expandAggSite(ph *measurePH) (plan.Expr, error) {
+	info := ph.info
+	mapping := dimMapping(ph.rel, info)
+	if e, ok := ab.tryInline(ph, mapping); ok {
+		return e, nil
+	}
+	ctx := &core.Context{}
+	needLink := false
+	for j, g := range ab.groupExprs {
+		mapped, ok := mapWholeExpr(g, mapping)
+		if !ok {
+			needLink = true
+			continue
+		}
+		ctx.Terms = append(ctx.Terms, core.Term{
+			Kind:     core.TermDimEq,
+			Dim:      ab.groupNames[j],
+			BaseExpr: mapped,
+			Value:    &plan.CorrRef{Levels: 1, Index: j, Name: ab.groupNames[j], Typ: g.Type()},
+			Grouping: ab.groupingGuard(j),
+		})
+	}
+	linkAdded := false
+	if needLink {
+		if err := ab.addLink(ctx, ph); err != nil {
+			return nil, err
+		}
+		linkAdded = true
+	}
+	for _, mod := range ph.mods {
+		if err := ab.applyAggMod(ctx, mod, ph, &linkAdded); err != nil {
+			return nil, err
+		}
+	}
+	return core.BuildMeasureSubquery(info, ctx)
+}
+
+func (ab *aggBinder) applyAggMod(ctx *core.Context, mod ast.AtMod, ph *measurePH, linkAdded *bool) error {
+	switch m := mod.(type) {
+	case *ast.AtAll:
+		if len(m.Dims) == 0 {
+			ctx.Clear()
+			return nil
+		}
+		for _, d := range m.Dims {
+			name := dimNameOf(d)
+			removed := ctx.RemoveDim(name)
+			if !removed {
+				if _, ok := ph.info.DimByName(name); !ok && !ab.hasGroupName(name) {
+					return fmt.Errorf("ALL %s: unknown dimension of measure %s", name, ph.info.Name)
+				}
+			}
+		}
+		return nil
+
+	case *ast.AtSet:
+		name := dimNameOf(m.Dim)
+		baseExpr, err := ab.dimBaseExpr(name, ctx, ph)
+		if err != nil {
+			return err
+		}
+		value, err := ab.bindModValue(m.Value, ctx)
+		if err != nil {
+			return fmt.Errorf("SET %s: %w", name, err)
+		}
+		ctx.SetDim(name, baseExpr, value)
+		return nil
+
+	case *ast.AtVisible:
+		ab.applyVisible(ctx, ph, linkAdded)
+		return nil
+
+	case *ast.AtWhere:
+		pred, err := ab.bindModWhere(m.Pred, ph, ctx)
+		if err != nil {
+			return err
+		}
+		ctx.ReplaceWith(pred)
+		return nil
+
+	default:
+		return fmt.Errorf("unsupported AT modifier %T", mod)
+	}
+}
+
+// dimBaseExpr finds the base-row expression for a dimension named in a
+// SET modifier: an existing context term's expression, a dimension of
+// the measure's table, or an ad hoc dimension (a grouping expression's
+// alias).
+func (ab *aggBinder) dimBaseExpr(name string, ctx *core.Context, ph *measurePH) (plan.Expr, error) {
+	for _, t := range ctx.Terms {
+		if t.Kind == core.TermDimEq && strings.EqualFold(t.Dim, name) && t.BaseExpr != nil {
+			return t.BaseExpr, nil
+		}
+	}
+	if d, ok := ph.info.DimByName(name); ok {
+		if d.Expr == nil {
+			return nil, fmt.Errorf("dimension %s is not derivable from the base table of measure %s", name, ph.info.Name)
+		}
+		return d.Expr, nil
+	}
+	mapping := dimMapping(ph.rel, ph.info)
+	for j, g := range ab.groupExprs {
+		if strings.EqualFold(ab.groupNames[j], name) {
+			if mapped, ok := mapWholeExpr(g, mapping); ok {
+				return mapped, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("unknown dimension %s of measure %s", name, ph.info.Name)
+}
+
+func (ab *aggBinder) hasGroupName(name string) bool {
+	for _, n := range ab.groupNames {
+		if strings.EqualFold(n, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// callScope is the synthetic frame seen by AT modifier expressions at an
+// aggregate call site: the group keys, matching any table qualifier.
+func (ab *aggBinder) callScope() *Scope {
+	cols := make([]plan.Col, ab.nKeys())
+	for j := range cols {
+		name := ab.groupNames[j]
+		if name == "" {
+			name = fmt.Sprintf("key%d", j)
+		}
+		cols[j] = plan.Col{Name: name, Typ: ab.groupExprs[j].Type()}
+	}
+	var parent *Scope
+	if ab.fr.scope != nil {
+		parent = ab.fr.scope.parent
+	}
+	return &Scope{parent: parent, rels: []*Rel{{Cols: cols, AnyAlias: true}}}
+}
+
+// bindModValue binds the value expression of a SET modifier. Identifiers
+// resolve against the call-site row (group keys) one frame up, so the
+// resulting expression is already correct inside the measure subquery;
+// CURRENT resolves against the context being built.
+func (ab *aggBinder) bindModValue(e ast.Expr, ctx *core.Context) (plan.Expr, error) {
+	scope := &Scope{parent: ab.callScope()}
+	eb := &exprBinder{b: ab.b, scope: scope, currentCtx: ctx}
+	v, err := eb.bind(e)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateModExpr(v, "AT modifier expressions"); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// bindModWhere binds an AT (WHERE ...) predicate: unqualified names
+// resolve first against the measure's dimensions (as base-row
+// expressions), then against the call-site row.
+func (ab *aggBinder) bindModWhere(pred ast.Expr, ph *measurePH, ctx *core.Context) (plan.Expr, error) {
+	dimFrame := &Scope{parent: ab.callScope(), rels: []*Rel{dimRel(ph.info)}}
+	eb := &exprBinder{b: ab.b, scope: dimFrame, currentCtx: ctx}
+	p, err := eb.bind(pred)
+	if err != nil {
+		return nil, fmt.Errorf("in AT (WHERE ...): %w", err)
+	}
+	if err := requireBool(p, "AT (WHERE ...) predicate"); err != nil {
+		return nil, err
+	}
+	if err := validateModExpr(p, "AT (WHERE ...) predicates"); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func dimRel(info *plan.MeasureInfo) *Rel {
+	cols := make([]plan.Col, len(info.Dims))
+	exprs := make([]plan.Expr, len(info.Dims))
+	for i, d := range info.Dims {
+		typ := sqltypes.Type{Kind: sqltypes.KindUnknown}
+		if d.Expr != nil {
+			typ = d.Expr.Type()
+		}
+		cols[i] = plan.Col{Name: d.Name, Typ: typ}
+		exprs[i] = d.Expr
+	}
+	return &Rel{Cols: cols, Exprs: exprs}
+}
+
+// applyVisible implements the VISIBLE modifier at an aggregate site: it
+// adds the query's WHERE conjuncts that are expressible over the
+// measure's dimensions, and — under joins or for inexpressible conjuncts
+// — links the base table to the rows actually visible in the current
+// group (paper §3.5, §3.6).
+func (ab *aggBinder) applyVisible(ctx *core.Context, ph *measurePH, linkAdded *bool) {
+	mapping := dimMapping(ph.rel, ph.info)
+	unmapped := false
+	if ab.whereExpr != nil {
+		for _, c := range splitConjuncts(ab.whereExpr) {
+			if mc, ok := mapWholeExpr(c, mapping); ok {
+				ctx.AddPred(mc)
+			} else {
+				unmapped = true
+			}
+		}
+	}
+	if (ab.fr.hasJoin || unmapped) && !*linkAdded {
+		// Best effort: if no dimension is derivable the link is
+		// impossible, but in that case the measure likely fails
+		// elsewhere too; AddLink errors are surfaced there.
+		if err := ab.addLink(ctx, ph); err == nil {
+			*linkAdded = true
+		}
+	}
+}
+
+// addLink appends a semijoin term: the measure's dimension tuple must
+// appear among the current group's visible rows. The set plan reuses the
+// query's filtered FROM tree and matches the group keys at correlation
+// level 2 (it runs inside the measure subquery's filter).
+func (ab *aggBinder) addLink(ctx *core.Context, ph *measurePH) error {
+	info := ph.info
+	var baseExprs []plan.Expr
+	var proj []plan.NamedExpr
+	k := 0
+	for ci, col := range ph.rel.Cols {
+		if col.Measure != nil || col.Typ.Measure {
+			continue
+		}
+		if k >= len(info.Dims) {
+			break
+		}
+		d := info.Dims[k]
+		k++
+		if d.Expr == nil {
+			continue
+		}
+		baseExprs = append(baseExprs, d.Expr)
+		proj = append(proj, plan.NamedExpr{
+			Expr: &plan.ColRef{Index: ph.rel.Offset + ci, Name: col.Name, Typ: col.Typ},
+			Col:  plan.Col{Name: col.Name, Typ: col.Typ},
+		})
+	}
+	if len(baseExprs) == 0 {
+		return fmt.Errorf("measure %s cannot be linked to this query: none of its dimensions are derivable", info.Name)
+	}
+
+	var match plan.Expr
+	for j, g := range ab.groupExprs {
+		eq := plan.Expr(&plan.IsDistinct{
+			L:   g,
+			R:   &plan.CorrRef{Levels: 2, Index: j, Name: ab.groupNames[j], Typ: g.Type()},
+			Neg: true,
+		})
+		if ab.multiSets() {
+			gi := ab.groupingAgg(j)
+			eq = &plan.Or{
+				L: &plan.Call{
+					Name: "<>",
+					Args: []plan.Expr{
+						&plan.CorrRef{Levels: 2, Index: ab.aggOut(gi), Name: "grouping", Typ: sqltypes.Type{Kind: sqltypes.KindInt}},
+						&plan.Lit{Val: sqltypes.NewInt(0)},
+					},
+					Typ: sqltypes.Type{Kind: sqltypes.KindBool},
+				},
+				R: eq,
+			}
+		}
+		if match == nil {
+			match = eq
+		} else {
+			match = &plan.And{L: match, R: eq}
+		}
+	}
+
+	setInput := ab.input
+	if match != nil {
+		setInput = &plan.Filter{Input: setInput, Pred: match}
+	}
+	sch := &plan.Schema{Cols: make([]plan.Col, len(proj))}
+	for i, ne := range proj {
+		sch.Cols[i] = ne.Col
+	}
+	setPlan := &plan.Project{Input: setInput, Exprs: proj, Sch: sch}
+	ctx.AddLink(baseExprs, setPlan)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Row call site
+
+// expandRowSite replaces every measure placeholder in e with its row-
+// context expansion: by default all dimensions are bound to the current
+// row's values (paper Listing 12 query 4 then overrides with AT WHERE).
+func (b *Binder) expandRowSite(e plan.Expr, fr *fromResult, whereExpr plan.Expr) (plan.Expr, error) {
+	if findMeasurePH(e) == nil {
+		return e, nil
+	}
+	var err error
+	out := plan.TransformExpr(e, func(x plan.Expr) plan.Expr {
+		if ph, ok := x.(*measurePH); ok && err == nil {
+			var ex plan.Expr
+			ex, err = b.expandRowSitePH(ph, fr, whereExpr)
+			if err == nil {
+				return ex
+			}
+		}
+		return x
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (b *Binder) expandRowSitePH(ph *measurePH, fr *fromResult, whereExpr plan.Expr) (plan.Expr, error) {
+	info := ph.info
+	ctx := &core.Context{}
+	k := 0
+	for ci, col := range ph.rel.Cols {
+		if col.Measure != nil || col.Typ.Measure {
+			continue
+		}
+		if k >= len(info.Dims) {
+			break
+		}
+		d := info.Dims[k]
+		k++
+		ctx.Terms = append(ctx.Terms, core.Term{
+			Kind:     core.TermDimEq,
+			Dim:      d.Name,
+			BaseExpr: d.Expr,
+			Value:    &plan.CorrRef{Levels: 1, Index: ph.rel.Offset + ci, Name: col.Name, Typ: col.Typ},
+		})
+	}
+	for _, mod := range ph.mods {
+		if err := b.applyRowMod(ctx, mod, ph, fr, whereExpr); err != nil {
+			return nil, err
+		}
+	}
+	return core.BuildMeasureSubquery(info, ctx)
+}
+
+func (b *Binder) applyRowMod(ctx *core.Context, mod ast.AtMod, ph *measurePH, fr *fromResult, whereExpr plan.Expr) error {
+	switch m := mod.(type) {
+	case *ast.AtAll:
+		if len(m.Dims) == 0 {
+			ctx.Clear()
+			return nil
+		}
+		for _, d := range m.Dims {
+			name := dimNameOf(d)
+			if !ctx.RemoveDim(name) {
+				if _, ok := ph.info.DimByName(name); !ok {
+					return fmt.Errorf("ALL %s: unknown dimension of measure %s", name, ph.info.Name)
+				}
+			}
+		}
+		return nil
+
+	case *ast.AtSet:
+		name := dimNameOf(m.Dim)
+		var baseExpr plan.Expr
+		if d, ok := ph.info.DimByName(name); ok {
+			baseExpr = d.Expr
+		}
+		if baseExpr == nil {
+			return fmt.Errorf("SET %s: unknown or non-derivable dimension of measure %s", name, ph.info.Name)
+		}
+		scope := &Scope{parent: fr.scope}
+		eb := &exprBinder{b: b, scope: scope, currentCtx: ctx}
+		value, err := eb.bind(m.Value)
+		if err != nil {
+			return fmt.Errorf("SET %s: %w", name, err)
+		}
+		if err := validateModExpr(value, "AT modifier expressions"); err != nil {
+			return err
+		}
+		ctx.SetDim(name, baseExpr, value)
+		return nil
+
+	case *ast.AtVisible:
+		if whereExpr == nil {
+			return nil
+		}
+		mapping := dimMapping(ph.rel, ph.info)
+		for _, c := range splitConjuncts(whereExpr) {
+			mc, ok := mapWholeExpr(c, mapping)
+			if !ok {
+				return fmt.Errorf("VISIBLE: the WHERE clause is not expressible over the dimensions of measure %s", ph.info.Name)
+			}
+			ctx.AddPred(mc)
+		}
+		return nil
+
+	case *ast.AtWhere:
+		dimFrame := &Scope{parent: fr.scope, rels: []*Rel{dimRel(ph.info)}}
+		eb := &exprBinder{b: b, scope: dimFrame, currentCtx: ctx}
+		p, err := eb.bind(m.Pred)
+		if err != nil {
+			return fmt.Errorf("in AT (WHERE ...): %w", err)
+		}
+		if err := requireBool(p, "AT (WHERE ...) predicate"); err != nil {
+			return err
+		}
+		if err := validateModExpr(p, "AT (WHERE ...) predicates"); err != nil {
+			return err
+		}
+		ctx.ReplaceWith(p)
+		return nil
+
+	default:
+		return fmt.Errorf("unsupported AT modifier %T", mod)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Definitions and re-export
+
+// defineMeasure binds an AS MEASURE select item into MeasureInfo. The
+// formula may reference sibling measures in the same SELECT (substituted
+// at the AST level) and measures of the input table (composed through
+// the shared base relation, paper §5.4).
+func (b *Binder) defineMeasure(item *selItem, items []*selItem, fr *fromResult, whereExpr plan.Expr) (*plan.MeasureInfo, error) {
+	astExpr, err := substituteSiblings(item, items)
+	if err != nil {
+		return nil, err
+	}
+	eb := &exprBinder{b: b, scope: fr.scope, allowAgg: true, allowMeasures: true}
+	raw, err := eb.bind(astExpr)
+	if err != nil {
+		return nil, err
+	}
+
+	var phs []*measurePH
+	plan.WalkExprs(raw, func(x plan.Expr) {
+		if ph, ok := x.(*measurePH); ok {
+			phs = append(phs, ph)
+		}
+	})
+
+	if len(phs) > 0 {
+		return b.defineComposedMeasure(item, items, fr, whereExpr, raw, phs)
+	}
+
+	base := fr.node
+	if whereExpr != nil {
+		base = &plan.Filter{Input: base, Pred: whereExpr}
+	}
+	var aggs []plan.AggCall
+	formula := plan.TransformExpr(raw, func(x plan.Expr) plan.Expr {
+		if ph, ok := x.(*aggPH); ok {
+			aggs = append(aggs, ph.call)
+			return &plan.AggRef{Index: len(aggs) - 1, Typ: ph.call.Typ}
+		}
+		return x
+	})
+	if err := validateFormula(formula, item.alias); err != nil {
+		return nil, err
+	}
+	return &plan.MeasureInfo{
+		Name:      item.alias,
+		ValueType: formula.Type().Scalar(),
+		Base:      base,
+		Formula:   formula,
+		Aggs:      aggs,
+		Dims:      measureDims(items, nil),
+	}, nil
+}
+
+// defineComposedMeasure handles formulas that reference measures of the
+// input table: the new measure shares the input measures' base relation,
+// with this query's WHERE composed in through the dimension mapping.
+func (b *Binder) defineComposedMeasure(item *selItem, items []*selItem, fr *fromResult, whereExpr plan.Expr, raw plan.Expr, phs []*measurePH) (*plan.MeasureInfo, error) {
+	rel := phs[0].rel
+	inputBase := phs[0].info.Base
+	for _, ph := range phs {
+		if ph.rel != rel || ph.info.Base != inputBase {
+			return nil, fmt.Errorf("a measure formula may only combine measures sharing the same base table")
+		}
+		if len(ph.mods) > 0 {
+			return nil, fmt.Errorf("AT and AGGREGATE are not supported inside measure definitions")
+		}
+	}
+	mapping := dimMapping(rel, phs[0].info)
+
+	base := inputBase
+	if whereExpr != nil {
+		mw, ok := mapWholeExpr(whereExpr, mapping)
+		if !ok {
+			return nil, fmt.Errorf("the WHERE clause cannot be composed into measure %s (it is not expressible over the input measure's dimensions)", item.alias)
+		}
+		base = &plan.Filter{Input: base, Pred: mw}
+	}
+
+	var aggs []plan.AggCall
+	var xform func(plan.Expr) plan.Expr
+	var xerr error
+	xform = func(x plan.Expr) plan.Expr {
+		switch x := x.(type) {
+		case *aggPH:
+			call := x.call
+			args := make([]plan.Expr, len(call.Args))
+			for i, a := range call.Args {
+				mapped, ok := mapWholeExpr(a, mapping)
+				if !ok && xerr == nil {
+					xerr = fmt.Errorf("aggregate argument is not expressible over the input measure's base table")
+				}
+				args[i] = mapped
+			}
+			call.Args = args
+			if call.Filter != nil {
+				mf, ok := mapWholeExpr(call.Filter, mapping)
+				if !ok && xerr == nil {
+					xerr = fmt.Errorf("FILTER clause is not expressible over the input measure's base table")
+				}
+				call.Filter = mf
+			}
+			aggs = append(aggs, call)
+			return &plan.AggRef{Index: len(aggs) - 1, Typ: call.Typ}
+		case *measurePH:
+			offset := len(aggs)
+			aggs = append(aggs, x.info.Aggs...)
+			return plan.ReplaceAggRefs(x.info.Formula, func(ar *plan.AggRef) plan.Expr {
+				return &plan.AggRef{Index: ar.Index + offset, Typ: ar.Typ}
+			})
+		default:
+			return x
+		}
+	}
+	formula := plan.TransformExpr(raw, xform)
+	if xerr != nil {
+		return nil, xerr
+	}
+	if err := validateFormula(formula, item.alias); err != nil {
+		return nil, err
+	}
+	return &plan.MeasureInfo{
+		Name:      item.alias,
+		ValueType: formula.Type().Scalar(),
+		Base:      base,
+		Formula:   formula,
+		Aggs:      aggs,
+		Dims:      measureDims(items, mapping),
+	}, nil
+}
+
+// measureDims builds the dimension list from the select's non-measure
+// items: name, and the bound expression (optionally remapped to the base
+// row). Dimensions that cannot be expressed over the base become
+// non-derivable (Expr nil) and fail only if a context later constrains
+// them.
+func measureDims(items []*selItem, mapping func(*plan.ColRef) (plan.Expr, bool)) []plan.Dim {
+	var dims []plan.Dim
+	for _, it := range items {
+		if it.measureDef {
+			continue
+		}
+		if _, isMeas := it.raw.(*measurePH); isMeas {
+			continue
+		}
+		expr := it.raw
+		if expr != nil && mapping != nil {
+			if mapped, ok := mapWholeExpr(expr, mapping); ok {
+				expr = mapped
+			} else {
+				expr = nil
+			}
+		}
+		if expr != nil {
+			if bad := validateModExpr(expr, ""); bad != nil {
+				expr = nil
+			}
+		}
+		dims = append(dims, plan.Dim{Name: it.alias, Expr: expr})
+	}
+	return dims
+}
+
+func validateFormula(formula plan.Expr, name string) error {
+	var err error
+	plan.WalkExprs(formula, func(x plan.Expr) {
+		switch x.(type) {
+		case *plan.ColRef:
+			if err == nil {
+				err = fmt.Errorf("measure %s: every column in a measure formula must be inside an aggregate function (measures must be aggregatable, paper §3.2)", name)
+			}
+		case *plan.CorrRef:
+			if err == nil {
+				err = fmt.Errorf("measure %s: correlated references are not allowed in measure formulas", name)
+			}
+		case *windowPH:
+			if err == nil {
+				err = fmt.Errorf("measure %s: window functions are not allowed in measure formulas", name)
+			}
+		case *plan.Subquery:
+			if err == nil {
+				err = fmt.Errorf("measure %s: subqueries are not allowed in measure formulas", name)
+			}
+		}
+	})
+	return err
+}
+
+// substituteSiblings inlines references to other AS MEASURE aliases of
+// the same SELECT into the formula (composability, §5.4), rejecting
+// cycles (the paper excludes recursive measures).
+func substituteSiblings(item *selItem, items []*selItem) (ast.Expr, error) {
+	siblings := map[string]ast.Expr{}
+	for _, it := range items {
+		if it.measureDef {
+			// The item itself is included so that self-references are
+			// caught by the cycle check below rather than misbinding.
+			siblings[strings.ToLower(it.alias)] = it.astExpr
+		}
+	}
+	var subst func(e ast.Expr, depth int, active map[string]bool) (ast.Expr, error)
+	subst = func(e ast.Expr, depth int, active map[string]bool) (ast.Expr, error) {
+		if depth > 32 {
+			return nil, fmt.Errorf("measure definitions nest too deeply")
+		}
+		var serr error
+		out := ast.TransformExpr(e, func(x ast.Expr) ast.Expr {
+			id, ok := x.(*ast.Ident)
+			if !ok || id.Qualifier() != "" || serr != nil {
+				return x
+			}
+			key := strings.ToLower(id.Name())
+			formula, isSibling := siblings[key]
+			if !isSibling {
+				return x
+			}
+			if active[key] {
+				serr = fmt.Errorf("recursive measures are not supported (cycle through %s)", id.Name())
+				return x
+			}
+			active[key] = true
+			inner, err := subst(formula, depth+1, active)
+			delete(active, key)
+			if err != nil {
+				serr = err
+				return x
+			}
+			return inner
+		})
+		if serr != nil {
+			return nil, serr
+		}
+		return out, nil
+	}
+	return subst(item.astExpr, 0, map[string]bool{strings.ToLower(item.alias): true})
+}
+
+// reexportMeasure adjusts a measure's metadata when a non-aggregating
+// query projects it through: the query's WHERE is baked into the base
+// relation (and "cannot be subverted", §3.5) and the dimensionality
+// becomes the projected non-measure columns (§5.4).
+func (b *Binder) reexportMeasure(ph *measurePH, alias string, items []*selItem, fr *fromResult, whereExpr plan.Expr) (*plan.MeasureInfo, error) {
+	if fr.hasJoin {
+		return nil, fmt.Errorf("cannot project measure %s through a join without aggregating; use AGGREGATE or AT", ph.info.Name)
+	}
+	mapping := dimMapping(ph.rel, ph.info)
+	base := ph.info.Base
+	if whereExpr != nil {
+		mw, ok := mapWholeExpr(whereExpr, mapping)
+		if !ok {
+			return nil, fmt.Errorf("the WHERE clause cannot be baked into re-exported measure %s", ph.info.Name)
+		}
+		base = &plan.Filter{Input: base, Pred: mw}
+	}
+	return &plan.MeasureInfo{
+		Name:      alias,
+		ValueType: ph.info.ValueType,
+		Base:      base,
+		Formula:   ph.info.Formula,
+		Aggs:      ph.info.Aggs,
+		Dims:      measureDims(items, mapping),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Inlining (paper §6.4)
+
+// tryInline replaces a measure reference with plain aggregate calls on
+// the enclosing Aggregate when that is provably equivalent: single
+// grouping set, no join, every group key derivable from the measure's
+// dimensions, the modifier chain is empty (requiring no query WHERE,
+// since a bare measure ignores it) or exactly VISIBLE with every WHERE
+// conjunct expressible over the dimensions, and the formula's aggregate
+// arguments can be rewritten from the base row onto the FROM row. Under
+// those conditions the measure's evaluation context is exactly the group
+// partition, so no subquery is needed — this is the plan shape a
+// measure-less SQL author would have written by hand.
+func (ab *aggBinder) tryInline(ph *measurePH, mapping func(*plan.ColRef) (plan.Expr, bool)) (plan.Expr, bool) {
+	if !ab.b.inline || ab.multiSets() || ab.fr.hasJoin {
+		return nil, false
+	}
+	info := ph.info
+	switch len(ph.mods) {
+	case 0:
+		if ab.whereExpr != nil {
+			// A bare measure ignores the WHERE clause but the group
+			// partition does not; only VISIBLE matches the partition.
+			return nil, false
+		}
+	case 1:
+		if _, ok := ph.mods[0].(*ast.AtVisible); !ok {
+			return nil, false
+		}
+		if ab.whereExpr != nil {
+			for _, c := range splitConjuncts(ab.whereExpr) {
+				if _, ok := mapWholeExpr(c, mapping); !ok {
+					return nil, false
+				}
+			}
+		}
+	default:
+		return nil, false
+	}
+	for _, g := range ab.groupExprs {
+		if _, ok := mapWholeExpr(g, mapping); !ok {
+			return nil, false
+		}
+	}
+
+	// Inverse mapping: base column index -> FROM row index, available
+	// when the dimension is a bare base column.
+	inv := map[int]int{}
+	k := 0
+	for ci, col := range ph.rel.Cols {
+		if col.Measure != nil || col.Typ.Measure {
+			continue
+		}
+		if k >= len(info.Dims) {
+			break
+		}
+		d := info.Dims[k]
+		k++
+		if cr, ok := d.Expr.(*plan.ColRef); ok {
+			if _, exists := inv[cr.Index]; !exists {
+				inv[cr.Index] = ph.rel.Offset + ci
+			}
+		}
+	}
+	invMap := func(e plan.Expr) (plan.Expr, bool) {
+		ok := true
+		out := plan.TransformExpr(e, func(x plan.Expr) plan.Expr {
+			switch x := x.(type) {
+			case *plan.ColRef:
+				if idx, found := inv[x.Index]; found {
+					return &plan.ColRef{Index: idx, Name: x.Name, Typ: x.Typ}
+				}
+				ok = false
+			case *plan.CorrRef, *plan.Subquery:
+				ok = false
+			}
+			return x
+		})
+		return out, ok
+	}
+
+	calls := make([]plan.AggCall, len(info.Aggs))
+	for i, call := range info.Aggs {
+		args := make([]plan.Expr, len(call.Args))
+		for j, a := range call.Args {
+			mapped, ok := invMap(a)
+			if !ok {
+				return nil, false
+			}
+			args[j] = mapped
+		}
+		call.Args = args
+		if call.Filter != nil {
+			mf, ok := invMap(call.Filter)
+			if !ok {
+				return nil, false
+			}
+			call.Filter = mf
+		}
+		calls[i] = call
+	}
+
+	// Commit: register the aggregate calls and splice the formula.
+	indexes := make([]int, len(calls))
+	for i, call := range calls {
+		indexes[i] = ab.addAgg(call)
+	}
+	result := plan.ReplaceAggRefs(info.Formula, func(ar *plan.AggRef) plan.Expr {
+		i := indexes[ar.Index]
+		return &plan.ColRef{Index: ab.aggOut(i), Name: "agg", Typ: ar.Typ}
+	})
+	return result, true
+}

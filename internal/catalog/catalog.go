@@ -1,0 +1,143 @@
+// Package catalog tracks the named objects of a database session: base
+// tables (backed by storage) and views (stored as ASTs, re-bound on use
+// so that measures always reflect the current definition). Object names
+// are case-insensitive, like standard SQL unquoted identifiers.
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/measures-sql/msql/internal/ast"
+	"github.com/measures-sql/msql/internal/sqltypes"
+	"github.com/measures-sql/msql/internal/storage"
+)
+
+// BaseTable is a stored table; it implements plan.RowSource.
+type BaseTable struct {
+	Data *storage.Table
+}
+
+// Name implements plan.RowSource.
+func (t *BaseTable) Name() string { return t.Data.Name() }
+
+// ColNames implements plan.RowSource.
+func (t *BaseTable) ColNames() []string { return t.Data.ColNames() }
+
+// ColTypes implements plan.RowSource.
+func (t *BaseTable) ColTypes() []sqltypes.Type { return t.Data.ColTypes() }
+
+// Rows implements plan.RowSource.
+func (t *BaseTable) Rows() [][]sqltypes.Value { return t.Data.Rows() }
+
+// View is a named query; measures inside it are re-bound on every use.
+type View struct {
+	ViewName string
+	Query    *ast.Query
+}
+
+// Catalog is the session namespace.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*BaseTable
+	views  map[string]*View
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*BaseTable),
+		views:  make(map[string]*View),
+	}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// CreateTable registers a new base table.
+func (c *Catalog) CreateTable(name string, cols []string, types []sqltypes.Type, orReplace bool) (*BaseTable, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if !orReplace {
+		if _, ok := c.tables[k]; ok {
+			return nil, fmt.Errorf("table %s already exists", name)
+		}
+		if _, ok := c.views[k]; ok {
+			return nil, fmt.Errorf("view %s already exists", name)
+		}
+	}
+	delete(c.views, k)
+	t := &BaseTable{Data: storage.NewTable(name, cols, types)}
+	c.tables[k] = t
+	return t, nil
+}
+
+// CreateView registers a view definition.
+func (c *Catalog) CreateView(name string, q *ast.Query, orReplace bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if !orReplace {
+		if _, ok := c.tables[k]; ok {
+			return fmt.Errorf("table %s already exists", name)
+		}
+		if _, ok := c.views[k]; ok {
+			return fmt.Errorf("view %s already exists", name)
+		}
+	}
+	delete(c.tables, k)
+	c.views[k] = &View{ViewName: name, Query: q}
+	return nil
+}
+
+// Drop removes a table or view; kind is "TABLE" or "VIEW".
+func (c *Catalog) Drop(kind, name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	switch kind {
+	case "TABLE":
+		if _, ok := c.tables[k]; !ok {
+			return fmt.Errorf("table %s does not exist", name)
+		}
+		delete(c.tables, k)
+	case "VIEW":
+		if _, ok := c.views[k]; !ok {
+			return fmt.Errorf("view %s does not exist", name)
+		}
+		delete(c.views, k)
+	default:
+		return fmt.Errorf("unknown object kind %s", kind)
+	}
+	return nil
+}
+
+// Table looks up a base table.
+func (c *Catalog) Table(name string) (*BaseTable, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	return t, ok
+}
+
+// View looks up a view.
+func (c *Catalog) View(name string) (*View, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.views[key(name)]
+	return v, ok
+}
+
+// Names returns all object names, for the CLI's \d command.
+func (c *Catalog) Names() (tables, views []string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, t := range c.tables {
+		tables = append(tables, t.Name())
+	}
+	for _, v := range c.views {
+		views = append(views, v.ViewName)
+	}
+	return tables, views
+}

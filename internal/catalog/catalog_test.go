@@ -1,0 +1,76 @@
+package catalog
+
+import (
+	"testing"
+
+	"github.com/measures-sql/msql/internal/ast"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+func intCols() ([]string, []sqltypes.Type) {
+	return []string{"a"}, []sqltypes.Type{{Kind: sqltypes.KindInt}}
+}
+
+func TestCreateLookupDrop(t *testing.T) {
+	c := New()
+	names, types := intCols()
+	if _, err := c.CreateTable("T1", names, types, false); err != nil {
+		t.Fatal(err)
+	}
+	// Case-insensitive lookup.
+	if _, ok := c.Table("t1"); !ok {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, err := c.CreateTable("t1", names, types, false); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if _, err := c.CreateTable("t1", names, types, true); err != nil {
+		t.Errorf("OR REPLACE should succeed: %v", err)
+	}
+	if err := c.Drop("TABLE", "T1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Table("t1"); ok {
+		t.Error("dropped table still visible")
+	}
+	if err := c.Drop("TABLE", "t1"); err == nil {
+		t.Error("dropping a missing table should fail")
+	}
+	if err := c.Drop("NONSENSE", "x"); err == nil {
+		t.Error("bad kind should fail")
+	}
+}
+
+func TestViews(t *testing.T) {
+	c := New()
+	q := &ast.Query{Body: &ast.Select{Items: []ast.SelectItem{{Expr: &ast.NumberLit{Text: "1", IsInt: true, Int: 1}, Alias: "x"}}}}
+	if err := c.CreateView("v", q, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateView("V", q, false); err == nil {
+		t.Error("duplicate view should fail")
+	}
+	v, ok := c.View("v")
+	if !ok || v.ViewName != "v" {
+		t.Fatalf("view lookup: %v %v", v, ok)
+	}
+	// A view and table cannot share a name.
+	names, types := intCols()
+	if _, err := c.CreateTable("v", names, types, false); err == nil {
+		t.Error("table with view's name should fail")
+	}
+	// OR REPLACE of a view over a table name removes the table.
+	if _, err := c.CreateTable("obj", names, types, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateView("obj", q, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Table("obj"); ok {
+		t.Error("CREATE OR REPLACE VIEW should shadow the table away")
+	}
+	tables, views := c.Names()
+	if len(tables) != 0 || len(views) != 2 {
+		t.Errorf("names: %v %v", tables, views)
+	}
+}

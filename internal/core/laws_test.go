@@ -1,0 +1,200 @@
+package core
+
+// Property tests for the algebra of evaluation contexts: the laws behind
+// the paper's Table 3 modifiers, checked over randomly generated
+// contexts with testing/quick.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// genContext builds a random context with dimensions drawn from a fixed
+// pool (duplicates excluded, like real contexts built from group keys).
+func genContext(rng *rand.Rand) *Context {
+	pool := []string{"a", "b", "c", "d", "e"}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	n := rng.Intn(len(pool) + 1)
+	c := &Context{}
+	for i := 0; i < n; i++ {
+		c.Terms = append(c.Terms, dimTerm(pool[i], i, i))
+	}
+	if rng.Intn(3) == 0 {
+		c.AddPred(&plan.IsNull{X: colRef(9, "p")})
+	}
+	return c
+}
+
+// contextKey captures the observable state of a context.
+func contextKey(c *Context) []string {
+	var out []string
+	for _, t := range c.Terms {
+		switch t.Kind {
+		case TermDimEq:
+			out = append(out, "dim:"+t.Dim+"="+t.Value.String())
+		case TermPred:
+			out = append(out, "pred:"+t.Pred.String())
+		case TermLink:
+			out = append(out, "link")
+		}
+	}
+	return out
+}
+
+func quickCfg() *quick.Config {
+	rng := rand.New(rand.NewSource(1))
+	return &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(genContext(rng))
+			}
+		},
+	}
+}
+
+// RemoveDim is idempotent.
+func TestLawRemoveIdempotent(t *testing.T) {
+	f := func(c *Context) bool {
+		c1 := c.Clone()
+		c1.RemoveDim("a")
+		once := contextKey(c1)
+		c1.RemoveDim("a")
+		return reflect.DeepEqual(once, contextKey(c1))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// SET d then SET d again keeps only the last value (last-write-wins).
+func TestLawSetOverwrites(t *testing.T) {
+	v1 := &plan.Lit{Val: sqltypes.NewInt(1)}
+	v2 := &plan.Lit{Val: sqltypes.NewInt(2)}
+	f := func(c *Context) bool {
+		c1 := c.Clone()
+		c1.SetDim("a", colRef(0, "a"), v1)
+		c1.SetDim("a", colRef(0, "a"), v2)
+		c2 := c.Clone()
+		c2.SetDim("a", colRef(0, "a"), v2)
+		return reflect.DeepEqual(contextKey(c1), contextKey(c2))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// ALL dim then SET dim ≡ SET dim (the paper's removal-then-add collapses).
+func TestLawAllThenSet(t *testing.T) {
+	v := &plan.Lit{Val: sqltypes.NewInt(7)}
+	f := func(c *Context) bool {
+		c1 := c.Clone()
+		c1.RemoveDim("b")
+		c1.SetDim("b", colRef(1, "b"), v)
+		c2 := c.Clone()
+		c2.SetDim("b", colRef(1, "b"), v)
+		return reflect.DeepEqual(contextKey(c1), contextKey(c2))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Clear is a left zero: anything before a bare ALL is irrelevant.
+func TestLawClearAnnihilates(t *testing.T) {
+	f := func(c1, c2 *Context) bool {
+		a := c1.Clone()
+		a.Clear()
+		b := c2.Clone()
+		b.Clear()
+		return reflect.DeepEqual(contextKey(a), contextKey(b))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// ReplaceWith (the WHERE modifier) is also insensitive to prior state.
+func TestLawWhereReplaces(t *testing.T) {
+	pred := &plan.IsNull{X: colRef(0, "a")}
+	f := func(c1, c2 *Context) bool {
+		a := c1.Clone()
+		a.ReplaceWith(pred)
+		b := c2.Clone()
+		b.ReplaceWith(pred)
+		return reflect.DeepEqual(contextKey(a), contextKey(b))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// SET on distinct dimensions commutes.
+func TestLawSetCommutesAcrossDims(t *testing.T) {
+	va := &plan.Lit{Val: sqltypes.NewInt(1)}
+	vb := &plan.Lit{Val: sqltypes.NewInt(2)}
+	f := func(c *Context) bool {
+		c1 := c.Clone()
+		c1.SetDim("a", colRef(0, "a"), va)
+		c1.SetDim("b", colRef(1, "b"), vb)
+		c2 := c.Clone()
+		c2.SetDim("b", colRef(1, "b"), vb)
+		c2.SetDim("a", colRef(0, "a"), va)
+		// Order of appended terms may differ; compare as sets.
+		k1, k2 := contextKey(c1), contextKey(c2)
+		if len(k1) != len(k2) {
+			return false
+		}
+		set := map[string]int{}
+		for _, k := range k1 {
+			set[k]++
+		}
+		for _, k := range k2 {
+			set[k]--
+			if set[k] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// CurrentValue after SET returns exactly the SET value; after RemoveDim
+// it returns nil.
+func TestLawCurrentTracksSet(t *testing.T) {
+	v := &plan.Lit{Val: sqltypes.NewInt(42)}
+	f := func(c *Context) bool {
+		c1 := c.Clone()
+		c1.SetDim("c", colRef(2, "c"), v)
+		if c1.CurrentValue("c") != plan.Expr(v) {
+			return false
+		}
+		c1.RemoveDim("c")
+		return c1.CurrentValue("c") == nil
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Predicate is TRUE (nil) iff the context has no terms.
+func TestLawPredicateNilIffEmpty(t *testing.T) {
+	f := func(c *Context) bool {
+		pred, err := c.Predicate()
+		if err != nil {
+			return false
+		}
+		return (pred == nil) == (len(c.Terms) == 0)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

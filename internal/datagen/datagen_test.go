@@ -1,0 +1,70 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 9, Customers: 10, Products: 3, Orders: 100, Years: 2}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a.Orders) != 100 || len(a.Customers) != 10 {
+		t.Fatalf("sizes: %d %d", len(a.Orders), len(a.Customers))
+	}
+	for i := range a.Orders {
+		if sqltypes.RowKey(a.Orders[i]) != sqltypes.RowKey(b.Orders[i]) {
+			t.Fatalf("row %d differs between runs", i)
+		}
+	}
+	c := Generate(Config{Seed: 10, Customers: 10, Products: 3, Orders: 100, Years: 2})
+	same := true
+	for i := range a.Orders {
+		if sqltypes.RowKey(a.Orders[i]) != sqltypes.RowKey(c.Orders[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestInvariants(t *testing.T) {
+	cfg := Config{Seed: 1, Customers: 5, Products: 4, Orders: 500, Years: 1, NullProductFraction: 0.2}
+	ds := Generate(cfg)
+	nulls := 0
+	for _, row := range ds.Orders {
+		prod, cust, date, rev, cost := row[0], row[1], row[2], row[3], row[4]
+		if prod.Null {
+			nulls++
+		}
+		if cust.Null || date.K != sqltypes.KindDate {
+			t.Fatalf("bad row %v", row)
+		}
+		if rev.I < 1 || cost.I < 1 || cost.I > rev.I {
+			t.Fatalf("cost/revenue invariant violated: %v", row)
+		}
+		y := date.Time().Year()
+		if y < 2023 || y > 2024 {
+			t.Fatalf("date out of range: %v", date)
+		}
+	}
+	if nulls == 0 || nulls == len(ds.Orders) {
+		t.Errorf("null fraction not applied: %d of %d", nulls, len(ds.Orders))
+	}
+}
+
+func TestInsertSQL(t *testing.T) {
+	ds := Generate(Config{Seed: 2, Customers: 3, Products: 2, Orders: 7, Years: 1})
+	sql := ds.InsertSQL()
+	// Two INSERT statements (small batches) mentioning both tables.
+	if !strings.Contains(sql, "INSERT INTO Customers") {
+		t.Error("missing Customers insert")
+	}
+	if !strings.Contains(sql, "INSERT INTO Orders") {
+		t.Error("missing Orders insert")
+	}
+}

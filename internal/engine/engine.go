@@ -1,0 +1,298 @@
+// Package engine dispatches SQL statements: DDL against the catalog, DML
+// against storage, and queries through binder → optimizer → executor.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/measures-sql/msql/internal/ast"
+	"github.com/measures-sql/msql/internal/binder"
+	"github.com/measures-sql/msql/internal/catalog"
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/optimizer"
+	"github.com/measures-sql/msql/internal/parser"
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns are the output column names (empty for non-queries).
+	Columns []string
+	// Types are the output column types.
+	Types []sqltypes.Type
+	// Rows are the result rows (nil for non-queries).
+	Rows [][]sqltypes.Value
+	// Message describes the effect of a non-query statement.
+	Message string
+}
+
+// Session is one database session: a catalog plus execution settings.
+type Session struct {
+	cat       *catalog.Catalog
+	exec      *exec.Settings
+	opt       optimizer.Options
+	lastStats exec.Stats
+}
+
+// LastStats returns the executor counters of the most recent query.
+func (s *Session) LastStats() exec.Stats { return s.lastStats }
+
+// New creates an empty session with default settings.
+func New() *Session {
+	return &Session{
+		cat:  catalog.New(),
+		exec: exec.DefaultSettings(),
+		opt:  optimizer.DefaultOptions(),
+	}
+}
+
+// Catalog exposes the session catalog (for tooling like the CLI's \d).
+func (s *Session) Catalog() *catalog.Catalog { return s.cat }
+
+// ExecSettings exposes the execution settings for strategy experiments.
+func (s *Session) ExecSettings() *exec.Settings { return s.exec }
+
+// OptOptions returns a pointer to the optimizer options for strategy
+// experiments.
+func (s *Session) OptOptions() *optimizer.Options { return &s.opt }
+
+// Execute parses and runs a script of one or more statements.
+func (s *Session) Execute(sql string) ([]*Result, error) {
+	stmts, err := parser.ParseStatements(sql)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, 0, len(stmts))
+	for _, stmt := range stmts {
+		r, err := s.ExecStatement(stmt)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// Query runs a single statement that must produce rows.
+func (s *Session) Query(sql string) (*Result, error) {
+	stmt, err := parser.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.ExecStatement(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if r.Columns == nil {
+		return nil, fmt.Errorf("statement did not return rows")
+	}
+	return r, nil
+}
+
+// ExecStatement runs one parsed statement.
+func (s *Session) ExecStatement(stmt ast.Statement) (*Result, error) {
+	switch stmt := stmt.(type) {
+	case *ast.CreateTable:
+		return s.execCreateTable(stmt)
+	case *ast.CreateView:
+		return s.execCreateView(stmt)
+	case *ast.Insert:
+		return s.execInsert(stmt)
+	case *ast.Drop:
+		if err := s.cat.Drop(stmt.Kind, stmt.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("dropped %s %s", strings.ToLower(stmt.Kind), stmt.Name)}, nil
+	case *ast.QueryStmt:
+		return s.runQuery(stmt.Query)
+	case *ast.Explain:
+		node, err := s.Plan(stmt.Query)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: plan.ExplainTree(node)}, nil
+	case *ast.Expand:
+		text, err := s.ExpandQuery(stmt.Query)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: text}, nil
+	default:
+		return nil, fmt.Errorf("unsupported statement %T", stmt)
+	}
+}
+
+// Plan binds and optimizes a query.
+func (s *Session) Plan(q *ast.Query) (plan.Node, error) {
+	node, err := binder.New(s.cat).WithInline(s.opt.InlineMeasures).BindQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return optimizer.Optimize(node, s.opt), nil
+}
+
+func (s *Session) runQuery(q *ast.Query) (*Result, error) {
+	node, err := s.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	s.lastStats = exec.Stats{}
+	settings := *s.exec
+	settings.Stats = &s.lastStats
+	rows, err := exec.Run(node, &settings)
+	if err != nil {
+		return nil, err
+	}
+	sch := node.Schema()
+	res := &Result{
+		Columns: sch.ColNames(),
+		Types:   make([]sqltypes.Type, len(sch.Cols)),
+		Rows:    rows,
+	}
+	if res.Columns == nil {
+		res.Columns = []string{}
+	}
+	for i, c := range sch.Cols {
+		res.Types[i] = c.Typ
+	}
+	return res, nil
+}
+
+func (s *Session) execCreateTable(stmt *ast.CreateTable) (*Result, error) {
+	names := make([]string, len(stmt.Cols))
+	types := make([]sqltypes.Type, len(stmt.Cols))
+	for i, c := range stmt.Cols {
+		kind := sqltypes.KindFromName(c.TypeName)
+		if kind == sqltypes.KindUnknown {
+			return nil, fmt.Errorf("unknown type %s for column %s", c.TypeName, c.Name)
+		}
+		names[i] = c.Name
+		types[i] = sqltypes.Type{Kind: kind}
+	}
+	if _, err := s.cat.CreateTable(stmt.Name, names, types, stmt.OrReplace); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("created table %s", stmt.Name)}, nil
+}
+
+func (s *Session) execCreateView(stmt *ast.CreateView) (*Result, error) {
+	// Validate the definition now so errors surface at CREATE time.
+	if _, err := binder.New(s.cat).BindQuery(stmt.Query); err != nil {
+		return nil, fmt.Errorf("invalid view definition: %w", err)
+	}
+	if err := s.cat.CreateView(stmt.Name, stmt.Query, stmt.OrReplace); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("created view %s", stmt.Name)}, nil
+}
+
+func (s *Session) execInsert(stmt *ast.Insert) (*Result, error) {
+	table, ok := s.cat.Table(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("table %s does not exist", stmt.Table)
+	}
+	colNames := table.ColNames()
+
+	// Column list: map provided columns to table positions.
+	target := make([]int, len(colNames))
+	for i := range target {
+		target[i] = -1
+	}
+	width := len(colNames)
+	if len(stmt.Columns) > 0 {
+		width = len(stmt.Columns)
+		for pos, name := range stmt.Columns {
+			found := false
+			for ti, cn := range colNames {
+				if strings.EqualFold(cn, name) {
+					target[ti] = pos
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("column %s does not exist in table %s", name, stmt.Table)
+			}
+		}
+	} else {
+		for i := range colNames {
+			target[i] = i
+		}
+	}
+
+	var srcRows [][]sqltypes.Value
+	switch {
+	case stmt.Query != nil:
+		res, err := s.runQuery(stmt.Query)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Columns) != width {
+			return nil, fmt.Errorf("INSERT expects %d columns, query returned %d", width, len(res.Columns))
+		}
+		srcRows = res.Rows
+	default:
+		for _, rowExprs := range stmt.Rows {
+			if len(rowExprs) != width {
+				return nil, fmt.Errorf("INSERT expects %d values, got %d", width, len(rowExprs))
+			}
+			row := make([]sqltypes.Value, len(rowExprs))
+			for i, e := range rowExprs {
+				v, err := evalConstExpr(e)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			srcRows = append(srcRows, row)
+		}
+	}
+
+	rows := make([][]sqltypes.Value, len(srcRows))
+	for ri, src := range srcRows {
+		row := make([]sqltypes.Value, len(colNames))
+		for ti := range colNames {
+			if target[ti] >= 0 {
+				row[ti] = src[target[ti]]
+			} else {
+				row[ti] = sqltypes.Null(table.ColTypes()[ti].Kind)
+			}
+		}
+		rows[ri] = row
+	}
+	if err := table.Data.Insert(rows); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("inserted %d rows", len(rows))}, nil
+}
+
+// InsertRows bulk-inserts pre-built rows into a base table, bypassing
+// SQL parsing (used by the benchmark harness to load large datasets).
+func (s *Session) InsertRows(table string, rows [][]sqltypes.Value) error {
+	t, ok := s.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("table %s does not exist", table)
+	}
+	return t.Data.Insert(rows)
+}
+
+// evalConstExpr evaluates a constant literal expression for INSERT VALUES
+// by wrapping it in a one-row query.
+func evalConstExpr(e ast.Expr) (sqltypes.Value, error) {
+	node, err := binder.New(catalog.New()).BindQuery(&ast.Query{
+		Body: &ast.Select{Items: []ast.SelectItem{{Expr: e, Alias: "v"}}},
+	})
+	if err != nil {
+		return sqltypes.Value{}, err
+	}
+	rows, err := exec.Run(node, exec.DefaultSettings())
+	if err != nil {
+		return sqltypes.Value{}, err
+	}
+	if len(rows) != 1 || len(rows[0]) != 1 {
+		return sqltypes.Value{}, fmt.Errorf("INSERT value did not evaluate to a single value")
+	}
+	return rows[0][0], nil
+}

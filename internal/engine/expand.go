@@ -1,0 +1,831 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/measures-sql/msql/internal/ast"
+	"github.com/measures-sql/msql/internal/binder"
+	"github.com/measures-sql/msql/internal/fn"
+)
+
+// ExpandQuery rewrites a query that uses measures into measure-free SQL,
+// the paper's §4.2 static-rewrite strategy shown in Listings 5 and 11:
+// each measure reference becomes a correlated scalar subquery over the
+// measure's base table whose WHERE clause spells out the evaluation
+// context. The returned text re-parses and executes on this same engine,
+// and the golden tests assert it produces identical results to the
+// measure query.
+//
+// Supported shape: a SELECT whose FROM is a single view, CTE or derived
+// table defining measures (or any measure-free query, returned
+// unchanged); GROUP BY of plain expressions; the AT modifiers of Table 3.
+// Joins and ROLLUP fall back with an error — the executable closure
+// strategy still handles them; only the SQL *display* is limited.
+func (s *Session) ExpandQuery(q *ast.Query) (string, error) {
+	// Validate the original binds before rewriting.
+	if _, err := binder.New(s.cat).BindQuery(q); err != nil {
+		return "", err
+	}
+	out, err := s.expandQueryAST(q)
+	if err != nil {
+		return "", err
+	}
+	return ast.FormatQuery(out), nil
+}
+
+type measureDef struct {
+	formula ast.Expr
+}
+
+// expander holds the rewrite context for one SELECT.
+type expander struct {
+	session    *Session
+	measures   map[string]*measureDef
+	dims       map[string]ast.Expr // dim name -> expression over base columns
+	dimOrder   []string
+	baseFrom   ast.TableExpr // measure base relation (view's FROM or derived)
+	baseWhere  ast.Expr      // view's own WHERE (baked in)
+	outerAlias string
+	innerAlias string
+	groupExprs []ast.Expr
+	groupNames []string
+	outerWhere ast.Expr
+	aggregate  bool
+}
+
+func (s *Session) expandQueryAST(q *ast.Query) (*ast.Query, error) {
+	sel, ok := q.Body.(*ast.Select)
+	if !ok {
+		return q, nil
+	}
+
+	// Locate the measure-providing relation.
+	inner, alias, err := s.providerSelect(q, sel.From)
+	if err != nil {
+		return nil, err
+	}
+	if inner == nil {
+		return q, nil // no measures anywhere; nothing to do
+	}
+
+	ex := &expander{
+		session:    s,
+		measures:   map[string]*measureDef{},
+		dims:       map[string]ast.Expr{},
+		outerAlias: alias,
+		innerAlias: "i",
+		outerWhere: sel.Where,
+	}
+	if strings.EqualFold(ex.outerAlias, "i") {
+		ex.innerAlias = "i2"
+	}
+	if err := ex.loadProvider(inner); err != nil {
+		return nil, err
+	}
+	if len(ex.measures) == 0 {
+		return q, nil
+	}
+
+	// Group keys.
+	ex.aggregate = len(sel.GroupBy) > 0 || sel.Having != nil
+	if !ex.aggregate {
+		for _, item := range sel.Items {
+			if !item.Star && astUsesAgg(item.Expr) {
+				ex.aggregate = true
+			}
+		}
+	}
+	for _, g := range sel.GroupBy {
+		if g.Kind != ast.GroupExpr {
+			return nil, fmt.Errorf("EXPAND does not support ROLLUP/CUBE/GROUPING SETS (the executable rewrite does)")
+		}
+		e := g.Exprs[0]
+		name := ""
+		if n, ok := e.(*ast.NumberLit); ok && n.IsInt && int(n.Int) >= 1 && int(n.Int) <= len(sel.Items) {
+			item := sel.Items[n.Int-1]
+			e = item.Expr
+			name = item.Alias
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			name = id.Name()
+			// Alias of a select item?
+			for _, item := range sel.Items {
+				if !item.Star && strings.EqualFold(item.Alias, id.Name()) && !item.Measure {
+					if _, isDim := ex.dims[strings.ToLower(id.Name())]; !isDim {
+						e = item.Expr
+					}
+					break
+				}
+			}
+		} else {
+			for _, item := range sel.Items {
+				if !item.Star && item.Alias != "" && !item.Measure &&
+					ast.FormatExpr(item.Expr) == ast.FormatExpr(e) {
+					name = item.Alias
+					break
+				}
+			}
+		}
+		ex.groupExprs = append(ex.groupExprs, e)
+		ex.groupNames = append(ex.groupNames, name)
+	}
+
+	// Rewrite the select items, HAVING, WHERE and ORDER BY.
+	newSel := *sel
+	newSel.Items = make([]ast.SelectItem, len(sel.Items))
+	for i, item := range sel.Items {
+		if item.Star {
+			return nil, fmt.Errorf("EXPAND does not support SELECT * over a table with measures; list the columns")
+		}
+		if item.Measure {
+			return nil, fmt.Errorf("EXPAND does not support redefining measures; expand the consuming query instead")
+		}
+		rewritten, err := ex.rewriteExpr(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		newSel.Items[i] = ast.SelectItem{Expr: rewritten, Alias: item.Alias}
+	}
+	if sel.Having != nil {
+		h, err := ex.rewriteExpr(sel.Having)
+		if err != nil {
+			return nil, err
+		}
+		newSel.Having = h
+	}
+	if sel.Where != nil {
+		w, err := ex.rewriteExpr(sel.Where)
+		if err != nil {
+			return nil, err
+		}
+		newSel.Where = w
+	}
+
+	// Replace the FROM with the measure-free provider. Special case: a
+	// global aggregate query (no GROUP BY) whose aggregates were all
+	// measures now consists solely of uncorrelated scalar subqueries — it
+	// must still return exactly one row, so the outer FROM and WHERE are
+	// dropped (grouped queries keep their GROUP BY and stay aggregates).
+	if ex.aggregate && len(sel.GroupBy) == 0 && !selectTouchesOuter(&newSel) {
+		newSel.From = nil
+		newSel.Where = nil
+	} else {
+		newSel.From = ex.measureFreeFrom()
+	}
+
+	newQuery := *q
+	newQuery.Body = &newSel
+	if len(q.OrderBy) > 0 {
+		newQuery.OrderBy = make([]ast.OrderItem, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			ro, err := ex.rewriteExpr(o.Expr)
+			if err != nil {
+				return nil, err
+			}
+			o.Expr = ro
+			newQuery.OrderBy[i] = o
+		}
+	}
+	return &newQuery, nil
+}
+
+// providerSelect finds the SELECT that defines the measures used by the
+// query: a view, a CTE of this query, or a derived table. Returns nil if
+// the FROM has no measure definitions.
+func (s *Session) providerSelect(q *ast.Query, from ast.TableExpr) (*ast.Select, string, error) {
+	switch from := from.(type) {
+	case *ast.TableName:
+		alias := from.Alias
+		if alias == "" {
+			alias = "o"
+		}
+		var def *ast.Query
+		for _, cte := range q.With {
+			if strings.EqualFold(cte.Name, from.Name) {
+				def = cte.Query
+			}
+		}
+		if def == nil {
+			if v, ok := s.cat.View(from.Name); ok {
+				def = v.Query
+			}
+		}
+		if def == nil {
+			return nil, "", nil // base table: no measures
+		}
+		sel, ok := def.Body.(*ast.Select)
+		if !ok {
+			return nil, "", nil
+		}
+		if !selectHasMeasures(sel) {
+			return nil, "", nil
+		}
+		return sel, alias, nil
+	case *ast.SubqueryTable:
+		alias := from.Alias
+		if alias == "" {
+			alias = "o"
+		}
+		sel, ok := from.Query.Body.(*ast.Select)
+		if !ok || !selectHasMeasures(sel) {
+			return nil, "", nil
+		}
+		return sel, alias, nil
+	case *ast.JoinExpr:
+		// Joins: only reject when a side defines measures.
+		for _, side := range []ast.TableExpr{from.Left, from.Right} {
+			inner, _, err := s.providerSelect(q, side)
+			if err != nil {
+				return nil, "", err
+			}
+			if inner != nil {
+				return nil, "", fmt.Errorf("EXPAND does not support measures under joins (the executable rewrite does)")
+			}
+		}
+		return nil, "", nil
+	default:
+		return nil, "", nil
+	}
+}
+
+func selectHasMeasures(sel *ast.Select) bool {
+	for _, item := range sel.Items {
+		if item.Measure {
+			return true
+		}
+	}
+	return false
+}
+
+// loadProvider captures the provider's measures, dimensions, base FROM
+// and baked WHERE.
+func (ex *expander) loadProvider(sel *ast.Select) error {
+	if len(sel.GroupBy) > 0 {
+		return fmt.Errorf("EXPAND: measure-defining queries must not have GROUP BY")
+	}
+	ex.baseFrom = sel.From
+	ex.baseWhere = sel.Where
+	for _, item := range sel.Items {
+		switch {
+		case item.Measure:
+			ex.measures[strings.ToLower(item.Alias)] = &measureDef{formula: item.Expr}
+		case item.Star:
+			// Star: dims are the base table's columns, passed through.
+			// Mark with a sentinel so dimExpr falls back to the name.
+			ex.dims["*"] = nil
+		default:
+			name := item.Alias
+			if name == "" {
+				if id, ok := item.Expr.(*ast.Ident); ok {
+					name = id.Name()
+				} else {
+					return fmt.Errorf("EXPAND: measure-defining query has an unnamed computed column")
+				}
+			}
+			ex.dims[strings.ToLower(name)] = item.Expr
+			ex.dimOrder = append(ex.dimOrder, name)
+		}
+	}
+	// Sibling references inside measure formulas.
+	for name, def := range ex.measures {
+		expanded, err := ex.substituteMeasureRefs(def.formula, map[string]bool{name: true}, 0)
+		if err != nil {
+			return err
+		}
+		def.formula = expanded
+	}
+	return nil
+}
+
+func (ex *expander) substituteMeasureRefs(e ast.Expr, active map[string]bool, depth int) (ast.Expr, error) {
+	if depth > 32 {
+		return nil, fmt.Errorf("measure definitions nest too deeply")
+	}
+	var serr error
+	out := ast.TransformExpr(e, func(x ast.Expr) ast.Expr {
+		id, ok := x.(*ast.Ident)
+		if !ok || serr != nil {
+			return x
+		}
+		key := strings.ToLower(id.Name())
+		def, isMeasure := ex.measures[key]
+		if !isMeasure {
+			return x
+		}
+		if active[key] {
+			serr = fmt.Errorf("recursive measures are not supported (cycle through %s)", id.Name())
+			return x
+		}
+		active[key] = true
+		inner, err := ex.substituteMeasureRefs(def.formula, active, depth+1)
+		delete(active, key)
+		if err != nil {
+			serr = err
+			return x
+		}
+		return inner
+	})
+	return out, serr
+}
+
+// measureFreeFrom builds the replacement FROM clause: the base table
+// directly when the provider was just "* plus measures" with no WHERE,
+// otherwise a derived table of the non-measure columns.
+func (ex *expander) measureFreeFrom() ast.TableExpr {
+	_, hasStar := ex.dims["*"]
+	if hasStar && len(ex.dimOrder) == 0 && ex.baseWhere == nil {
+		if tn, ok := ex.baseFrom.(*ast.TableName); ok {
+			return &ast.TableName{Name: tn.Name, Alias: ex.outerAlias}
+		}
+	}
+	items := []ast.SelectItem{}
+	if hasStar {
+		items = append(items, ast.SelectItem{Star: true})
+	}
+	for _, name := range ex.dimOrder {
+		items = append(items, ast.SelectItem{Expr: ex.dims[strings.ToLower(name)], Alias: name})
+	}
+	return &ast.SubqueryTable{
+		Query: &ast.Query{Body: &ast.Select{Items: items, From: ex.baseFrom, Where: ex.baseWhere}},
+		Alias: ex.outerAlias,
+	}
+}
+
+// selectTouchesOuter reports whether the rewritten select still needs its
+// FROM clause: a plain aggregate function or any column reference outside
+// the generated scalar subqueries. ast.WalkExpr does not descend into
+// subqueries, which is exactly the scoping needed here.
+func selectTouchesOuter(sel *ast.Select) bool {
+	touched := false
+	check := func(e ast.Expr) {
+		ast.WalkExpr(e, func(x ast.Expr) bool {
+			switch x.(type) {
+			case *ast.Ident:
+				touched = true
+			case *ast.FuncCall:
+				if astUsesAgg(x) {
+					touched = true
+				}
+			}
+			return true
+		})
+	}
+	for _, item := range sel.Items {
+		if item.Star {
+			return true
+		}
+		check(item.Expr)
+	}
+	if sel.Having != nil {
+		check(sel.Having)
+	}
+	return touched
+}
+
+func astUsesAgg(e ast.Expr) bool {
+	found := false
+	ast.WalkExpr(e, func(x ast.Expr) bool {
+		if fc, ok := x.(*ast.FuncCall); ok && fc.Over == nil {
+			name := strings.ToUpper(fc.Name)
+			if name == "AGGREGATE" || fn.IsAggName(name) || name == "GROUPING" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// pendingMeasure accumulates a measure reference and its AT modifier
+// chain while the bottom-up rewrite climbs out of nested AT and
+// AGGREGATE/EVAL wrappers.
+type pendingMeasure struct {
+	def  *measureDef
+	mods []ast.AtMod
+}
+
+// rewriteExpr replaces measure references (bare, AT-modified, or wrapped
+// in AGGREGATE/EVAL) with correlated scalar subqueries. The transform is
+// bottom-up, so measure idents first become placeholders; enclosing AT
+// nodes prepend their modifiers (outer modifiers apply first, paper
+// §3.5); AGGREGATE prepends VISIBLE; a final pass converts placeholders
+// to subqueries.
+func (ex *expander) rewriteExpr(e ast.Expr) (ast.Expr, error) {
+	var rerr error
+	marked := ast.TransformExpr(e, func(x ast.Expr) ast.Expr {
+		if rerr != nil {
+			return x
+		}
+		switch x := x.(type) {
+		case *ast.Ident:
+			if def := ex.measureOf(x); def != nil {
+				return &ast.Placeholder{Tag: &pendingMeasure{def: def}}
+			}
+		case *ast.At:
+			if ph, ok := placeholderOf(x.X); ok {
+				ph.mods = append(append([]ast.AtMod{}, x.Mods...), ph.mods...)
+				return &ast.Placeholder{Tag: ph}
+			}
+			rerr = fmt.Errorf("AT applied to a non-measure expression")
+		case *ast.FuncCall:
+			name := strings.ToUpper(x.Name)
+			if name != "AGGREGATE" && name != "EVAL" {
+				return x
+			}
+			if len(x.Args) != 1 {
+				rerr = fmt.Errorf("%s takes exactly one argument", name)
+				return x
+			}
+			ph, ok := placeholderOf(x.Args[0])
+			if !ok {
+				rerr = fmt.Errorf("%s argument must be a measure", name)
+				return x
+			}
+			if name == "AGGREGATE" {
+				ph.mods = append([]ast.AtMod{&ast.AtVisible{}}, ph.mods...)
+			}
+			return &ast.Placeholder{Tag: ph}
+		}
+		return x
+	})
+	if rerr != nil {
+		return nil, rerr
+	}
+	out := ast.TransformExpr(marked, func(x ast.Expr) ast.Expr {
+		if rerr != nil {
+			return x
+		}
+		if ph, ok := placeholderOf(x); ok {
+			sub, err := ex.measureSubquery(ph.def, ph.mods)
+			if err != nil {
+				rerr = err
+				return x
+			}
+			return sub
+		}
+		return x
+	})
+	return out, rerr
+}
+
+func placeholderOf(e ast.Expr) (*pendingMeasure, bool) {
+	if p, ok := e.(*ast.Placeholder); ok {
+		if ph, ok := p.Tag.(*pendingMeasure); ok {
+			return ph, true
+		}
+	}
+	return nil, false
+}
+
+func (ex *expander) measureOf(id *ast.Ident) *measureDef {
+	if q := id.Qualifier(); q != "" && !strings.EqualFold(q, ex.outerAlias) {
+		return nil
+	}
+	return ex.measures[strings.ToLower(id.Name())]
+}
+
+// ---------------------------------------------------------------------------
+// Subquery assembly
+
+// sqlTerm is one conjunct of the SQL-level evaluation context.
+type sqlTerm struct {
+	dim   string   // dimension name for SET/ALL matching; "" for predicates
+	pred  ast.Expr // the predicate, already rewritten to the inner alias
+	value ast.Expr // the call-site value (for CURRENT), outer-qualified
+}
+
+// measureSubquery builds the correlated scalar subquery for one measure
+// reference with its modifier chain — the textual form of the paper's
+// computeM(rowPredicate) call (Listing 5 / Listing 11).
+func (ex *expander) measureSubquery(def *measureDef, mods []ast.AtMod) (ast.Expr, error) {
+	terms, err := ex.defaultTerms()
+	if err != nil {
+		return nil, err
+	}
+	for _, mod := range mods {
+		terms, err = ex.applyMod(terms, mod)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	formula, err := ex.iRewrite(def.formula)
+	if err != nil {
+		return nil, err
+	}
+
+	var where ast.Expr
+	and := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		if where == nil {
+			where = e
+		} else {
+			where = &ast.Binary{Op: "AND", L: where, R: e}
+		}
+	}
+	if ex.baseWhere != nil {
+		bw, err := ex.iRewrite(ex.baseWhere)
+		if err != nil {
+			return nil, err
+		}
+		and(bw)
+	}
+	for _, t := range terms {
+		and(t.pred)
+	}
+
+	from, err := ex.innerFrom()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.ScalarSubquery{Query: &ast.Query{Body: &ast.Select{
+		Items: []ast.SelectItem{{Expr: formula}},
+		From:  from,
+		Where: where,
+	}}}, nil
+}
+
+// innerFrom renders the measure's base relation aliased for the
+// subquery. A plain table keeps its name; anything else becomes a
+// derived table.
+func (ex *expander) innerFrom() (ast.TableExpr, error) {
+	switch f := ex.baseFrom.(type) {
+	case *ast.TableName:
+		if f.Alias != "" && !strings.EqualFold(f.Alias, ex.innerAlias) {
+			// The provider's own alias stays usable; re-alias to i.
+			return &ast.TableName{Name: f.Name, Alias: ex.innerAlias}, nil
+		}
+		return &ast.TableName{Name: f.Name, Alias: ex.innerAlias}, nil
+	case *ast.SubqueryTable:
+		return &ast.SubqueryTable{Query: f.Query, Alias: ex.innerAlias}, nil
+	case *ast.JoinExpr:
+		return &ast.SubqueryTable{
+			Query: &ast.Query{Body: &ast.Select{Items: []ast.SelectItem{{Star: true}}, From: f}},
+			Alias: ex.innerAlias,
+		}, nil
+	default:
+		return nil, fmt.Errorf("EXPAND: unsupported base relation %T", ex.baseFrom)
+	}
+}
+
+// defaultTerms builds the default evaluation context for the call site:
+// at an aggregate site, one term per grouping expression; at a row site,
+// one term per dimension of the measure's table.
+func (ex *expander) defaultTerms() ([]sqlTerm, error) {
+	var terms []sqlTerm
+	if ex.aggregate {
+		for j, g := range ex.groupExprs {
+			iSide, err := ex.iRewrite(g)
+			if err != nil {
+				return nil, err
+			}
+			oSide := ex.oQualify(g)
+			terms = append(terms, sqlTerm{
+				dim:   ex.groupNames[j],
+				pred:  &ast.IsDistinct{L: iSide, R: oSide, Not: true},
+				value: oSide,
+			})
+		}
+		return terms, nil
+	}
+	names, err := ex.allDimNames()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		iSide, err := ex.iRewrite(&ast.Ident{Parts: []string{name}})
+		if err != nil {
+			return nil, err
+		}
+		oSide := &ast.Ident{Parts: []string{ex.outerAlias, name}}
+		terms = append(terms, sqlTerm{
+			dim:   name,
+			pred:  &ast.IsDistinct{L: iSide, R: oSide, Not: true},
+			value: oSide,
+		})
+	}
+	return terms, nil
+}
+
+// allDimNames enumerates the measure table's dimension names, resolving
+// SELECT * through the catalog when possible.
+func (ex *expander) allDimNames() ([]string, error) {
+	var names []string
+	if _, hasStar := ex.dims["*"]; hasStar {
+		tn, ok := ex.baseFrom.(*ast.TableName)
+		if !ok {
+			return nil, fmt.Errorf("EXPAND: cannot enumerate dimensions of SELECT * over a derived base; list the columns")
+		}
+		t, ok := ex.session.cat.Table(tn.Name)
+		if !ok {
+			return nil, fmt.Errorf("EXPAND: cannot enumerate dimensions: %s is not a base table", tn.Name)
+		}
+		names = append(names, t.ColNames()...)
+	}
+	names = append(names, ex.dimOrder...)
+	return names, nil
+}
+
+func (ex *expander) applyMod(terms []sqlTerm, mod ast.AtMod) ([]sqlTerm, error) {
+	switch m := mod.(type) {
+	case *ast.AtAll:
+		if len(m.Dims) == 0 {
+			return nil, nil
+		}
+		for _, d := range m.Dims {
+			name := dimNameFor(d)
+			out := terms[:0]
+			for _, t := range terms {
+				if !strings.EqualFold(t.dim, name) {
+					out = append(out, t)
+				}
+			}
+			terms = out
+		}
+		return terms, nil
+
+	case *ast.AtSet:
+		name := dimNameFor(m.Dim)
+		var current ast.Expr
+		for _, t := range terms {
+			if strings.EqualFold(t.dim, name) {
+				current = t.value
+			}
+		}
+		value, err := ex.rewriteModValue(m.Value, name, current)
+		if err != nil {
+			return nil, err
+		}
+		iSide, err := ex.dimExprFor(name)
+		if err != nil {
+			return nil, err
+		}
+		out := terms[:0]
+		for _, t := range terms {
+			if !strings.EqualFold(t.dim, name) {
+				out = append(out, t)
+			}
+		}
+		return append(out, sqlTerm{
+			dim:   name,
+			pred:  &ast.IsDistinct{L: iSide, R: value, Not: true},
+			value: value,
+		}), nil
+
+	case *ast.AtVisible:
+		if ex.outerWhere == nil {
+			return terms, nil
+		}
+		vis, err := ex.iRewrite(ex.outerWhere)
+		if err != nil {
+			return nil, fmt.Errorf("VISIBLE: %w", err)
+		}
+		return append(terms, sqlTerm{pred: vis}), nil
+
+	case *ast.AtWhere:
+		pred, err := ex.rewriteModWhere(m.Pred, terms)
+		if err != nil {
+			return nil, err
+		}
+		return []sqlTerm{{pred: pred}}, nil
+
+	default:
+		return nil, fmt.Errorf("unsupported AT modifier %T", mod)
+	}
+}
+
+func dimNameFor(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name()
+	}
+	return ast.FormatExpr(e)
+}
+
+// dimExprFor returns the inner-side expression for a dimension name,
+// which may be a projected dimension, a base column (star), or an ad hoc
+// dimension named by a grouping alias.
+func (ex *expander) dimExprFor(name string) (ast.Expr, error) {
+	if e, ok := ex.dims[strings.ToLower(name)]; ok && e != nil {
+		return ex.iRewrite(e)
+	}
+	// Ad hoc dimensions (grouping-expression aliases) take precedence
+	// over falling back to a base column of a star projection.
+	for j, n := range ex.groupNames {
+		if strings.EqualFold(n, name) {
+			return ex.iRewrite(ex.groupExprs[j])
+		}
+	}
+	if _, hasStar := ex.dims["*"]; hasStar {
+		return &ast.Ident{Parts: []string{ex.innerAlias, name}}, nil
+	}
+	return nil, fmt.Errorf("unknown dimension %s", name)
+}
+
+// rewriteModValue rewrites a SET value: CURRENT dim becomes the current
+// call-site value (or NULL when unconstrained); other identifiers are
+// outer-qualified.
+func (ex *expander) rewriteModValue(e ast.Expr, dim string, current ast.Expr) (ast.Expr, error) {
+	var rerr error
+	out := ast.TransformExpr(e, func(x ast.Expr) ast.Expr {
+		switch x := x.(type) {
+		case *ast.Current:
+			id, ok := x.Dim.(*ast.Ident)
+			if !ok {
+				rerr = fmt.Errorf("CURRENT requires a dimension name")
+				return x
+			}
+			if strings.EqualFold(id.Name(), dim) && current != nil {
+				return current
+			}
+			// CURRENT of another constrained dimension.
+			for j, n := range ex.groupNames {
+				if strings.EqualFold(n, id.Name()) {
+					return ex.oQualify(ex.groupExprs[j])
+				}
+			}
+			return &ast.NullLit{}
+		case *ast.Ident:
+			if x.Qualifier() == "" {
+				return &ast.Ident{Parts: []string{ex.outerAlias, x.Name()}}
+			}
+		}
+		return x
+	})
+	return out, rerr
+}
+
+// rewriteModWhere rewrites an AT (WHERE ...) predicate: dimension names
+// go to the inner side; outer-qualified references stay as correlations.
+func (ex *expander) rewriteModWhere(e ast.Expr, _ []sqlTerm) (ast.Expr, error) {
+	var rerr error
+	out := ast.TransformExpr(e, func(x ast.Expr) ast.Expr {
+		id, ok := x.(*ast.Ident)
+		if !ok || rerr != nil {
+			return x
+		}
+		if q := id.Qualifier(); q != "" {
+			if strings.EqualFold(q, ex.outerAlias) {
+				return x // correlation to the outer query
+			}
+			rerr = fmt.Errorf("unknown qualifier %s in AT (WHERE ...)", q)
+			return x
+		}
+		inner, err := ex.dimExprFor(id.Name())
+		if err != nil {
+			rerr = err
+			return x
+		}
+		return inner
+	})
+	return out, rerr
+}
+
+// iRewrite maps an expression written over the measure table's columns
+// onto the base relation: projected dimensions expand to their defining
+// expressions, and every remaining bare column is qualified with the
+// inner alias.
+func (ex *expander) iRewrite(e ast.Expr) (ast.Expr, error) {
+	var rerr error
+	var rewrite func(e ast.Expr, depth int) ast.Expr
+	rewrite = func(e ast.Expr, depth int) ast.Expr {
+		if depth > 32 {
+			rerr = fmt.Errorf("dimension definitions nest too deeply")
+			return e
+		}
+		return ast.TransformExpr(e, func(x ast.Expr) ast.Expr {
+			id, ok := x.(*ast.Ident)
+			if !ok || rerr != nil {
+				return x
+			}
+			q := id.Qualifier()
+			if q != "" && !strings.EqualFold(q, ex.outerAlias) && !strings.EqualFold(q, ex.innerAlias) {
+				return x
+			}
+			if _, isMeasure := ex.measures[strings.ToLower(id.Name())]; isMeasure {
+				rerr = fmt.Errorf("measure %s cannot appear inside this expression when expanding", id.Name())
+				return x
+			}
+			if dimExpr, ok := ex.dims[strings.ToLower(id.Name())]; ok && dimExpr != nil {
+				if _, isIdent := dimExpr.(*ast.Ident); !isIdent || dimExpr.(*ast.Ident).Name() != id.Name() {
+					return rewrite(dimExpr, depth+1)
+				}
+			}
+			return &ast.Ident{Parts: []string{ex.innerAlias, id.Name()}}
+		})
+	}
+	out := rewrite(e, 0)
+	return out, rerr
+}
+
+// oQualify qualifies bare column references with the outer alias.
+func (ex *expander) oQualify(e ast.Expr) ast.Expr {
+	return ast.TransformExpr(e, func(x ast.Expr) ast.Expr {
+		if id, ok := x.(*ast.Ident); ok && id.Qualifier() == "" {
+			return &ast.Ident{Parts: []string{ex.outerAlias, id.Name()}}
+		}
+		return x
+	})
+}

@@ -1,0 +1,232 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/measures-sql/msql/internal/fn"
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// groupAcc accumulates one group for one grouping set.
+type groupAcc struct {
+	keyVals []sqltypes.Value // values of this set's keys, indexed by key position
+	states  []fn.AggState
+	dedup   []map[string]bool // per aggregate, for DISTINCT
+	// within tracks WITHIN DISTINCT key tuples and the argument values
+	// first seen for each, to enforce functional dependence.
+	within []map[string]string
+	order  int // stable output order (first-seen)
+}
+
+// runAggregate evaluates grouping-set hash aggregation. The input is
+// scanned once; every grouping set maintains its own hash table, so
+// ROLLUP/CUBE cost one pass regardless of the number of sets.
+func (rt *runtime) runAggregate(n *plan.Aggregate) ([]Row, error) {
+	in, err := rt.run(n.Input)
+	if err != nil {
+		return nil, err
+	}
+
+	argTypes := make([][]sqltypes.Type, len(n.Aggs))
+	aggDefs := make([]*fn.Agg, len(n.Aggs))
+	for i, call := range n.Aggs {
+		if call.Name == "GROUPING" {
+			continue
+		}
+		def, ok := fn.LookupAgg(call.Name)
+		if !ok {
+			return nil, fmt.Errorf("unknown aggregate %s at runtime", call.Name)
+		}
+		aggDefs[i] = def
+		types := make([]sqltypes.Type, len(call.Args))
+		for j, a := range call.Args {
+			types[j] = a.Type()
+		}
+		argTypes[i] = types
+	}
+
+	newAcc := func(keyVals []sqltypes.Value, order int) *groupAcc {
+		acc := &groupAcc{
+			keyVals: keyVals,
+			states:  make([]fn.AggState, len(n.Aggs)),
+			dedup:   make([]map[string]bool, len(n.Aggs)),
+			within:  make([]map[string]string, len(n.Aggs)),
+			order:   order,
+		}
+		for i, call := range n.Aggs {
+			if call.Name == "GROUPING" {
+				continue
+			}
+			acc.states[i] = aggDefs[i].New(argTypes[i])
+			if call.Distinct {
+				acc.dedup[i] = map[string]bool{}
+			}
+			if len(call.WithinDistinct) > 0 {
+				acc.within[i] = map[string]string{}
+			}
+		}
+		return acc
+	}
+
+	type setTable struct {
+		groups map[string]*groupAcc
+	}
+	tables := make([]setTable, len(n.Sets))
+	for i := range tables {
+		tables[i] = setTable{groups: map[string]*groupAcc{}}
+	}
+	orderCounter := 0
+
+	for _, row := range in {
+		// Evaluate each group expression once per row.
+		keyVals := make([]sqltypes.Value, len(n.GroupExprs))
+		for j, g := range n.GroupExprs {
+			v, err := rt.eval(g, row)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[j] = v
+		}
+		for si, set := range n.Sets {
+			setKey := make([]sqltypes.Value, len(set))
+			for k, j := range set {
+				setKey[k] = keyVals[j]
+			}
+			key := sqltypes.RowKey(setKey)
+			acc := tables[si].groups[key]
+			if acc == nil {
+				kv := make([]sqltypes.Value, len(n.GroupExprs))
+				for j := range kv {
+					kv[j] = sqltypes.Null(sqltypes.KindUnknown)
+				}
+				for _, j := range set {
+					kv[j] = keyVals[j]
+				}
+				acc = newAcc(kv, orderCounter)
+				orderCounter++
+				tables[si].groups[key] = acc
+			}
+			if err := rt.accumulate(n, acc, row, aggDefs); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// A global grouping set (no keys) emits a row even with no input.
+	for si, set := range n.Sets {
+		if len(set) == 0 && len(tables[si].groups) == 0 {
+			kv := make([]sqltypes.Value, len(n.GroupExprs))
+			for j := range kv {
+				kv[j] = sqltypes.Null(sqltypes.KindUnknown)
+			}
+			tables[si].groups[""] = newAcc(kv, orderCounter)
+			orderCounter++
+		}
+	}
+
+	// Emit: group key columns, then aggregates. Set order, then first-seen
+	// order within a set, for deterministic output.
+	var out []Row
+	for si, set := range n.Sets {
+		inSet := make(map[int]bool, len(set))
+		for _, j := range set {
+			inSet[j] = true
+		}
+		accs := make([]*groupAcc, 0, len(tables[si].groups))
+		for _, acc := range tables[si].groups {
+			accs = append(accs, acc)
+		}
+		sortAccs(accs)
+		for _, acc := range accs {
+			row := make(Row, 0, len(n.GroupExprs)+len(n.Aggs))
+			for j := range n.GroupExprs {
+				if inSet[j] {
+					row = append(row, acc.keyVals[j])
+				} else {
+					row = append(row, sqltypes.Null(n.GroupExprs[j].Type().Kind))
+				}
+			}
+			for i, call := range n.Aggs {
+				if call.Name == "GROUPING" {
+					g := int64(1)
+					if inSet[call.KeyIndex] {
+						g = 0
+					}
+					row = append(row, sqltypes.NewInt(g))
+					continue
+				}
+				row = append(row, acc.states[i].Result())
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func sortAccs(accs []*groupAcc) {
+	sort.Slice(accs, func(a, b int) bool { return accs[a].order < accs[b].order })
+}
+
+func (rt *runtime) accumulate(n *plan.Aggregate, acc *groupAcc, row Row, defs []*fn.Agg) error {
+	for i, call := range n.Aggs {
+		if call.Name == "GROUPING" {
+			continue
+		}
+		if call.Filter != nil {
+			v, err := rt.eval(call.Filter, row)
+			if err != nil {
+				return err
+			}
+			if !v.IsTrue() {
+				continue
+			}
+		}
+		args := make([]sqltypes.Value, len(call.Args))
+		skip := false
+		for j, a := range call.Args {
+			v, err := rt.eval(a, row)
+			if err != nil {
+				return err
+			}
+			args[j] = v
+			if j == 0 && v.Null && defs[i].SkipNulls {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		if call.Distinct {
+			key := sqltypes.RowKey(args)
+			if acc.dedup[i][key] {
+				continue
+			}
+			acc.dedup[i][key] = true
+		}
+		if len(call.WithinDistinct) > 0 {
+			keyVals := make([]sqltypes.Value, len(call.WithinDistinct))
+			for j, k := range call.WithinDistinct {
+				v, err := rt.eval(k, row)
+				if err != nil {
+					return err
+				}
+				keyVals[j] = v
+			}
+			key := sqltypes.RowKey(keyVals)
+			argKey := sqltypes.RowKey(args)
+			if prev, seen := acc.within[i][key]; seen {
+				if prev != argKey {
+					return fmt.Errorf("%s WITHIN DISTINCT: argument is not functionally dependent on the keys (two different values for one key tuple)", call.Name)
+				}
+				continue
+			}
+			acc.within[i][key] = argKey
+		}
+		if err := acc.states[i].Add(args); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,476 @@
+// Package exec evaluates logical plans over in-memory rows. It is a
+// materializing executor: each operator produces its full result. The
+// piece most relevant to the paper is subquery memoization — correlated
+// scalar subqueries (which every measure reference compiles to) are
+// cached keyed on the outer values they depend on, which is exactly the
+// "localized self-join" execution strategy of §5.1: compute each
+// evaluation context's aggregate once, then probe the cached result.
+package exec
+
+import (
+	"fmt"
+
+	"github.com/measures-sql/msql/internal/fn"
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// Row is one tuple of values.
+type Row = []sqltypes.Value
+
+// Stats counts executor events for one query; the experiment harness and
+// tests use it to verify strategies do what they claim (e.g. memoization
+// evaluates each distinct context once).
+type Stats struct {
+	// SubqueryEvals counts actual subquery plan executions.
+	SubqueryEvals int
+	// SubqueryCacheHits counts evaluations served from the memo cache.
+	SubqueryCacheHits int
+	// RowsScanned counts rows produced by Scan nodes.
+	RowsScanned int
+}
+
+// Settings control execution strategies (for ablation benchmarks).
+type Settings struct {
+	// MemoizeSubqueries enables the localized self-join strategy: cache
+	// subquery results keyed by their correlated inputs. Disabling it
+	// re-evaluates subqueries per outer row (the naive strategy).
+	MemoizeSubqueries bool
+	// Stats, when non-nil, accumulates executor counters.
+	Stats *Stats
+}
+
+// DefaultSettings returns the production configuration.
+func DefaultSettings() *Settings {
+	return &Settings{MemoizeSubqueries: true}
+}
+
+// runtime carries per-query execution state.
+type runtime struct {
+	settings *Settings
+	// outer is the stack of outer-frame rows; a CorrRef at level L reads
+	// outer[len(outer)-L].
+	outer []Row
+	// memo caches subquery evaluations per Subquery node.
+	memo map[*plan.Subquery]*memoState
+	// deps caches the discovered external dependencies per Subquery node.
+	deps map[*plan.Subquery][]corrDep
+}
+
+type corrDep struct {
+	levels int // relative to the subquery frame: 1 = immediate outer
+	index  int
+}
+
+type memoState struct {
+	scalar map[string]sqltypes.Value
+	exists map[string]bool
+	inSet  map[string]*inSet
+}
+
+type inSet struct {
+	keys    map[string]bool
+	hasNull bool
+	count   int
+}
+
+func newRuntime(settings *Settings) *runtime {
+	return &runtime{
+		settings: settings,
+		memo:     map[*plan.Subquery]*memoState{},
+		deps:     map[*plan.Subquery][]corrDep{},
+	}
+}
+
+func (rt *runtime) outerAt(levels int) (Row, error) {
+	if levels <= 0 || levels > len(rt.outer) {
+		return nil, fmt.Errorf("correlated reference escapes the available scopes (level %d of %d)", levels, len(rt.outer))
+	}
+	return rt.outer[len(rt.outer)-levels], nil
+}
+
+// eval evaluates e against row.
+func (rt *runtime) eval(e plan.Expr, row Row) (sqltypes.Value, error) {
+	switch e := e.(type) {
+	case *plan.ColRef:
+		if e.Index < 0 || e.Index >= len(row) {
+			return sqltypes.Value{}, fmt.Errorf("column index %d out of range (row width %d)", e.Index, len(row))
+		}
+		return row[e.Index], nil
+
+	case *plan.CorrRef:
+		outer, err := rt.outerAt(e.Levels)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if e.Index < 0 || e.Index >= len(outer) {
+			return sqltypes.Value{}, fmt.Errorf("correlated column index %d out of range", e.Index)
+		}
+		return outer[e.Index], nil
+
+	case *plan.Lit:
+		return e.Val, nil
+
+	case *plan.Call:
+		return rt.evalCall(e, row)
+
+	case *plan.And:
+		l, err := rt.eval(e.L, row)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if l.IsFalse() {
+			return l, nil
+		}
+		r, err := rt.eval(e.R, row)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		return sqltypes.And(l, r), nil
+
+	case *plan.Or:
+		l, err := rt.eval(e.L, row)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if l.IsTrue() {
+			return l, nil
+		}
+		r, err := rt.eval(e.R, row)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		return sqltypes.Or(l, r), nil
+
+	case *plan.Not:
+		x, err := rt.eval(e.X, row)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		return sqltypes.Not(x), nil
+
+	case *plan.IsNull:
+		x, err := rt.eval(e.X, row)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		return sqltypes.NewBool(x.Null != e.Neg), nil
+
+	case *plan.IsDistinct:
+		l, err := rt.eval(e.L, row)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		r, err := rt.eval(e.R, row)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		same := sqltypes.NotDistinct(l, r)
+		return sqltypes.NewBool(same == e.Neg), nil
+
+	case *plan.InList:
+		return rt.evalInList(e, row)
+
+	case *plan.Case:
+		for _, w := range e.Whens {
+			c, err := rt.eval(w.Cond, row)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			if c.IsTrue() {
+				return rt.eval(w.Then, row)
+			}
+		}
+		if e.Else != nil {
+			return rt.eval(e.Else, row)
+		}
+		return sqltypes.Null(e.Typ.Kind), nil
+
+	case *plan.Cast:
+		x, err := rt.eval(e.X, row)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		return sqltypes.Cast(x, e.Kind)
+
+	case *plan.Subquery:
+		return rt.evalSubquery(e, row)
+
+	case *plan.AggRef:
+		return sqltypes.Value{}, fmt.Errorf("internal error: unresolved aggregate reference at runtime")
+
+	default:
+		return sqltypes.Value{}, fmt.Errorf("internal error: cannot evaluate %T", e)
+	}
+}
+
+func (rt *runtime) evalCall(e *plan.Call, row Row) (sqltypes.Value, error) {
+	sc, ok := fn.LookupScalar(e.Name)
+	if !ok {
+		return sqltypes.Value{}, fmt.Errorf("unknown function %s at runtime", e.Name)
+	}
+	args := make([]sqltypes.Value, len(e.Args))
+	anyNull := false
+	for i, a := range e.Args {
+		v, err := rt.eval(a, row)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		args[i] = v
+		if v.Null {
+			anyNull = true
+		}
+	}
+	if sc.Strict && anyNull {
+		return sqltypes.Null(e.Typ.Kind), nil
+	}
+	out, err := sc.Eval(args)
+	if err != nil {
+		return sqltypes.Value{}, err
+	}
+	return out, nil
+}
+
+func (rt *runtime) evalInList(e *plan.InList, row Row) (sqltypes.Value, error) {
+	x, err := rt.eval(e.X, row)
+	if err != nil {
+		return sqltypes.Value{}, err
+	}
+	sawNull := x.Null
+	matched := false
+	for _, item := range e.List {
+		v, err := rt.eval(item, row)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if v.Null || x.Null {
+			sawNull = true
+			continue
+		}
+		c, err := sqltypes.Compare(x, v)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if c == 0 {
+			matched = true
+			break
+		}
+	}
+	switch {
+	case matched:
+		return sqltypes.NewBool(!e.Neg), nil
+	case sawNull:
+		return sqltypes.Null(sqltypes.KindBool), nil
+	default:
+		return sqltypes.NewBool(e.Neg), nil
+	}
+}
+
+// collectDeps walks a subquery plan and records every reference to rows
+// outside the subquery's own frame, for memo keying.
+func collectDeps(sq *plan.Subquery) []corrDep {
+	seen := map[corrDep]bool{}
+	var deps []corrDep
+	var walkNode func(n plan.Node, depth int)
+	var walkExpr func(e plan.Expr, depth int)
+	walkExpr = func(e plan.Expr, depth int) {
+		plan.WalkExprs(e, func(x plan.Expr) {
+			switch x := x.(type) {
+			case *plan.CorrRef:
+				// At nesting depth d (d = 1 directly inside sq.Plan), a
+				// reference with Levels >= d escapes sq; relative to
+				// sq's own frame it is at level Levels-d+1.
+				if x.Levels >= depth {
+					d := corrDep{levels: x.Levels - depth + 1, index: x.Index}
+					if !seen[d] {
+						seen[d] = true
+						deps = append(deps, d)
+					}
+				}
+			case *plan.Subquery:
+				walkNode(x.Plan, depth+1)
+			}
+		})
+	}
+	walkNode = func(n plan.Node, depth int) {
+		plan.VisitNodeExprs(n, func(e plan.Expr) { walkExpr(e, depth) })
+		for _, c := range n.Children() {
+			walkNode(c, depth)
+		}
+	}
+	walkNode(sq.Plan, 1)
+	return deps
+}
+
+// memoKey computes the cache key for sq given the current outer frames
+// (with row about to be pushed as the immediate outer frame).
+func (rt *runtime) memoKey(sq *plan.Subquery, row Row) (string, error) {
+	deps, ok := rt.deps[sq]
+	if !ok {
+		deps = collectDeps(sq)
+		rt.deps[sq] = deps
+	}
+	vals := make([]sqltypes.Value, len(deps))
+	for i, d := range deps {
+		var frame Row
+		if d.levels == 1 {
+			frame = row
+		} else {
+			f, err := rt.outerAt(d.levels - 1)
+			if err != nil {
+				return "", err
+			}
+			frame = f
+		}
+		if d.index < 0 || d.index >= len(frame) {
+			return "", fmt.Errorf("correlated index %d out of range in memo key", d.index)
+		}
+		vals[i] = frame[d.index]
+	}
+	return sqltypes.RowKey(vals), nil
+}
+
+func (rt *runtime) evalSubquery(sq *plan.Subquery, row Row) (sqltypes.Value, error) {
+	memoize := sq.Memo && rt.settings.MemoizeSubqueries
+	var key string
+	var state *memoState
+	if memoize {
+		k, err := rt.memoKey(sq, row)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		key = k
+		state = rt.memo[sq]
+		if state == nil {
+			state = &memoState{}
+			rt.memo[sq] = state
+		}
+	}
+
+	switch sq.Mode {
+	case plan.SubScalar:
+		if memoize {
+			if v, ok := state.scalar[key]; ok {
+				rt.countHit()
+				return v, nil
+			}
+		}
+		rows, err := rt.runNested(sq, row)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		var v sqltypes.Value
+		switch len(rows) {
+		case 0:
+			v = sqltypes.Null(sq.Typ.Kind)
+		case 1:
+			v = rows[0][0]
+		default:
+			return sqltypes.Value{}, fmt.Errorf("scalar subquery returned %d rows", len(rows))
+		}
+		if memoize {
+			if state.scalar == nil {
+				state.scalar = map[string]sqltypes.Value{}
+			}
+			state.scalar[key] = v
+		}
+		return v, nil
+
+	case plan.SubExists:
+		var exists bool
+		cached := false
+		if memoize {
+			if v, ok := state.exists[key]; ok {
+				exists, cached = v, true
+				rt.countHit()
+			}
+		}
+		if !cached {
+			rows, err := rt.runNested(sq, row)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			exists = len(rows) > 0
+			if memoize {
+				if state.exists == nil {
+					state.exists = map[string]bool{}
+				}
+				state.exists[key] = exists
+			}
+		}
+		return sqltypes.NewBool(exists != sq.Neg), nil
+
+	case plan.SubIn:
+		var set *inSet
+		if memoize {
+			set = state.inSet[key]
+			if set != nil {
+				rt.countHit()
+			}
+		}
+		if set == nil {
+			rows, err := rt.runNested(sq, row)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			set = &inSet{keys: make(map[string]bool, len(rows)), count: len(rows)}
+			for _, r := range rows {
+				set.keys[sqltypes.RowKey(r)] = true
+				for _, v := range r {
+					if v.Null {
+						set.hasNull = true
+					}
+				}
+			}
+			if memoize {
+				if state.inSet == nil {
+					state.inSet = map[string]*inSet{}
+				}
+				state.inSet[key] = set
+			}
+		}
+		left := make([]sqltypes.Value, len(sq.Exprs))
+		leftNull := false
+		for i, e := range sq.Exprs {
+			v, err := rt.eval(e, row)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			left[i] = v
+			if v.Null {
+				leftNull = true
+			}
+		}
+		if sq.NullSafe {
+			// Evaluation-context link terms: IS NOT DISTINCT FROM
+			// membership, never NULL.
+			return sqltypes.NewBool(set.keys[sqltypes.RowKey(left)] != sq.Neg), nil
+		}
+		if !leftNull && set.keys[sqltypes.RowKey(left)] {
+			return sqltypes.NewBool(!sq.Neg), nil
+		}
+		if (leftNull && set.count > 0) || set.hasNull {
+			return sqltypes.Null(sqltypes.KindBool), nil
+		}
+		return sqltypes.NewBool(sq.Neg), nil
+
+	default:
+		return sqltypes.Value{}, fmt.Errorf("unknown subquery mode")
+	}
+}
+
+func (rt *runtime) countHit() {
+	if rt.settings.Stats != nil {
+		rt.settings.Stats.SubqueryCacheHits++
+	}
+}
+
+func (rt *runtime) runNested(sq *plan.Subquery, row Row) ([]Row, error) {
+	if rt.settings.Stats != nil {
+		rt.settings.Stats.SubqueryEvals++
+	}
+	rt.outer = append(rt.outer, row)
+	rows, err := rt.run(sq.Plan)
+	rt.outer = rt.outer[:len(rt.outer)-1]
+	return rows, err
+}

@@ -1,0 +1,440 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// Run evaluates a plan and returns its rows.
+func Run(n plan.Node, settings *Settings) ([]Row, error) {
+	if settings == nil {
+		settings = DefaultSettings()
+	}
+	rt := newRuntime(settings)
+	return rt.run(n)
+}
+
+func (rt *runtime) run(n plan.Node) ([]Row, error) {
+	switch n := n.(type) {
+	case *plan.Scan:
+		rows := n.Source.Rows()
+		if rt.settings.Stats != nil {
+			rt.settings.Stats.RowsScanned += len(rows)
+		}
+		return rows, nil
+
+	case *plan.Values:
+		out := make([]Row, len(n.Rows))
+		for i, exprs := range n.Rows {
+			row := make(Row, len(exprs))
+			for j, e := range exprs {
+				v, err := rt.eval(e, nil)
+				if err != nil {
+					return nil, err
+				}
+				row[j] = v
+			}
+			out[i] = row
+		}
+		return out, nil
+
+	case *plan.Filter:
+		in, err := rt.run(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		var out []Row
+		for _, row := range in {
+			v, err := rt.eval(n.Pred, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsTrue() {
+				out = append(out, row)
+			}
+		}
+		return out, nil
+
+	case *plan.Project:
+		in, err := rt.run(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Row, len(in))
+		for i, row := range in {
+			proj := make(Row, len(n.Exprs))
+			for j, ne := range n.Exprs {
+				v, err := rt.eval(ne.Expr, row)
+				if err != nil {
+					return nil, err
+				}
+				proj[j] = v
+			}
+			out[i] = proj
+		}
+		return out, nil
+
+	case *plan.Join:
+		return rt.runJoin(n)
+
+	case *plan.Aggregate:
+		return rt.runAggregate(n)
+
+	case *plan.Sort:
+		in, err := rt.run(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return rt.sortRows(in, n.Items)
+
+	case *plan.Limit:
+		in, err := rt.run(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		offset := 0
+		if n.Offset != nil {
+			v, err := rt.eval(n.Offset, nil)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Null {
+				offset = int(v.I)
+			}
+		}
+		if offset < 0 {
+			offset = 0
+		}
+		if offset >= len(in) {
+			return nil, nil
+		}
+		in = in[offset:]
+		if n.Count != nil {
+			v, err := rt.eval(n.Count, nil)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Null && int(v.I) < len(in) {
+				if v.I < 0 {
+					return nil, nil
+				}
+				in = in[:v.I]
+			}
+		}
+		return in, nil
+
+	case *plan.Distinct:
+		in, err := rt.run(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		var out []Row
+		for _, row := range in {
+			k := sqltypes.RowKey(row)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, row)
+			}
+		}
+		return out, nil
+
+	case *plan.SetOp:
+		return rt.runSetOp(n)
+
+	case *plan.Window:
+		return rt.runWindow(n)
+
+	default:
+		return nil, fmt.Errorf("internal error: cannot execute %T", n)
+	}
+}
+
+func (rt *runtime) runJoin(j *plan.Join) ([]Row, error) {
+	left, err := rt.run(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := rt.run(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	leftWidth := len(j.Left.Schema().Cols)
+	rightWidth := len(j.Right.Schema().Cols)
+
+	concat := func(l, r Row) Row {
+		row := make(Row, 0, leftWidth+rightWidth)
+		row = append(row, l...)
+		return append(row, r...)
+	}
+	nullRow := func(w int, cols []plan.Col) Row {
+		row := make(Row, w)
+		for i := range row {
+			row[i] = sqltypes.Null(cols[i].Typ.Kind)
+		}
+		return row
+	}
+
+	residualOK := func(row Row) (bool, error) {
+		if j.Residual == nil {
+			return true, nil
+		}
+		v, err := rt.eval(j.Residual, row)
+		if err != nil {
+			return false, err
+		}
+		return v.IsTrue(), nil
+	}
+
+	var out []Row
+	rightMatched := make([]bool, len(right))
+
+	if len(j.EquiLeft) > 0 {
+		// Hash join.
+		index := make(map[string][]int, len(right))
+		rightKeyNull := make([]bool, len(right))
+		for ri, rrow := range right {
+			keyVals := make([]sqltypes.Value, len(j.EquiRight))
+			hasNull := false
+			for k, e := range j.EquiRight {
+				v, err := rt.eval(e, rrow)
+				if err != nil {
+					return nil, err
+				}
+				keyVals[k] = v
+				if v.Null {
+					hasNull = true
+				}
+			}
+			rightKeyNull[ri] = hasNull
+			if !hasNull {
+				key := sqltypes.RowKey(keyVals)
+				index[key] = append(index[key], ri)
+			}
+		}
+		for _, lrow := range left {
+			keyVals := make([]sqltypes.Value, len(j.EquiLeft))
+			hasNull := false
+			for k, e := range j.EquiLeft {
+				v, err := rt.eval(e, lrow)
+				if err != nil {
+					return nil, err
+				}
+				keyVals[k] = v
+				if v.Null {
+					hasNull = true
+				}
+			}
+			matched := false
+			if !hasNull {
+				for _, ri := range index[sqltypes.RowKey(keyVals)] {
+					row := concat(lrow, right[ri])
+					ok, err := residualOK(row)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+					matched = true
+					rightMatched[ri] = true
+					if j.Kind == plan.JoinSemi {
+						break
+					}
+					out = append(out, row)
+				}
+			}
+			switch j.Kind {
+			case plan.JoinSemi:
+				if matched {
+					out = append(out, lrow)
+				}
+			case plan.JoinLeft, plan.JoinFull:
+				if !matched {
+					out = append(out, concat(lrow, nullRow(rightWidth, j.Right.Schema().Cols)))
+				}
+			}
+		}
+	} else {
+		// Nested loop (cross join or arbitrary condition).
+		for _, lrow := range left {
+			matched := false
+			for ri, rrow := range right {
+				row := concat(lrow, rrow)
+				ok, err := residualOK(row)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				matched = true
+				rightMatched[ri] = true
+				if j.Kind == plan.JoinSemi {
+					break
+				}
+				out = append(out, row)
+			}
+			switch j.Kind {
+			case plan.JoinSemi:
+				if matched {
+					out = append(out, lrow)
+				}
+			case plan.JoinLeft, plan.JoinFull:
+				if !matched {
+					out = append(out, concat(lrow, nullRow(rightWidth, j.Right.Schema().Cols)))
+				}
+			}
+		}
+	}
+
+	if j.Kind == plan.JoinRight || j.Kind == plan.JoinFull {
+		for ri, rrow := range right {
+			if !rightMatched[ri] {
+				out = append(out, concat(nullRow(leftWidth, j.Left.Schema().Cols), rrow))
+			}
+		}
+	}
+	return out, nil
+}
+
+func (rt *runtime) sortRows(rows []Row, items []plan.SortItem) ([]Row, error) {
+	keys := make([][]sqltypes.Value, len(rows))
+	for i, row := range rows {
+		k := make([]sqltypes.Value, len(items))
+		for j, item := range items {
+			v, err := rt.eval(item.Expr, row)
+			if err != nil {
+				return nil, err
+			}
+			k[j] = v
+		}
+		keys[i] = k
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for j, item := range items {
+			c, err := compareForSort(ka[j], kb[j], item)
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	out := make([]Row, len(rows))
+	for i, ix := range idx {
+		out[i] = rows[ix]
+	}
+	return out, nil
+}
+
+func compareForSort(a, b sqltypes.Value, item plan.SortItem) (int, error) {
+	if a.Null || b.Null {
+		if a.Null && b.Null {
+			return 0, nil
+		}
+		less := b.Null
+		if item.NullsFirst {
+			less = a.Null
+		}
+		if less {
+			return -1, nil
+		}
+		return 1, nil
+	}
+	c, err := sqltypes.Compare(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if item.Desc {
+		c = -c
+	}
+	return c, nil
+}
+
+func (rt *runtime) runSetOp(n *plan.SetOp) ([]Row, error) {
+	left, err := rt.run(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := rt.run(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case "UNION":
+		all := append(append([]Row{}, left...), right...)
+		if n.All {
+			return all, nil
+		}
+		seen := map[string]bool{}
+		var out []Row
+		for _, row := range all {
+			k := sqltypes.RowKey(row)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, row)
+			}
+		}
+		return out, nil
+	case "INTERSECT":
+		counts := map[string]int{}
+		for _, row := range right {
+			counts[sqltypes.RowKey(row)]++
+		}
+		var out []Row
+		emitted := map[string]bool{}
+		for _, row := range left {
+			k := sqltypes.RowKey(row)
+			if counts[k] > 0 {
+				if n.All {
+					counts[k]--
+					out = append(out, row)
+				} else if !emitted[k] {
+					emitted[k] = true
+					out = append(out, row)
+				}
+			}
+		}
+		return out, nil
+	case "EXCEPT":
+		counts := map[string]int{}
+		for _, row := range right {
+			counts[sqltypes.RowKey(row)]++
+		}
+		var out []Row
+		emitted := map[string]bool{}
+		for _, row := range left {
+			k := sqltypes.RowKey(row)
+			if n.All {
+				if counts[k] > 0 {
+					counts[k]--
+					continue
+				}
+				out = append(out, row)
+			} else {
+				if counts[k] == 0 && !emitted[k] {
+					emitted[k] = true
+					out = append(out, row)
+				}
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown set operation %s", n.Op)
+	}
+}

@@ -1,0 +1,305 @@
+package fn
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// AggState accumulates one group's values for one aggregate call.
+// Add is called once per qualifying input row (NULL-skipping and
+// DISTINCT de-duplication are handled by the executor); Result returns
+// the aggregate value for the group.
+type AggState interface {
+	Add(args []sqltypes.Value) error
+	Result() sqltypes.Value
+}
+
+// Agg describes an aggregate function.
+type Agg struct {
+	Name    string
+	MinArgs int
+	MaxArgs int
+	// Star reports whether the function may be called as f(*): only COUNT.
+	Star bool
+	// SkipNulls: rows where the first argument is NULL are not passed to
+	// Add (SQL default for COUNT(x)/SUM/AVG/...).
+	SkipNulls bool
+	// Ret computes the result type from argument types ([] for COUNT(*)).
+	Ret func(args []sqltypes.Type) (sqltypes.Type, error)
+	// New creates a fresh accumulator for a group.
+	New func(args []sqltypes.Type) AggState
+}
+
+var aggs = map[string]*Agg{}
+
+// LookupAgg finds an aggregate by (case-insensitive) name.
+func LookupAgg(name string) (*Agg, bool) {
+	a, ok := aggs[strings.ToUpper(name)]
+	return a, ok
+}
+
+// IsAggName reports whether name is a registered aggregate function.
+func IsAggName(name string) bool {
+	_, ok := LookupAgg(name)
+	return ok
+}
+
+func registerAgg(a *Agg) { aggs[a.Name] = a }
+
+// ---------------------------------------------------------------------------
+// States
+
+type countState struct{ n int64 }
+
+func (s *countState) Add([]sqltypes.Value) error { s.n++; return nil }
+func (s *countState) Result() sqltypes.Value     { return sqltypes.NewInt(s.n) }
+
+type sumState struct {
+	kind   sqltypes.Kind
+	any    bool
+	intSum int64
+	fltSum float64
+}
+
+func (s *sumState) Add(args []sqltypes.Value) error {
+	s.any = true
+	if s.kind == sqltypes.KindInt {
+		s.intSum += args[0].I
+	} else {
+		s.fltSum += args[0].AsFloat()
+	}
+	return nil
+}
+
+func (s *sumState) Result() sqltypes.Value {
+	if !s.any {
+		return sqltypes.Null(s.kind)
+	}
+	if s.kind == sqltypes.KindInt {
+		return sqltypes.NewInt(s.intSum)
+	}
+	return sqltypes.NewFloat(s.fltSum)
+}
+
+type avgState struct {
+	n   int64
+	sum float64
+}
+
+func (s *avgState) Add(args []sqltypes.Value) error {
+	s.n++
+	s.sum += args[0].AsFloat()
+	return nil
+}
+
+func (s *avgState) Result() sqltypes.Value {
+	if s.n == 0 {
+		return sqltypes.Null(sqltypes.KindFloat)
+	}
+	return sqltypes.NewFloat(s.sum / float64(s.n))
+}
+
+type minMaxState struct {
+	wantLess bool
+	best     sqltypes.Value
+	any      bool
+}
+
+func (s *minMaxState) Add(args []sqltypes.Value) error {
+	if !s.any {
+		s.best, s.any = args[0], true
+		return nil
+	}
+	c, err := sqltypes.Compare(args[0], s.best)
+	if err != nil {
+		return err
+	}
+	if (c < 0) == s.wantLess && c != 0 {
+		s.best = args[0]
+	}
+	return nil
+}
+
+func (s *minMaxState) Result() sqltypes.Value {
+	if !s.any {
+		return sqltypes.Null(s.best.K)
+	}
+	return s.best
+}
+
+// varState implements Welford's online algorithm for variance.
+type varState struct {
+	n        int64
+	mean, m2 float64
+	sample   bool
+	stddev   bool
+}
+
+func (s *varState) Add(args []sqltypes.Value) error {
+	s.n++
+	x := args[0].AsFloat()
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	return nil
+}
+
+func (s *varState) Result() sqltypes.Value {
+	den := float64(s.n)
+	if s.sample {
+		den = float64(s.n - 1)
+	}
+	if s.n == 0 || den <= 0 {
+		return sqltypes.Null(sqltypes.KindFloat)
+	}
+	v := s.m2 / den
+	if s.stddev {
+		v = math.Sqrt(v)
+	}
+	return sqltypes.NewFloat(v)
+}
+
+type anyValueState struct {
+	val sqltypes.Value
+	any bool
+}
+
+func (s *anyValueState) Add(args []sqltypes.Value) error {
+	if !s.any {
+		s.val, s.any = args[0], true
+	}
+	return nil
+}
+
+func (s *anyValueState) Result() sqltypes.Value { return s.val }
+
+// argExtremeState implements ARG_MAX(x, y) / ARG_MIN(x, y): the value of
+// x at the extreme y. Used for semi-additive measures (paper §5.3:
+// inventory rolls up with LAST_VALUE over time — ARG_MAX(qty, date)).
+type argExtremeState struct {
+	wantLess bool
+	bestKey  sqltypes.Value
+	val      sqltypes.Value
+	any      bool
+}
+
+func (s *argExtremeState) Add(args []sqltypes.Value) error {
+	x, y := args[0], args[1]
+	if !s.any {
+		s.val, s.bestKey, s.any = x, y, true
+		return nil
+	}
+	c, err := sqltypes.Compare(y, s.bestKey)
+	if err != nil {
+		return err
+	}
+	if (c < 0) == s.wantLess && c != 0 {
+		s.val, s.bestKey = x, y
+	}
+	return nil
+}
+
+func (s *argExtremeState) Result() sqltypes.Value {
+	if !s.any {
+		return sqltypes.Null(s.val.K)
+	}
+	return s.val
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+
+func init() {
+	registerAgg(&Agg{
+		Name: "COUNT", MinArgs: 0, MaxArgs: 1, Star: true, SkipNulls: true,
+		Ret: func([]sqltypes.Type) (sqltypes.Type, error) { return sqltypes.Type{Kind: sqltypes.KindInt}, nil },
+		New: func([]sqltypes.Type) AggState { return &countState{} },
+	})
+	registerAgg(&Agg{
+		Name: "SUM", MinArgs: 1, MaxArgs: 1, SkipNulls: true,
+		Ret: func(args []sqltypes.Type) (sqltypes.Type, error) {
+			if err := argNumeric(args, "SUM"); err != nil {
+				return sqltypes.Type{}, err
+			}
+			if args[0].Kind == sqltypes.KindFloat {
+				return sqltypes.Type{Kind: sqltypes.KindFloat}, nil
+			}
+			return sqltypes.Type{Kind: sqltypes.KindInt}, nil
+		},
+		New: func(args []sqltypes.Type) AggState {
+			kind := sqltypes.KindInt
+			if len(args) > 0 && args[0].Kind == sqltypes.KindFloat {
+				kind = sqltypes.KindFloat
+			}
+			return &sumState{kind: kind}
+		},
+	})
+	registerAgg(&Agg{
+		Name: "AVG", MinArgs: 1, MaxArgs: 1, SkipNulls: true,
+		Ret: func(args []sqltypes.Type) (sqltypes.Type, error) {
+			if err := argNumeric(args, "AVG"); err != nil {
+				return sqltypes.Type{}, err
+			}
+			return sqltypes.Type{Kind: sqltypes.KindFloat}, nil
+		},
+		New: func([]sqltypes.Type) AggState { return &avgState{} },
+	})
+	minMax := func(name string, wantLess bool) {
+		registerAgg(&Agg{
+			Name: name, MinArgs: 1, MaxArgs: 1, SkipNulls: true,
+			Ret: func(args []sqltypes.Type) (sqltypes.Type, error) { return args[0].Scalar(), nil },
+			New: func([]sqltypes.Type) AggState { return &minMaxState{wantLess: wantLess} },
+		})
+	}
+	minMax("MIN", true)
+	minMax("MAX", false)
+	variance := func(name string, sample, stddev bool) {
+		registerAgg(&Agg{
+			Name: name, MinArgs: 1, MaxArgs: 1, SkipNulls: true,
+			Ret: func(args []sqltypes.Type) (sqltypes.Type, error) {
+				if err := argNumeric(args, name); err != nil {
+					return sqltypes.Type{}, err
+				}
+				return sqltypes.Type{Kind: sqltypes.KindFloat}, nil
+			},
+			New: func([]sqltypes.Type) AggState { return &varState{sample: sample, stddev: stddev} },
+		})
+	}
+	variance("VAR_POP", false, false)
+	variance("VAR_SAMP", true, false)
+	variance("VARIANCE", true, false)
+	variance("STDDEV_POP", false, true)
+	variance("STDDEV_SAMP", true, true)
+	variance("STDDEV", true, true)
+	registerAgg(&Agg{
+		Name: "ANY_VALUE", MinArgs: 1, MaxArgs: 1, SkipNulls: true,
+		Ret: func(args []sqltypes.Type) (sqltypes.Type, error) { return args[0].Scalar(), nil },
+		New: func([]sqltypes.Type) AggState { return &anyValueState{} },
+	})
+	argExtreme := func(name string, wantLess bool) {
+		registerAgg(&Agg{
+			Name: name, MinArgs: 2, MaxArgs: 2, SkipNulls: true,
+			Ret: func(args []sqltypes.Type) (sqltypes.Type, error) { return args[0].Scalar(), nil },
+			New: func([]sqltypes.Type) AggState { return &argExtremeState{wantLess: wantLess} },
+		})
+	}
+	argExtreme("ARG_MAX", false)
+	argExtreme("ARG_MIN", true)
+}
+
+// CheckAggArity validates an aggregate call's argument count.
+func CheckAggArity(a *Agg, nargs int, star bool) error {
+	if star {
+		if !a.Star {
+			return fmt.Errorf("%s(*) is not valid", a.Name)
+		}
+		return nil
+	}
+	if nargs < a.MinArgs || nargs > a.MaxArgs {
+		return fmt.Errorf("%s expects %d to %d arguments, got %d", a.Name, a.MinArgs, a.MaxArgs, nargs)
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+// Package lexer tokenizes SQL text, including the measure extensions'
+// keywords (MEASURE, AT, VISIBLE, CURRENT). AGGREGATE and EVAL lex as
+// ordinary identifiers and are recognized as functions by the parser.
+// Keywords are recognized case-insensitively; identifiers preserve their
+// original spelling and may be double-quoted to escape keywords.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Kind classifies a token.
+type Kind uint8
+
+const (
+	// EOF marks the end of input.
+	EOF Kind = iota
+	// Ident is an identifier (possibly quoted).
+	Ident
+	// Keyword is a reserved or contextual SQL keyword, normalized upper-case.
+	Keyword
+	// Number is an integer or decimal literal.
+	Number
+	// String is a single-quoted string literal (value has quotes removed
+	// and doubled quotes collapsed).
+	String
+	// Op is an operator or punctuation token.
+	Op
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of input"
+	case Ident:
+		return "identifier"
+	case Keyword:
+		return "keyword"
+	case Number:
+		return "number"
+	case String:
+		return "string"
+	case Op:
+		return "operator"
+	default:
+		return "unknown"
+	}
+}
+
+// Token is a lexical token. Text is the normalized token text: upper-case
+// for keywords, verbatim for identifiers and literals, the operator symbol
+// for operators.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  int // byte offset in the input
+}
+
+// keywords lists every word the parser treats as a keyword. Contextual
+// keywords (like MEASURE or AT) are included; the parser accepts them as
+// identifiers where the grammar allows.
+var keywords = map[string]bool{}
+
+func init() {
+	for _, w := range []string{
+		"ALL", "AND", "AS", "ASC", "AT", "BETWEEN", "BY", "CASE", "CAST",
+		"CREATE", "CROSS", "CUBE", "CURRENT", "DESC", "DISTINCT", "DROP",
+		"ELSE", "END", "EXCEPT", "EXISTS", "FALSE", "FILTER", "FIRST",
+		"FOLLOWING", "FROM", "FULL", "GROUP", "GROUPING", "HAVING", "IN",
+		"INNER", "INSERT", "INTERSECT", "INTO", "IS", "JOIN", "LAST",
+		"LEFT", "LIKE", "LIMIT", "MEASURE", "NATURAL", "NOT", "NULL",
+		"NULLS", "OFFSET", "ON", "OR", "ORDER", "OUTER", "OVER",
+		"PARTITION", "PRECEDING", "QUALIFY", "RANGE", "REPLACE", "RIGHT", "ROLLUP",
+		"ROW", "ROWS", "SELECT", "SET", "SETS", "TABLE", "THEN", "TRUE",
+		"UNBOUNDED", "UNION", "USING", "VALUES", "VIEW", "VISIBLE", "WHEN",
+		"WHERE", "WITH", "WITHIN", "DATE", "EXPLAIN", "EXPAND",
+	} {
+		keywords[w] = true
+	}
+}
+
+// IsKeyword reports whether the upper-cased word is a keyword.
+func IsKeyword(word string) bool { return keywords[strings.ToUpper(word)] }
+
+// Lexer scans SQL text into tokens.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer { return &Lexer{src: src} }
+
+// Tokenize scans the entire input, returning all tokens followed by an EOF
+// token, or a lexical error annotated with its byte offset.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		return l.scanString()
+	case c == '"':
+		return l.scanQuotedIdent()
+	case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		return l.scanNumber()
+	case isIdentStart(rune(c)) || c >= utf8.RuneSelf:
+		return l.scanWord()
+	default:
+		return l.scanOp()
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) scanString() (Token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: String, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("unterminated string literal at offset %d", start)
+}
+
+func (l *Lexer) scanQuotedIdent() (Token, error) {
+	start := l.pos
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+				sb.WriteByte('"')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: Ident, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("unterminated quoted identifier at offset %d", start)
+}
+
+func (l *Lexer) scanNumber() (Token, error) {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			return Token{Kind: Number, Text: l.src[start:l.pos], Pos: start}, nil
+		}
+	}
+	return Token{Kind: Number, Text: l.src[start:l.pos], Pos: start}, nil
+}
+
+func (l *Lexer) scanWord() (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += size
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		return Token{Kind: Keyword, Text: upper, Pos: start}, nil
+	}
+	return Token{Kind: Ident, Text: word, Pos: start}, nil
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{"<>", "<=", ">=", "!=", "||", "->"}
+
+func (l *Lexer) scanOp() (Token, error) {
+	start := l.pos
+	rest := l.src[l.pos:]
+	for _, op := range multiOps {
+		if strings.HasPrefix(rest, op) {
+			l.pos += len(op)
+			text := op
+			if text == "!=" {
+				text = "<>"
+			}
+			return Token{Kind: Op, Text: text, Pos: start}, nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '+', '-', '*', '/', '%', '<', '>', '=', ';', '.':
+		l.pos++
+		return Token{Kind: Op, Text: string(c), Pos: start}, nil
+	default:
+		return Token{}, fmt.Errorf("unexpected character %q at offset %d", c, start)
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

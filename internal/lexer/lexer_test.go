@@ -1,0 +1,144 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func texts(toks []Token) string {
+	parts := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.Kind == EOF {
+			break
+		}
+		parts = append(parts, t.Text)
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks, err := Tokenize("SELECT prodName, SUM(revenue) AS MEASURE sumRevenue FROM Orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT prodName , SUM ( revenue ) AS MEASURE sumRevenue FROM Orders"
+	if got := texts(toks); got != want {
+		t.Errorf("got %q\nwant %q", got, want)
+	}
+	// Keywords normalized, identifiers preserved.
+	if toks[0].Kind != Keyword || toks[1].Kind != Ident || toks[1].Text != "prodName" {
+		t.Errorf("unexpected token kinds: %v", kinds(toks))
+	}
+}
+
+func TestKeywordCaseInsensitive(t *testing.T) {
+	toks, err := Tokenize("select At aggregate visible")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "SELECT" || toks[1].Text != "AT" || toks[3].Text != "VISIBLE" {
+		t.Errorf("keywords not normalized: %v", toks)
+	}
+	// AGGREGATE is not reserved; it lexes as an identifier (function name).
+	if toks[2].Kind != Ident {
+		t.Errorf("AGGREGATE should lex as identifier, got %v", toks[2])
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	toks, err := Tokenize("'Bob' 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "Bob" || toks[1].Text != "it's" {
+		t.Errorf("string values: %q %q", toks[0].Text, toks[1].Text)
+	}
+	if _, err := Tokenize("'unterminated"); err == nil {
+		t.Error("expected error for unterminated string")
+	}
+}
+
+func TestQuotedIdent(t *testing.T) {
+	toks, err := Tokenize(`"Group" "a""b"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != Ident || toks[0].Text != "Group" {
+		t.Errorf("quoted keyword should be an identifier: %v", toks[0])
+	}
+	if toks[1].Text != `a"b` {
+		t.Errorf("doubled quote: %q", toks[1].Text)
+	}
+	if _, err := Tokenize(`"oops`); err == nil {
+		t.Error("expected error for unterminated quoted identifier")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := Tokenize("1 2.5 .5 1e3 1.5E-2 2024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "2.5", ".5", "1e3", "1.5E-2", "2024"}
+	for i, w := range want {
+		if toks[i].Kind != Number || toks[i].Text != w {
+			t.Errorf("tok %d = %v, want number %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks, err := Tokenize("a <> b != c <= d >= e || f -> g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(toks)
+	want := "a <> b <> c <= d >= e || f -> g"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, err := Tokenize("SELECT -- line comment\n 1 /* block\ncomment */ + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := texts(toks); got != "SELECT 1 + 2" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("SELECT x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[1].Pos != 7 {
+		t.Errorf("positions: %d %d", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestBadCharacter(t *testing.T) {
+	if _, err := Tokenize("SELECT ~x"); err == nil {
+		t.Error("expected error for unexpected character")
+	}
+}
+
+func TestUnicodeIdent(t *testing.T) {
+	toks, err := Tokenize("sélect_été")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != Ident || toks[0].Text != "sélect_été" {
+		t.Errorf("unicode ident: %v", toks[0])
+	}
+}

@@ -1,0 +1,101 @@
+// Package optimizer applies rule-based rewrites to logical plans. Each
+// rule can be switched off independently, which the benchmark harness
+// uses for ablations of the paper's execution-strategy claims (§5.1,
+// §6.4).
+package optimizer
+
+import (
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// Options selects which rules run.
+type Options struct {
+	// FoldConstants evaluates constant scalar subexpressions at plan time.
+	FoldConstants bool
+	// MemoizeSubqueries keeps the Memo flag on correlated subqueries
+	// (the localized self-join strategy). When false the flag is
+	// stripped, forcing naive per-row re-evaluation.
+	MemoizeSubqueries bool
+	// InlineMeasures rewrites a measure subquery into plain aggregate
+	// calls of the enclosing Aggregate when the evaluation context is
+	// exactly the group partition (paper §6.4 "in simple cases it may be
+	// valid to inline the measure definition").
+	InlineMeasures bool
+	// WinMagic rewrites correlated scalar aggregate subqueries over the
+	// outer query's own relation into window aggregates (paper §5.1;
+	// Zuzarte et al. 2003). See winmagic.go for the soundness guards.
+	WinMagic bool
+	// PushDownFilters moves filter conjuncts below projections and into
+	// the sides of inner joins.
+	PushDownFilters bool
+}
+
+// DefaultOptions enables every rule.
+func DefaultOptions() Options {
+	return Options{
+		FoldConstants:     true,
+		MemoizeSubqueries: true,
+		InlineMeasures:    true,
+		WinMagic:          true,
+		PushDownFilters:   true,
+	}
+}
+
+// Optimize rewrites the plan according to opts. (InlineMeasures is
+// consumed by the binder, which has the semantic information the rule
+// needs; it is carried here so one options struct controls the whole
+// strategy surface.)
+func Optimize(n plan.Node, opts Options) plan.Node {
+	if opts.WinMagic {
+		n = winMagic(n)
+	}
+	if opts.PushDownFilters {
+		n = pushDown(n)
+	}
+	if opts.FoldConstants {
+		n = plan.TransformNodeExprs(n, func(e plan.Expr, _ int) plan.Expr {
+			return foldConstant(e)
+		})
+	}
+	if !opts.MemoizeSubqueries {
+		n = plan.TransformNodeExprs(n, func(e plan.Expr, _ int) plan.Expr {
+			if sq, ok := e.(*plan.Subquery); ok && sq.Memo {
+				c := *sq
+				c.Memo = false
+				return &c
+			}
+			return e
+		})
+	}
+	return n
+}
+
+// foldConstant evaluates calls whose arguments are all literals. It is
+// applied bottom-up by TransformNodeExprs, so nested constant trees
+// collapse fully.
+func foldConstant(e plan.Expr) plan.Expr {
+	call, ok := e.(*plan.Call)
+	if !ok {
+		return e
+	}
+	for _, a := range call.Args {
+		if _, isLit := a.(*plan.Lit); !isLit {
+			return e
+		}
+	}
+	rows, err := exec.Run(&plan.Project{
+		Input: &plan.Values{Rows: [][]plan.Expr{{}}, Sch: &plan.Schema{}},
+		Exprs: []plan.NamedExpr{{Expr: call, Col: plan.Col{Name: "c", Typ: call.Typ}}},
+		Sch:   &plan.Schema{Cols: []plan.Col{{Name: "c", Typ: call.Typ}}},
+	}, exec.DefaultSettings())
+	if err != nil || len(rows) != 1 {
+		return e
+	}
+	v := rows[0][0]
+	if v.K == sqltypes.KindUnknown && !v.Null {
+		return e
+	}
+	return &plan.Lit{Val: v}
+}

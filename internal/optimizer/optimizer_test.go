@@ -1,0 +1,154 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+func intT() sqltypes.Type { return sqltypes.Type{Kind: sqltypes.KindInt} }
+
+func lit(i int64) *plan.Lit { return &plan.Lit{Val: sqltypes.NewInt(i)} }
+
+func TestConstantFolding(t *testing.T) {
+	// (1 + 2) * 3 folds to 9; a column reference blocks folding above it.
+	inner := &plan.Call{Name: "+", Args: []plan.Expr{lit(1), lit(2)}, Typ: intT()}
+	outer := &plan.Call{Name: "*", Args: []plan.Expr{inner, lit(3)}, Typ: intT()}
+	node := &plan.Filter{
+		Input: &plan.Values{Sch: &plan.Schema{}},
+		Pred: &plan.Call{Name: "=", Typ: sqltypes.Type{Kind: sqltypes.KindBool},
+			Args: []plan.Expr{outer, &plan.ColRef{Index: 0, Name: "x", Typ: intT()}}},
+	}
+	opt := Optimize(node, Options{FoldConstants: true, MemoizeSubqueries: true})
+	pred := opt.(*plan.Filter).Pred.String()
+	if !strings.Contains(pred, "9") || strings.Contains(pred, "+") {
+		t.Errorf("constant not folded: %s", pred)
+	}
+	if !strings.Contains(pred, "$0:x") {
+		t.Errorf("column lost: %s", pred)
+	}
+
+	// Folding off leaves the tree alone.
+	raw := Optimize(node, Options{FoldConstants: false, MemoizeSubqueries: true})
+	if !strings.Contains(raw.(*plan.Filter).Pred.String(), "+") {
+		t.Error("folding ran despite being disabled")
+	}
+}
+
+func TestFoldingDoesNotHideErrors(t *testing.T) {
+	// SQRT(-1) errors at runtime; folding must leave it in place rather
+	// than panic or swallow the expression.
+	bad := &plan.Call{Name: "SQRT", Args: []plan.Expr{lit(-1)}, Typ: sqltypes.Type{Kind: sqltypes.KindFloat}}
+	node := &plan.Filter{Input: &plan.Values{Sch: &plan.Schema{}},
+		Pred: &plan.Call{Name: ">", Typ: sqltypes.Type{Kind: sqltypes.KindBool}, Args: []plan.Expr{bad, lit(0)}}}
+	opt := Optimize(node, DefaultOptions())
+	if !strings.Contains(opt.(*plan.Filter).Pred.String(), "SQRT") {
+		t.Error("failed fold should keep the original call")
+	}
+}
+
+func TestMemoStripping(t *testing.T) {
+	sub := &plan.Subquery{
+		Plan: &plan.Values{Sch: &plan.Schema{Cols: []plan.Col{{Name: "v", Typ: intT()}}}},
+		Mode: plan.SubScalar,
+		Typ:  intT(),
+		Memo: true,
+	}
+	node := &plan.Filter{
+		Input: &plan.Values{Sch: &plan.Schema{}},
+		Pred: &plan.Call{Name: "=", Typ: sqltypes.Type{Kind: sqltypes.KindBool},
+			Args: []plan.Expr{sub, lit(1)}},
+	}
+	stripped := Optimize(node, Options{FoldConstants: false, MemoizeSubqueries: false})
+	found := false
+	plan.WalkExprs(stripped.(*plan.Filter).Pred, func(e plan.Expr) {
+		if sq, ok := e.(*plan.Subquery); ok {
+			found = true
+			if sq.Memo {
+				t.Error("memo flag should be stripped")
+			}
+		}
+	})
+	if !found {
+		t.Fatal("subquery lost")
+	}
+	// And the original is untouched (copy-on-write).
+	if !sub.Memo {
+		t.Error("original plan mutated")
+	}
+}
+
+func TestPushDownThroughProject(t *testing.T) {
+	base := &plan.Values{Sch: &plan.Schema{Cols: []plan.Col{{Name: "a", Typ: intT()}}}}
+	proj := &plan.Project{
+		Input: base,
+		Exprs: []plan.NamedExpr{{
+			Expr: &plan.Call{Name: "+", Args: []plan.Expr{&plan.ColRef{Index: 0, Name: "a", Typ: intT()}, lit(1)}, Typ: intT()},
+			Col:  plan.Col{Name: "b", Typ: intT()},
+		}},
+		Sch: &plan.Schema{Cols: []plan.Col{{Name: "b", Typ: intT()}}},
+	}
+	f := &plan.Filter{Input: proj, Pred: &plan.Call{
+		Name: ">", Typ: sqltypes.Type{Kind: sqltypes.KindBool},
+		Args: []plan.Expr{&plan.ColRef{Index: 0, Name: "b", Typ: intT()}, lit(5)},
+	}}
+	out := Optimize(f, Options{PushDownFilters: true})
+	top, ok := out.(*plan.Project)
+	if !ok {
+		t.Fatalf("filter should sink below the projection, top is %T", out)
+	}
+	inner, ok := top.Input.(*plan.Filter)
+	if !ok {
+		t.Fatalf("missing pushed filter, got %T", top.Input)
+	}
+	if !strings.Contains(inner.Pred.String(), "+($0:a, 1)") {
+		t.Errorf("predicate not substituted: %s", inner.Pred)
+	}
+}
+
+func TestPushDownIntoInnerJoin(t *testing.T) {
+	mk := func(name string) *plan.Values {
+		return &plan.Values{Sch: &plan.Schema{Cols: []plan.Col{{Name: name, Typ: intT()}}}}
+	}
+	join := &plan.Join{
+		Kind: plan.JoinInner, Left: mk("l"), Right: mk("r"),
+		EquiLeft:  []plan.Expr{&plan.ColRef{Index: 0, Name: "l", Typ: intT()}},
+		EquiRight: []plan.Expr{&plan.ColRef{Index: 0, Name: "r", Typ: intT()}},
+		Sch:       &plan.Schema{Cols: []plan.Col{{Name: "l", Typ: intT()}, {Name: "r", Typ: intT()}}},
+	}
+	boolT := sqltypes.Type{Kind: sqltypes.KindBool}
+	pred := &plan.And{
+		L: &plan.Call{Name: ">", Typ: boolT, Args: []plan.Expr{&plan.ColRef{Index: 0, Name: "l", Typ: intT()}, lit(1)}},
+		R: &plan.Call{Name: "<", Typ: boolT, Args: []plan.Expr{&plan.ColRef{Index: 1, Name: "r", Typ: intT()}, lit(9)}},
+	}
+	out := Optimize(&plan.Filter{Input: join, Pred: pred}, Options{PushDownFilters: true})
+	j, ok := out.(*plan.Join)
+	if !ok {
+		t.Fatalf("both conjuncts should push, leaving the join on top; got %T", out)
+	}
+	lf, ok := j.Left.(*plan.Filter)
+	if !ok || !strings.Contains(lf.Pred.String(), "$0:l") {
+		t.Errorf("left side filter: %v", j.Left)
+	}
+	rf, ok := j.Right.(*plan.Filter)
+	if !ok || !strings.Contains(rf.Pred.String(), "$0:r") {
+		t.Errorf("right side filter should rebase the column: %v", j.Right)
+	}
+}
+
+func TestPushDownRespectsOuterJoin(t *testing.T) {
+	mk := func(name string) *plan.Values {
+		return &plan.Values{Sch: &plan.Schema{Cols: []plan.Col{{Name: name, Typ: intT()}}}}
+	}
+	join := &plan.Join{
+		Kind: plan.JoinLeft, Left: mk("l"), Right: mk("r"),
+		Sch: &plan.Schema{Cols: []plan.Col{{Name: "l", Typ: intT()}, {Name: "r", Typ: intT()}}},
+	}
+	pred := &plan.IsNull{X: &plan.ColRef{Index: 1, Name: "r", Typ: intT()}}
+	out := Optimize(&plan.Filter{Input: join, Pred: pred}, Options{PushDownFilters: true})
+	if _, ok := out.(*plan.Filter); !ok {
+		t.Fatalf("filter over LEFT JOIN must stay put, got %T", out)
+	}
+}

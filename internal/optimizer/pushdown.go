@@ -1,0 +1,165 @@
+package optimizer
+
+import (
+	"github.com/measures-sql/msql/internal/plan"
+)
+
+// Predicate pushdown: move Filter conjuncts toward the data. Three
+// rewrites, applied to fixpoint:
+//
+//	Filter(Filter(X))          → Filter(X) with merged predicate
+//	Filter(Project(X))         → Project(Filter'(X)) when every column the
+//	                             predicate reads maps through projection
+//	                             expressions (substituted in)
+//	Filter(InnerJoin(L, R))    → conjuncts that read only one side move
+//	                             into that side
+//
+// Outer joins keep their filters (null-extended rows make pushing
+// unsound in general), and predicates containing subqueries stay put to
+// avoid duplicating their evaluation.
+func pushDown(n plan.Node) plan.Node {
+	switch n := n.(type) {
+	case *plan.Filter:
+		return pushFilter(n)
+	default:
+		return copyWithChildren(n, pushDown)
+	}
+}
+
+func pushFilter(f *plan.Filter) plan.Node {
+	input := pushDown(f.Input)
+	pred := f.Pred
+
+	for {
+		switch in := input.(type) {
+		case *plan.Filter:
+			pred = &plan.And{L: in.Pred, R: pred}
+			input = in.Input
+			continue
+
+		case *plan.Project:
+			sub, ok := substituteThroughProject(pred, in)
+			if !ok {
+				return &plan.Filter{Input: input, Pred: pred}
+			}
+			inner := pushFilter(&plan.Filter{Input: in.Input, Pred: sub})
+			c := *in
+			c.Input = inner
+			return &c
+
+		case *plan.Join:
+			if in.Kind != plan.JoinInner && in.Kind != plan.JoinCross {
+				return &plan.Filter{Input: input, Pred: pred}
+			}
+			leftWidth := len(in.Left.Schema().Cols)
+			totalWidth := leftWidth + len(in.Right.Schema().Cols)
+			var leftPreds, rightPreds, keep []plan.Expr
+			for _, conj := range splitConj(pred) {
+				side, pushable := conjunctSide(conj, leftWidth, totalWidth)
+				switch {
+				case !pushable:
+					keep = append(keep, conj)
+				case side == 0:
+					leftPreds = append(leftPreds, conj)
+				case side == 1:
+					rightPreds = append(rightPreds, shiftToRight(conj, leftWidth))
+				default:
+					keep = append(keep, conj)
+				}
+			}
+			if len(leftPreds) == 0 && len(rightPreds) == 0 {
+				return &plan.Filter{Input: input, Pred: pred}
+			}
+			c := *in
+			if len(leftPreds) > 0 {
+				c.Left = pushFilter(&plan.Filter{Input: in.Left, Pred: conjoin(leftPreds)})
+			}
+			if len(rightPreds) > 0 {
+				c.Right = pushFilter(&plan.Filter{Input: in.Right, Pred: conjoin(rightPreds)})
+			}
+			if len(keep) == 0 {
+				return &c
+			}
+			return &plan.Filter{Input: &c, Pred: conjoin(keep)}
+
+		default:
+			return &plan.Filter{Input: input, Pred: pred}
+		}
+	}
+}
+
+func conjoin(preds []plan.Expr) plan.Expr {
+	out := preds[0]
+	for _, p := range preds[1:] {
+		out = &plan.And{L: out, R: p}
+	}
+	return out
+}
+
+// substituteThroughProject rewrites pred (over the projection's output)
+// to read the projection's input. Fails when the predicate contains a
+// subquery (avoid re-evaluating it in a larger row set... it is the same
+// row count, but the correlation memo keys would change shape) or reads
+// a projected expression that is itself a subquery.
+func substituteThroughProject(pred plan.Expr, proj *plan.Project) (plan.Expr, bool) {
+	ok := true
+	plan.WalkExprs(pred, func(e plan.Expr) {
+		if _, is := e.(*plan.Subquery); is {
+			ok = false
+		}
+	})
+	if !ok {
+		return nil, false
+	}
+	out := plan.TransformExpr(pred, func(e plan.Expr) plan.Expr {
+		cr, is := e.(*plan.ColRef)
+		if !is {
+			return e
+		}
+		if cr.Index < 0 || cr.Index >= len(proj.Exprs) {
+			ok = false
+			return e
+		}
+		repl := proj.Exprs[cr.Index].Expr
+		if _, isSub := repl.(*plan.Subquery); isSub {
+			ok = false
+		}
+		return repl
+	})
+	if !ok {
+		return nil, false
+	}
+	return out, true
+}
+
+// conjunctSide classifies which join side a conjunct reads: 0 left,
+// 1 right, -1 both/none. Subqueries make it non-pushable (their memo
+// dependencies are computed against the full row).
+func conjunctSide(e plan.Expr, leftWidth, totalWidth int) (side int, pushable bool) {
+	sawLeft, sawRight, sawSub := false, false, false
+	plan.WalkExprs(e, func(x plan.Expr) {
+		switch x := x.(type) {
+		case *plan.ColRef:
+			if x.Index < leftWidth {
+				sawLeft = true
+			} else if x.Index < totalWidth {
+				sawRight = true
+			}
+		case *plan.Subquery:
+			sawSub = true
+		}
+	})
+	if sawSub || sawLeft == sawRight {
+		return -1, false
+	}
+	if sawLeft {
+		return 0, true
+	}
+	return 1, true
+}
+
+func shiftToRight(e plan.Expr, leftWidth int) plan.Expr {
+	return plan.SubstituteCols(e, func(c *plan.ColRef) (plan.Expr, bool) {
+		return &plan.ColRef{Index: c.Index - leftWidth, Name: c.Name, Typ: c.Typ}, true
+	})
+}

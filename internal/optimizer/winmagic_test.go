@@ -1,0 +1,151 @@
+package optimizer_test
+
+// WinMagic is tested end-to-end through the engine: the rewrite must (a)
+// fire on the paper's Listing 12 shapes, (b) preserve results exactly —
+// including NULL correlation keys, where PARTITION BY and `=` differ —
+// and (c) bail out on shapes it cannot prove safe.
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/measures-sql/msql/internal/datagen"
+	"github.com/measures-sql/msql/msql"
+)
+
+func loadNullable(t testing.TB) *msql.DB {
+	t.Helper()
+	db := msql.Open()
+	db.MustExec(datagen.SetupSQL)
+	ds := datagen.Generate(datagen.Config{
+		Seed: 21, Customers: 20, Products: 5, Orders: 800, Years: 2,
+		NullProductFraction: 0.1,
+	})
+	if err := db.InsertRows("Customers", ds.Customers); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertRows("Orders", ds.Orders); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func resultSig(t *testing.T, db *msql.DB, sql string) string {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("%v\nSQL: %s", err, sql)
+	}
+	var sb strings.Builder
+	for _, row := range res.Rows {
+		for _, v := range row {
+			sb.WriteString(v.String())
+			sb.WriteByte('|')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+const correlatedAboveAvg = `
+	SELECT o.prodName, o.orderDate, o.revenue
+	FROM Orders AS o
+	WHERE o.revenue > (SELECT AVG(revenue) FROM Orders AS o1
+	                   WHERE o1.prodName = o.prodName)
+	ORDER BY 1, 2, 3`
+
+func TestWinMagicFires(t *testing.T) {
+	db := loadNullable(t)
+	out, err := db.Explain(correlatedAboveAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Window") {
+		t.Fatalf("WinMagic did not fire:\n%s", out)
+	}
+	if strings.Contains(out, "subquery") {
+		t.Fatalf("subquery survived the rewrite:\n%s", out)
+	}
+}
+
+// The critical soundness case: with NULL correlation keys, the rewritten
+// query must match the naive evaluation (NULL-key rows are dropped by
+// `=` correlation even though PARTITION BY would group them).
+func TestWinMagicNullKeySoundness(t *testing.T) {
+	fast := loadNullable(t)
+	slow := loadNullable(t)
+	slow.SetStrategy(msql.StrategyMemo) // WinMagic off, semantics identical to naive
+	if resultSig(t, fast, correlatedAboveAvg) != resultSig(t, slow, correlatedAboveAvg) {
+		t.Error("WinMagic changed results under NULL correlation keys")
+	}
+	// COUNT over the empty set is 0, not NULL — the guard must use the
+	// aggregate's own empty value.
+	countQ := `
+		SELECT o.prodName, o.revenue
+		FROM Orders AS o
+		WHERE (SELECT COUNT(*) FROM Orders AS o1 WHERE o1.prodName = o.prodName) >= 0
+		  AND o.revenue > 95
+		ORDER BY 1, 2`
+	if resultSig(t, fast, countQ) != resultSig(t, slow, countQ) {
+		t.Error("COUNT empty-value guard is wrong")
+	}
+}
+
+// Measure row-site evaluation (Listing 12 query 4) rewrites too: the
+// measure's base aligns with the derived table through the projection.
+func TestWinMagicOnMeasureForm(t *testing.T) {
+	db := loadNullable(t)
+	measureForm := `
+		SELECT o.prodName, o.orderDate, o.revenue
+		FROM (SELECT prodName, orderDate, revenue,
+		             AVG(revenue) AS MEASURE avgRevenue
+		      FROM Orders) AS o
+		WHERE o.revenue > o.avgRevenue AT (WHERE prodName = o.prodName)
+		ORDER BY 1, 2, 3`
+	out, err := db.Explain(measureForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Window") {
+		t.Fatalf("measure form did not rewrite:\n%s", out)
+	}
+	if resultSig(t, db, measureForm) != resultSig(t, db, correlatedAboveAvg) {
+		t.Error("measure form disagrees with correlated form")
+	}
+}
+
+// Shapes the rule must NOT touch.
+func TestWinMagicBailsOut(t *testing.T) {
+	db := loadNullable(t)
+	bails := []string{
+		// DISTINCT aggregate.
+		`SELECT o.revenue FROM Orders AS o
+		 WHERE o.revenue > (SELECT COUNT(DISTINCT revenue) FROM Orders AS o1
+		                    WHERE o1.prodName = o.prodName)`,
+		// Extra non-correlation predicate inside the subquery.
+		`SELECT o.revenue FROM Orders AS o
+		 WHERE o.revenue > (SELECT AVG(revenue) FROM Orders AS o1
+		                    WHERE o1.prodName = o.prodName AND o1.cost > 10)`,
+		// Different relation.
+		`SELECT o.revenue FROM Orders AS o
+		 WHERE o.revenue > (SELECT AVG(custAge) FROM Customers AS c
+		                    WHERE c.custName = o.custName)`,
+		// Inequality correlation.
+		`SELECT o.revenue FROM Orders AS o
+		 WHERE o.revenue > (SELECT AVG(revenue) FROM Orders AS o1
+		                    WHERE o1.revenue < o.revenue)`,
+	}
+	for _, sql := range bails {
+		out, err := db.Explain(sql)
+		if err != nil {
+			t.Fatalf("%v\nSQL: %s", err, sql)
+		}
+		if !strings.Contains(out, "subquery") {
+			t.Errorf("rule should have bailed out:\n%s\nSQL: %s", out, sql)
+		}
+		// And the query still runs.
+		if _, err := db.Query(sql); err != nil {
+			t.Errorf("bailed query fails to run: %v", err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package paperdata loads the paper's example datasets — Table 1
+// (Customers) and Table 2 (Orders) — and the views its listings define,
+// so tests, examples and the experiment harness all run against exactly
+// the data the paper prints.
+package paperdata
+
+// Schema creates the Customers and Orders tables with the paper's rows.
+const Schema = `
+CREATE TABLE Customers (custName VARCHAR, custAge INTEGER);
+INSERT INTO Customers VALUES
+  ('Alice', 23),
+  ('Bob', 41),
+  ('Celia', 17);
+
+CREATE TABLE Orders (prodName VARCHAR, custName VARCHAR, orderDate DATE,
+                     revenue INTEGER, cost INTEGER);
+INSERT INTO Orders VALUES
+  ('Happy', 'Alice', DATE '2023-11-28', 6, 4),
+  ('Acme',  'Bob',   DATE '2023-11-27', 5, 2),
+  ('Happy', 'Alice', DATE '2024-11-28', 7, 4),
+  ('Whizz', 'Celia', DATE '2023-11-25', 3, 1),
+  ('Happy', 'Bob',   DATE '2022-11-27', 4, 1);
+`
+
+// Views creates the views defined in the paper's listings.
+const Views = `
+CREATE VIEW SummarizedOrders AS
+SELECT prodName, orderDate,
+       (SUM(revenue) - SUM(cost)) / SUM(revenue) AS profitMargin
+FROM Orders
+GROUP BY prodName, orderDate;
+
+CREATE VIEW EnhancedOrders AS
+SELECT orderDate, prodName,
+       (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin
+FROM Orders;
+
+CREATE VIEW OrdersWithRevenue AS
+SELECT *, SUM(revenue) AS MEASURE sumRevenue
+FROM Orders;
+`
+
+// All is Schema followed by Views.
+const All = Schema + Views

@@ -1,0 +1,37 @@
+package paperdata_test
+
+import (
+	"testing"
+
+	"github.com/measures-sql/msql/internal/engine"
+	"github.com/measures-sql/msql/internal/paperdata"
+)
+
+// The paper's datasets and views must load and match Tables 1-2 exactly.
+func TestAllLoads(t *testing.T) {
+	s := engine.New()
+	if _, err := s.Execute(paperdata.All); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(`SELECT COUNT(*), SUM(revenue), SUM(cost) FROM Orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row[0].I != 5 || row[1].I != 25 || row[2].I != 12 {
+		t.Errorf("Orders totals: %v (want 5 rows, revenue 25, cost 12)", row)
+	}
+	res, err = s.Query(`SELECT SUM(custAge) FROM Customers`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 81 {
+		t.Errorf("Customers age sum: %v (want 23+41+17=81)", res.Rows[0][0])
+	}
+	// All three views exist and bind.
+	for _, v := range []string{"SummarizedOrders", "EnhancedOrders", "OrdersWithRevenue"} {
+		if _, err := s.Query(`SELECT COUNT(*) FROM ` + v); err != nil {
+			t.Errorf("view %s: %v", v, err)
+		}
+	}
+}

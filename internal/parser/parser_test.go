@@ -1,0 +1,539 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/measures-sql/msql/internal/ast"
+)
+
+func mustQuery(t *testing.T, src string) *ast.Query {
+	t.Helper()
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+func sel(t *testing.T, q *ast.Query) *ast.Select {
+	t.Helper()
+	s, ok := q.Body.(*ast.Select)
+	if !ok {
+		t.Fatalf("body is %T, want *ast.Select", q.Body)
+	}
+	return s
+}
+
+func TestSimpleSelect(t *testing.T) {
+	q := mustQuery(t, "SELECT prodName, COUNT(*) AS c FROM Orders GROUP BY prodName")
+	s := sel(t, q)
+	if len(s.Items) != 2 {
+		t.Fatalf("items = %d", len(s.Items))
+	}
+	if s.Items[1].Alias != "c" {
+		t.Errorf("alias = %q", s.Items[1].Alias)
+	}
+	fc, ok := s.Items[1].Expr.(*ast.FuncCall)
+	if !ok || !fc.Star || fc.Name != "COUNT" {
+		t.Errorf("COUNT(*) parsed as %#v", s.Items[1].Expr)
+	}
+	if len(s.GroupBy) != 1 || s.GroupBy[0].Kind != ast.GroupExpr {
+		t.Errorf("group by: %#v", s.GroupBy)
+	}
+}
+
+func TestMeasureSyntax(t *testing.T) {
+	q := mustQuery(t, `SELECT orderDate, prodName,
+		(SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin
+		FROM Orders`)
+	s := sel(t, q)
+	if !s.Items[2].Measure || s.Items[2].Alias != "profitMargin" {
+		t.Errorf("AS MEASURE not parsed: %+v", s.Items[2])
+	}
+	// Non-measure aliases must not set the flag.
+	if s.Items[0].Measure {
+		t.Error("orderDate should not be a measure")
+	}
+}
+
+func TestAtOperatorPrecedence(t *testing.T) {
+	// AT binds tighter than '/': the paper's proportion-of-total query.
+	e, err := ParseExpr("sumRevenue / sumRevenue AT (ALL prodName)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, ok := e.(*ast.Binary)
+	if !ok || bin.Op != "/" {
+		t.Fatalf("top is %#v, want division", e)
+	}
+	at, ok := bin.R.(*ast.At)
+	if !ok {
+		t.Fatalf("rhs is %T, want *ast.At", bin.R)
+	}
+	all, ok := at.Mods[0].(*ast.AtAll)
+	if !ok || len(all.Dims) != 1 {
+		t.Fatalf("modifier: %#v", at.Mods[0])
+	}
+}
+
+func TestAtModifiers(t *testing.T) {
+	e, err := ParseExpr("m AT (ALL VISIBLE SET orderYear = CURRENT orderYear - 1 WHERE x > 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := e.(*ast.At)
+	if len(at.Mods) != 4 {
+		t.Fatalf("mods = %d: %#v", len(at.Mods), at.Mods)
+	}
+	if all := at.Mods[0].(*ast.AtAll); len(all.Dims) != 0 {
+		t.Errorf("bare ALL should have no dims, got %v", all.Dims)
+	}
+	if _, ok := at.Mods[1].(*ast.AtVisible); !ok {
+		t.Errorf("mods[1] = %#v", at.Mods[1])
+	}
+	set := at.Mods[2].(*ast.AtSet)
+	// The SET value is CURRENT orderYear - 1: binary minus with Current LHS.
+	bin, ok := set.Value.(*ast.Binary)
+	if !ok || bin.Op != "-" {
+		t.Fatalf("SET value = %#v", set.Value)
+	}
+	if _, ok := bin.L.(*ast.Current); !ok {
+		t.Errorf("expected CURRENT, got %#v", bin.L)
+	}
+	if _, ok := at.Mods[3].(*ast.AtWhere); !ok {
+		t.Errorf("mods[3] = %#v", at.Mods[3])
+	}
+}
+
+func TestAtAllMultipleDims(t *testing.T) {
+	e, err := ParseExpr("m AT (ALL a, b SET c = 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := e.(*ast.At)
+	all := at.Mods[0].(*ast.AtAll)
+	if len(all.Dims) != 2 {
+		t.Fatalf("dims = %#v", all.Dims)
+	}
+	if _, ok := at.Mods[1].(*ast.AtSet); !ok {
+		t.Fatalf("mods[1] = %#v", at.Mods[1])
+	}
+}
+
+func TestNestedAt(t *testing.T) {
+	e, err := ParseExpr("m AT (VISIBLE) AT (ALL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := e.(*ast.At)
+	if _, ok := outer.Mods[0].(*ast.AtAll); !ok {
+		t.Fatalf("outer mod = %#v", outer.Mods[0])
+	}
+	if _, ok := outer.X.(*ast.At); !ok {
+		t.Fatalf("inner = %#v", outer.X)
+	}
+}
+
+func TestRollup(t *testing.T) {
+	q := mustQuery(t, "SELECT a FROM t GROUP BY ROLLUP(a, b), c")
+	s := sel(t, q)
+	if s.GroupBy[0].Kind != ast.GroupRollup || len(s.GroupBy[0].Exprs) != 2 {
+		t.Errorf("rollup: %#v", s.GroupBy[0])
+	}
+	if s.GroupBy[1].Kind != ast.GroupExpr {
+		t.Errorf("second item: %#v", s.GroupBy[1])
+	}
+}
+
+func TestGroupingSets(t *testing.T) {
+	q := mustQuery(t, "SELECT a FROM t GROUP BY GROUPING SETS((a, b), (a), ())")
+	s := sel(t, q)
+	g := s.GroupBy[0]
+	if g.Kind != ast.GroupSets || len(g.Sets) != 3 {
+		t.Fatalf("sets: %#v", g)
+	}
+	if len(g.Sets[0]) != 2 || len(g.Sets[1]) != 1 || len(g.Sets[2]) != 0 {
+		t.Errorf("set sizes: %v %v %v", len(g.Sets[0]), len(g.Sets[1]), len(g.Sets[2]))
+	}
+}
+
+func TestJoins(t *testing.T) {
+	q := mustQuery(t, `SELECT * FROM Orders AS o
+		JOIN EnhancedCustomers AS c USING (custName)
+		LEFT JOIN x ON o.id = x.id`)
+	s := sel(t, q)
+	outer, ok := s.From.(*ast.JoinExpr)
+	if !ok || outer.Kind != ast.JoinLeft {
+		t.Fatalf("outer join: %#v", s.From)
+	}
+	inner, ok := outer.Left.(*ast.JoinExpr)
+	if !ok || inner.Kind != ast.JoinInner || len(inner.Using) != 1 || inner.Using[0] != "custName" {
+		t.Fatalf("inner join: %#v", outer.Left)
+	}
+}
+
+func TestSubqueries(t *testing.T) {
+	q := mustQuery(t, `SELECT (SELECT MAX(x) FROM t2), a
+		FROM (SELECT * FROM t3) AS d
+		WHERE EXISTS (SELECT 1 FROM t4) AND a IN (SELECT b FROM t5) AND c IN (1, 2)`)
+	s := sel(t, q)
+	if _, ok := s.Items[0].Expr.(*ast.ScalarSubquery); !ok {
+		t.Errorf("scalar subquery: %#v", s.Items[0].Expr)
+	}
+	if _, ok := s.From.(*ast.SubqueryTable); !ok {
+		t.Errorf("derived table: %#v", s.From)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	q := mustQuery(t, "SELECT a FROM t UNION ALL SELECT b FROM u INTERSECT SELECT c FROM v")
+	op, ok := q.Body.(*ast.SetOp)
+	if !ok || op.Op != "UNION" || !op.All {
+		t.Fatalf("top: %#v", q.Body)
+	}
+	// INTERSECT binds tighter: right side is the INTERSECT.
+	if r, ok := op.Right.(*ast.SetOp); !ok || r.Op != "INTERSECT" {
+		t.Fatalf("right: %#v", op.Right)
+	}
+}
+
+func TestWith(t *testing.T) {
+	q := mustQuery(t, `WITH EnhancedCustomers AS (
+		SELECT *, AVG(custAge) AS MEASURE avgAge FROM Customers)
+		SELECT * FROM EnhancedCustomers`)
+	if len(q.With) != 1 || q.With[0].Name != "EnhancedCustomers" {
+		t.Fatalf("with: %#v", q.With)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	e, err := ParseExpr("AVG(revenue) OVER (PARTITION BY prodName ORDER BY orderDate ROWS BETWEEN 1 PRECEDING AND CURRENT ROW)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := e.(*ast.FuncCall)
+	if fc.Over == nil || len(fc.Over.PartitionBy) != 1 || len(fc.Over.OrderBy) != 1 {
+		t.Fatalf("over: %#v", fc.Over)
+	}
+	if fc.Over.Frame == nil || fc.Over.Frame.Unit != "ROWS" || fc.Over.Frame.Start.Kind != ast.OffsetPreceding {
+		t.Fatalf("frame: %#v", fc.Over.Frame)
+	}
+}
+
+func TestFilterClause(t *testing.T) {
+	e, err := ParseExpr("SUM(x) FILTER (WHERE y > 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := e.(*ast.FuncCall)
+	if fc.Filter == nil {
+		t.Fatal("filter missing")
+	}
+}
+
+func TestIsPredicates(t *testing.T) {
+	e, err := ParseExpr("a IS NOT DISTINCT FROM b AND c IS NULL AND d IS NOT NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := e.(*ast.Binary)
+	if and.Op != "AND" {
+		t.Fatal("expected AND")
+	}
+}
+
+func TestBetweenInLike(t *testing.T) {
+	_, err := ParseExpr("a BETWEEN 1 AND 10 AND b NOT IN (1,2) AND c LIKE 'x%' AND d NOT LIKE 'y%' AND e NOT BETWEEN 2 AND 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaseExpr(t *testing.T) {
+	e, err := ParseExpr("CASE WHEN a > 1 THEN 'big' ELSE 'small' END")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.(*ast.Case)
+	if c.Operand != nil || len(c.Whens) != 1 || c.Else == nil {
+		t.Fatalf("case: %#v", c)
+	}
+	e, err = ParseExpr("CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = e.(*ast.Case)
+	if c.Operand == nil || len(c.Whens) != 2 || c.Else != nil {
+		t.Fatalf("simple case: %#v", c)
+	}
+}
+
+func TestDDL(t *testing.T) {
+	stmt, err := ParseStatement("CREATE TABLE Orders (prodName VARCHAR, revenue INTEGER, orderDate DATE)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*ast.CreateTable)
+	if len(ct.Cols) != 3 || ct.Cols[2].TypeName != "DATE" {
+		t.Fatalf("create table: %#v", ct)
+	}
+	stmt, err = ParseStatement("CREATE OR REPLACE VIEW v AS SELECT 1 AS x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := stmt.(*ast.CreateView)
+	if !cv.OrReplace || cv.Name != "v" {
+		t.Fatalf("create view: %#v", cv)
+	}
+	stmt, err = ParseStatement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*ast.Insert)
+	if len(ins.Rows) != 2 || len(ins.Columns) != 2 {
+		t.Fatalf("insert: %#v", ins)
+	}
+	if _, err := ParseStatement("DROP VIEW v"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseStatementsScript(t *testing.T) {
+	stmts, err := ParseStatements(`
+		CREATE TABLE t (a INTEGER);
+		INSERT INTO t VALUES (1);
+		SELECT * FROM t;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+}
+
+func TestDateLiteral(t *testing.T) {
+	e, err := ParseExpr("DATE '2023-11-28'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := e.(*ast.DateLit); !ok || d.Val != "2023-11-28" {
+		t.Fatalf("date literal: %#v", e)
+	}
+}
+
+func TestNegativeNumberFolding(t *testing.T) {
+	e, err := ParseExpr("-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := e.(*ast.NumberLit)
+	if !ok || !n.IsInt || n.Int != -5 {
+		t.Fatalf("got %#v", e)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a AT () FROM t",
+		"SELECT m AT (BOGUS) FROM t",
+		"CREATE NONSENSE x",
+		"SELECT a FROM t GROUP BY ROLLUP a",
+		"SELECT CASE END",
+		"INSERT INTO",
+	}
+	for _, src := range bad {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+	// Error messages carry position info.
+	_, err := ParseStatement("SELECT *\nFROM")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should mention line 2: %v", err)
+	}
+}
+
+func TestPaperListingsParse(t *testing.T) {
+	// Every query listing from the paper must parse.
+	listings := []string{
+		// Listing 1
+		`SELECT prodName, COUNT(*) AS c,
+		 (SUM(revenue) - SUM(cost)) / SUM(revenue) AS profitMargin
+		 FROM Orders GROUP BY prodName`,
+		// Listing 2
+		`CREATE VIEW SummarizedOrders AS
+		 SELECT prodName, orderDate,
+		 (SUM(revenue) - SUM(cost)) / SUM(revenue) AS profitMargin
+		 FROM Orders GROUP BY prodName, orderDate`,
+		// Listing 3
+		`CREATE VIEW EnhancedOrders AS
+		 SELECT orderDate, prodName,
+		 (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin
+		 FROM Orders`,
+		`SELECT prodName, AGGREGATE(profitMargin) FROM EnhancedOrders GROUP BY prodName`,
+		// Listing 5
+		`SELECT prodName,
+		 (SELECT (SUM(i.revenue) - SUM(i.cost)) / SUM(i.revenue)
+		  FROM Orders AS i WHERE i.prodName = o.prodName),
+		 COUNT(*)
+		 FROM Orders AS o GROUP BY prodName`,
+		// Listing 6
+		`SELECT prodName, sumRevenue,
+		 sumRevenue / sumRevenue AT (ALL prodName) AS proportionOfTotalRevenue
+		 FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders) AS o
+		 GROUP BY prodName`,
+		// Listing 7
+		`SELECT prodName, orderYear, profitMargin,
+		 profitMargin AT (SET orderYear = CURRENT orderYear - 1) AS profitMarginLastYear
+		 FROM (SELECT *,
+		   (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin,
+		   YEAR(orderDate) AS orderYear
+		   FROM Orders)
+		 WHERE orderYear = 2024
+		 GROUP BY prodName, orderYear`,
+		// Listing 8
+		`SELECT o.prodName, COUNT(*) AS c,
+		 AGGREGATE(o.sumRevenue) AS rAgg,
+		 o.sumRevenue AT (VISIBLE) AS rViz,
+		 o.sumRevenue AS r
+		 FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders) AS o
+		 WHERE o.custName <> 'Bob'
+		 GROUP BY ROLLUP(o.prodName)`,
+		// Listing 9
+		`WITH EnhancedCustomers AS (
+		   SELECT *, AVG(custAge) AS MEASURE avgAge FROM Customers)
+		 SELECT o.prodName, COUNT(*) AS orderCount,
+		 AVG(c.custAge) AS weightedAvgAge,
+		 c.avgAge AS avgAge,
+		 c.avgAge AT (VISIBLE) AS visibleAvgAge
+		 FROM Orders AS o
+		 JOIN EnhancedCustomers AS c USING (custName)
+		 WHERE c.custAge >= 18
+		 GROUP BY o.prodName`,
+		// Listing 10
+		`SELECT prodName, YEAR(orderDate) AS orderYear,
+		 sumRevenue / sumRevenue AT (SET orderYear = CURRENT orderYear - 1) AS ratio
+		 FROM OrdersWithRevenue
+		 GROUP BY prodName, YEAR(orderDate)`,
+		// Listing 12 query 1
+		`SELECT o.prodName, o.orderDate FROM Orders AS o
+		 WHERE o.revenue > (SELECT AVG(revenue) FROM Orders AS o1 WHERE o1.prodName = o.prodName)`,
+		// Listing 12 query 2
+		`SELECT o.prodName, o.orderDate FROM Orders AS o
+		 LEFT JOIN (SELECT prodName, AVG(revenue) AS avgRevenue FROM Orders GROUP BY prodName) AS o2
+		 ON o.prodName = o2.prodName
+		 WHERE o.revenue > o2.avgRevenue`,
+		// Listing 12 query 3
+		`SELECT o.prodName, o.orderDate FROM
+		 (SELECT prodName, revenue, orderDate,
+		  AVG(revenue) OVER (PARTITION BY prodName) AS avgRevenue
+		  FROM Orders) AS o
+		 WHERE o.revenue > o.avgRevenue`,
+		// Listing 12 query 4
+		`SELECT o.prodName, o.orderDate FROM
+		 (SELECT prodName, orderDate, revenue, AVG(revenue) AS MEASURE avgRevenue
+		  FROM Orders) AS o
+		 WHERE o.revenue > o.avgRevenue AT (WHERE prodName = o.prodName)`,
+	}
+	for i, src := range listings {
+		if _, err := ParseStatement(src); err != nil {
+			t.Errorf("listing %d failed to parse: %v\nSQL: %s", i, err, src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	// parse → print → parse → print must be a fixpoint.
+	queries := []string{
+		"SELECT prodName, AGGREGATE(profitMargin) FROM EnhancedOrders GROUP BY prodName",
+		"SELECT a, b AT (ALL a SET c = CURRENT c - 1 VISIBLE WHERE d = 2) FROM t",
+		"SELECT * FROM a JOIN b USING (x) LEFT JOIN c ON a.y = c.y WHERE a.z > 1 GROUP BY ROLLUP(a.x) HAVING COUNT(*) > 1 ORDER BY 1 DESC NULLS FIRST LIMIT 10",
+		"WITH w AS (SELECT 1 AS x) SELECT SUM(x) FILTER (WHERE x > 0) OVER (PARTITION BY x) FROM w",
+		"SELECT CASE WHEN a IS NOT DISTINCT FROM b THEN 1 ELSE 2 END FROM t",
+		"SELECT CAST(a AS INTEGER), DATE '2024-01-01', 'it''s' FROM t",
+	}
+	for _, src := range queries {
+		q1, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed1 := ast.FormatQuery(q1)
+		q2, err := ParseQuery(printed1)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", printed1, err)
+		}
+		printed2 := ast.FormatQuery(q2)
+		if printed1 != printed2 {
+			t.Errorf("round trip not stable:\nfirst:  %s\nsecond: %s", printed1, printed2)
+		}
+	}
+}
+
+func TestExtract(t *testing.T) {
+	e, err := ParseExpr("EXTRACT(YEAR FROM orderDate)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, ok := e.(*ast.FuncCall)
+	if !ok || fc.Name != "YEAR" {
+		t.Fatalf("EXTRACT desugar: %#v", e)
+	}
+	if _, err := ParseExpr("EXTRACT(EPOCH FROM x)"); err == nil {
+		t.Error("unsupported unit should fail")
+	}
+	if _, err := ParseExpr("EXTRACT(YEAR x)"); err == nil {
+		t.Error("missing FROM should fail")
+	}
+}
+
+// The parser must return errors, never panic, on malformed input.
+func TestParserRobustness(t *testing.T) {
+	inputs := []string{
+		"", ";", "(((((", ")", "SELECT", "SELECT ((1+", "AT", "CURRENT",
+		"SELECT * FROM (SELECT", "WITH x AS SELECT 1", "GROUP BY",
+		"SELECT 1 FROM t WHERE a IN (", "SELECT CAST(1 AS)", "''''",
+		"SELECT a AT (SET = 1) FROM t", "SELECT -- comment only",
+		"\x00\x01\x02", "SELECT 1e999999", "SELECT . FROM t",
+		"INSERT INTO t VALUES", "CREATE VIEW v AS", "DROP",
+		"SELECT m AT (ALL,) FROM t", "SELECT 'unterminated",
+	}
+	for _, src := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = ParseStatements(src)
+		}()
+	}
+}
+
+// Property: printing any successfully parsed statement yields SQL that
+// reparses (printer totality over the grammar).
+func TestPrintedSQLAlwaysReparses(t *testing.T) {
+	srcs := []string{
+		"SELECT DISTINCT a.b AS x FROM t AS a WHERE NOT (x > 1 OR x IS NULL) GROUP BY CUBE(a, b) HAVING COUNT(*) > 0",
+		"SELECT m AT (ALL a, b VISIBLE SET c = CURRENT c - 1 WHERE d = 'x''y') FROM v",
+		"SELECT EXTRACT(MONTH FROM d), SUM(x) FILTER (WHERE y) OVER (PARTITION BY z ORDER BY w DESC NULLS FIRST ROWS BETWEEN UNBOUNDED PRECEDING AND UNBOUNDED FOLLOWING) FROM t",
+		"WITH a AS (SELECT 1 AS one), b AS (SELECT * FROM a) SELECT * FROM b CROSS JOIN a ORDER BY 1 LIMIT 5 OFFSET 1",
+		"SELECT CASE x WHEN 1 THEN 'a' ELSE 'b' END FROM t UNION ALL SELECT 'c' INTERSECT SELECT 'd'",
+		"INSERT INTO t (a, b) SELECT c, d FROM u",
+		"CREATE OR REPLACE VIEW vw AS SELECT a, SUM(b) AS MEASURE m FROM t WHERE a NOT BETWEEN 1 AND 2",
+	}
+	for _, src := range srcs {
+		stmt, err := ParseStatement(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := ast.FormatStatement(stmt)
+		if _, err := ParseStatement(printed); err != nil {
+			t.Errorf("printed SQL does not reparse: %v\noriginal: %s\nprinted: %s", err, src, printed)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+func intT() sqltypes.Type { return sqltypes.Type{Kind: sqltypes.KindInt} }
+
+func col(i int, name string) *ColRef { return &ColRef{Index: i, Name: name, Typ: intT()} }
+
+func TestExprStrings(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{col(0, "a"), "$0:a"},
+		{&CorrRef{Levels: 2, Index: 1, Name: "b", Typ: intT()}, "corr^2$1:b"},
+		{&Lit{Val: sqltypes.NewString("x")}, "'x'"},
+		{&Call{Name: "+", Args: []Expr{col(0, "a"), &Lit{Val: sqltypes.NewInt(1)}}, Typ: intT()}, "+($0:a, 1)"},
+		{&And{L: &Lit{Val: sqltypes.NewBool(true)}, R: &Lit{Val: sqltypes.NewBool(false)}}, "(TRUE AND FALSE)"},
+		{&IsDistinct{L: col(0, "a"), R: col(1, "b"), Neg: true}, "($0:a IS NOT DISTINCT FROM $1:b)"},
+		{&AggRef{Index: 2, Typ: intT()}, "agg$2"},
+		{&InList{X: col(0, "a"), List: []Expr{&Lit{Val: sqltypes.NewInt(1)}}}, "$0:a IN (1)"},
+		{&Cast{X: col(0, "a"), Kind: sqltypes.KindString}, "CAST($0:a AS VARCHAR)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("got %q want %q", got, c.want)
+		}
+	}
+}
+
+func TestShiftCorr(t *testing.T) {
+	e := &Call{Name: "+", Args: []Expr{
+		col(0, "a"),
+		&CorrRef{Levels: 1, Index: 3, Name: "b", Typ: intT()},
+	}, Typ: intT()}
+	shifted := ShiftCorr(e, 1)
+	call := shifted.(*Call)
+	if cr := call.Args[0].(*CorrRef); cr.Levels != 1 || cr.Index != 0 {
+		t.Errorf("ColRef should become level-1 CorrRef: %v", call.Args[0])
+	}
+	if cr := call.Args[1].(*CorrRef); cr.Levels != 2 {
+		t.Errorf("existing CorrRef should gain a level: %v", call.Args[1])
+	}
+	// Original untouched.
+	if _, ok := e.Args[0].(*ColRef); !ok {
+		t.Error("ShiftCorr must not mutate the input")
+	}
+}
+
+func TestSubstituteCols(t *testing.T) {
+	e := &Call{Name: "+", Args: []Expr{col(0, "a"), col(1, "b")}, Typ: intT()}
+	out := SubstituteCols(e, func(c *ColRef) (Expr, bool) {
+		if c.Index == 0 {
+			return &Lit{Val: sqltypes.NewInt(9)}, true
+		}
+		return nil, false
+	})
+	if out.String() != "+(9, $1:b)" {
+		t.Errorf("got %q", out.String())
+	}
+}
+
+func TestWalkAndHasCorrRefs(t *testing.T) {
+	inner := &Subquery{
+		Plan: &Filter{
+			Input: &Values{Sch: &Schema{}},
+			Pred:  &CorrRef{Levels: 2, Index: 0, Name: "x", Typ: intT()},
+		},
+		Mode: SubScalar,
+		Typ:  intT(),
+	}
+	e := &Call{Name: "+", Args: []Expr{col(0, "a"), inner}, Typ: intT()}
+	if !HasCorrRefs(e) {
+		t.Error("nested plan with outer refs should report correlations")
+	}
+	count := 0
+	WalkExprs(e, func(Expr) { count++ })
+	if count < 3 {
+		t.Errorf("WalkExprs visited %d nodes", count)
+	}
+
+	pure := &Call{Name: "+", Args: []Expr{col(0, "a"), col(1, "b")}, Typ: intT()}
+	if HasCorrRefs(pure) {
+		t.Error("pure expression misreported correlations")
+	}
+}
+
+func TestPlanHasOuterRefs(t *testing.T) {
+	// A subquery whose refs stay inside its own frames is not correlated.
+	selfContained := &Filter{
+		Input: &Values{Sch: &Schema{}},
+		Pred: &Subquery{
+			Plan: &Filter{
+				Input: &Values{Sch: &Schema{}},
+				Pred:  &CorrRef{Levels: 1, Index: 0, Name: "x", Typ: intT()},
+			},
+			Mode: SubExists,
+			Typ:  sqltypes.Type{Kind: sqltypes.KindBool},
+		},
+	}
+	if PlanHasOuterRefs(selfContained, 0) {
+		t.Error("level-1 ref inside a nested subquery does not escape the outer plan")
+	}
+}
+
+func TestExplainTree(t *testing.T) {
+	scan := &Values{Sch: &Schema{Cols: []Col{{Name: "a", Typ: intT()}}}}
+	tree := &Project{
+		Input: &Filter{Input: scan, Pred: &IsNull{X: col(0, "a")}},
+		Exprs: []NamedExpr{{Expr: col(0, "a"), Col: Col{Name: "a", Typ: intT()}}},
+		Sch:   &Schema{Cols: []Col{{Name: "a", Typ: intT()}}},
+	}
+	out := ExplainTree(tree)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("explain lines: %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "Project") ||
+		!strings.HasPrefix(strings.TrimSpace(lines[1]), "Filter") ||
+		!strings.HasPrefix(strings.TrimSpace(lines[2]), "Values") {
+		t.Errorf("explain:\n%s", out)
+	}
+	// Children are indented.
+	if !strings.HasPrefix(lines[1], "  ") {
+		t.Error("child not indented")
+	}
+}
+
+func TestTransformNodeExprsDepth(t *testing.T) {
+	inner := &Subquery{
+		Plan: &Filter{Input: &Values{Sch: &Schema{}}, Pred: col(0, "deep")},
+		Mode: SubScalar,
+		Typ:  intT(),
+	}
+	root := &Filter{Input: &Values{Sch: &Schema{}}, Pred: &Call{Name: "AND2", Args: []Expr{col(0, "top"), inner}, Typ: intT()}}
+	var seen []int
+	TransformNodeExprs(root, func(e Expr, depth int) Expr {
+		if c, ok := e.(*ColRef); ok {
+			_ = c
+			seen = append(seen, depth)
+		}
+		return e
+	})
+	// "top" at depth 0, "deep" at depth 1.
+	has0, has1 := false, false
+	for _, d := range seen {
+		if d == 0 {
+			has0 = true
+		}
+		if d == 1 {
+			has1 = true
+		}
+	}
+	if !has0 || !has1 {
+		t.Errorf("depths seen: %v", seen)
+	}
+	// Copies, not mutations: replacing a col in the copy leaves root alone.
+	out := TransformNodeExprs(root, func(e Expr, _ int) Expr {
+		if _, ok := e.(*ColRef); ok {
+			return &Lit{Val: sqltypes.NewInt(0)}
+		}
+		return e
+	})
+	if strings.Contains(out.(*Filter).Pred.String(), "top") {
+		t.Error("transform did not replace in copy")
+	}
+	if !strings.Contains(root.Pred.String(), "top") {
+		t.Error("transform mutated the original")
+	}
+}
+
+func TestMeasureInfoDimByName(t *testing.T) {
+	info := &MeasureInfo{Dims: []Dim{{Name: "Alpha", Expr: col(0, "alpha")}}}
+	if _, ok := info.DimByName("ALPHA"); !ok {
+		t.Error("DimByName should be case-insensitive")
+	}
+	if _, ok := info.DimByName("beta"); ok {
+		t.Error("missing dim reported found")
+	}
+}
+
+func TestJoinKindAndAggString(t *testing.T) {
+	if JoinLeft.String() != "LEFT" || JoinSemi.String() != "SEMI" {
+		t.Error("join kind strings")
+	}
+	a := AggCall{Name: "SUM", Args: []Expr{col(0, "x")}, Distinct: true, Typ: intT()}
+	if a.String() != "SUM(DISTINCT $0:x)" {
+		t.Errorf("agg string: %q", a.String())
+	}
+	g := AggCall{Name: "GROUPING", KeyIndex: 1}
+	if g.String() != "GROUPING(key$1)" {
+		t.Errorf("grouping string: %q", g.String())
+	}
+}

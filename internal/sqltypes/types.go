@@ -1,0 +1,116 @@
+// Package sqltypes defines the SQL value and type system used throughout
+// the engine: scalar kinds, three-valued logic, the MEASURE type wrapper
+// from the paper ("the data type of a CSE is t MEASURE"), comparisons
+// including IS NOT DISTINCT FROM, arithmetic, casts and hash keys.
+package sqltypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the scalar type kinds supported by the engine.
+type Kind uint8
+
+const (
+	KindUnknown Kind = iota // type not yet inferred (e.g. bare NULL)
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindDate
+)
+
+// String returns the SQL spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// KindFromName maps a SQL type name to a Kind. It accepts the common
+// synonyms so that CREATE TABLE statements from the paper and from users
+// both work. Returns KindUnknown if the name is not recognized.
+func KindFromName(name string) Kind {
+	switch strings.ToUpper(name) {
+	case "BOOL", "BOOLEAN":
+		return KindBool
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT", "INT64":
+		return KindInt
+	case "FLOAT", "DOUBLE", "REAL", "FLOAT64", "DECIMAL", "NUMERIC":
+		return KindFloat
+	case "VARCHAR", "CHAR", "TEXT", "STRING":
+		return KindString
+	case "DATE":
+		return KindDate
+	default:
+		return KindUnknown
+	}
+}
+
+// Type is a SQL type: a scalar kind plus the measure flag. A column of
+// type "DOUBLE MEASURE" is a measure column; evaluating it with EVAL or
+// AGGREGATE yields a plain DOUBLE (paper §3.4).
+type Type struct {
+	Kind    Kind
+	Measure bool
+}
+
+// Scalar returns the type with the measure flag cleared; this is the type
+// produced by EVAL/AGGREGATE of a measure.
+func (t Type) Scalar() Type { return Type{Kind: t.Kind} }
+
+// AsMeasure returns the type with the measure flag set.
+func (t Type) AsMeasure() Type { return Type{Kind: t.Kind, Measure: true} }
+
+// String returns the SQL spelling, e.g. "DOUBLE MEASURE".
+func (t Type) String() string {
+	if t.Measure {
+		return t.Kind.String() + " MEASURE"
+	}
+	return t.Kind.String()
+}
+
+// Numeric reports whether the kind is INT or FLOAT.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// PromoteNumeric returns the common numeric kind for a binary operation.
+// INT op INT stays INT; anything involving FLOAT is FLOAT.
+func PromoteNumeric(a, b Kind) (Kind, error) {
+	if !a.Numeric() || !b.Numeric() {
+		return KindUnknown, fmt.Errorf("expected numeric operands, got %s and %s", a, b)
+	}
+	if a == KindFloat || b == KindFloat {
+		return KindFloat, nil
+	}
+	return KindInt, nil
+}
+
+// CommonType returns a type both a and b can be coerced to for comparisons
+// and set operations, or an error if they are incompatible. UNKNOWN (bare
+// NULL) unifies with anything.
+func CommonType(a, b Kind) (Kind, error) {
+	switch {
+	case a == b:
+		return a, nil
+	case a == KindUnknown:
+		return b, nil
+	case b == KindUnknown:
+		return a, nil
+	case a.Numeric() && b.Numeric():
+		return KindFloat, nil
+	default:
+		return KindUnknown, fmt.Errorf("incompatible types %s and %s", a, b)
+	}
+}

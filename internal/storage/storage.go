@@ -1,0 +1,105 @@
+// Package storage provides the in-memory row store backing base tables.
+// It is deliberately simple — an append-only slice of rows guarded by a
+// RWMutex — because the paper's contribution is language semantics, not
+// storage; the executor treats it as a RowSource.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// Table is an in-memory table: a fixed schema and a growing set of rows.
+type Table struct {
+	mu    sync.RWMutex
+	name  string
+	cols  []string
+	types []sqltypes.Type
+	rows  [][]sqltypes.Value
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, cols []string, types []sqltypes.Type) *Table {
+	return &Table{name: name, cols: cols, types: types}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// ColNames returns the column names.
+func (t *Table) ColNames() []string { return t.cols }
+
+// ColTypes returns the column types.
+func (t *Table) ColTypes() []sqltypes.Type { return t.types }
+
+// NumRows returns the current row count.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Rows returns a snapshot slice of the rows. Callers must not mutate the
+// returned rows; Insert never mutates previously returned slices, so a
+// running scan stays consistent.
+func (t *Table) Rows() [][]sqltypes.Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[:len(t.rows):len(t.rows)]
+}
+
+// Insert appends rows after coercing each value to the column type.
+// All-or-nothing: on a type error no row is inserted.
+func (t *Table) Insert(rows [][]sqltypes.Value) error {
+	coerced := make([][]sqltypes.Value, len(rows))
+	for i, row := range rows {
+		if len(row) != len(t.cols) {
+			return fmt.Errorf("table %s has %d columns but %d values were supplied", t.name, len(t.cols), len(row))
+		}
+		out := make([]sqltypes.Value, len(row))
+		for j, v := range row {
+			c, err := coerce(v, t.types[j].Kind)
+			if err != nil {
+				return fmt.Errorf("column %s of table %s: %v", t.cols[j], t.name, err)
+			}
+			out[j] = c
+		}
+		coerced[i] = out
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = append(t.rows, coerced...)
+	return nil
+}
+
+// Truncate removes all rows.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = nil
+}
+
+// coerce converts v to kind where the conversion is implicit-safe
+// (numeric widening, string-to-date for literals, NULL retyping).
+func coerce(v sqltypes.Value, kind sqltypes.Kind) (sqltypes.Value, error) {
+	if v.Null {
+		return sqltypes.Null(kind), nil
+	}
+	if v.K == kind {
+		return v, nil
+	}
+	switch {
+	case kind == sqltypes.KindFloat && v.K == sqltypes.KindInt,
+		kind == sqltypes.KindDate && v.K == sqltypes.KindString:
+		return sqltypes.Cast(v, kind)
+	case kind == sqltypes.KindInt && v.K == sqltypes.KindFloat:
+		if v.F == float64(int64(v.F)) {
+			return sqltypes.NewInt(int64(v.F)), nil
+		}
+		return sqltypes.Value{}, fmt.Errorf("cannot insert non-integral %v into INTEGER column", v)
+	default:
+		return sqltypes.Value{}, fmt.Errorf("cannot insert %s value into %s column", v.K, kind)
+	}
+}

@@ -1,0 +1,359 @@
+package msql_test
+
+// Advanced scenarios from the paper's discussion section: GROUPING_ID
+// driving level-dependent formulas (§5.3), measures from both sides of a
+// join (§4.2's inline TODO — "the evaluation context will have the
+// dimensionality of the measure in question"), CUBE with measures, and
+// deeper AT compositions.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/measures-sql/msql/msql"
+)
+
+func TestGroupingID(t *testing.T) {
+	db := open(t)
+	got := mustRows(t, db, `
+		SELECT prodName, custName, GROUPING_ID(prodName, custName) AS gid, COUNT(*) AS c
+		FROM Orders
+		GROUP BY ROLLUP(prodName, custName)
+		ORDER BY gid, prodName NULLS LAST, custName NULLS LAST`)
+	// gid 0: leaf rows; gid 1: custName rolled up; gid 3: grand total.
+	if got[len(got)-1][2] != "3" || got[len(got)-1][3] != "5" {
+		t.Errorf("grand total row: %v", got[len(got)-1])
+	}
+	leafs, mids, total := 0, 0, 0
+	for _, row := range got {
+		switch row[2] {
+		case "0":
+			leafs++
+		case "1":
+			mids++
+		case "3":
+			total++
+		default:
+			t.Errorf("unexpected GROUPING_ID %v", row)
+		}
+	}
+	if leafs != 4 || mids != 3 || total != 1 {
+		t.Errorf("level counts: %d leaf, %d mid, %d total", leafs, mids, total)
+	}
+}
+
+// §5.3: "custom measures might use a different formula for different
+// levels of a hierarchy ... GROUPING_ID can be used to identify the
+// level." Here the per-product level shows the margin and rolled-up
+// levels show total revenue instead.
+func TestPerLevelFormulaWithGroupingID(t *testing.T) {
+	db := open(t)
+	got := mustRows(t, db, `
+		SELECT prodName,
+		       CASE WHEN GROUPING_ID(prodName) = 0
+		            THEN AGGREGATE(margin)
+		            ELSE AGGREGATE(rev) END AS levelValue
+		FROM (SELECT *,
+		        SUM(revenue) AS MEASURE rev,
+		        (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE margin
+		      FROM Orders) AS o
+		GROUP BY ROLLUP(prodName)
+		ORDER BY prodName NULLS LAST`)
+	want := [][]string{
+		{"Acme", "0.6"},
+		{"Happy", "0.47"},
+		{"Whizz", "0.67"},
+		{"NULL", "25"},
+	}
+	sameRows(t, got, want, "per-level formula")
+}
+
+// Measures from both sides of a join: each keeps the dimensionality of
+// its own table.
+func TestMeasuresFromBothJoinSides(t *testing.T) {
+	db := open(t)
+	got := mustRows(t, db, `
+		WITH EO AS (SELECT *, SUM(revenue) AS MEASURE rev FROM Orders),
+		     EC AS (SELECT *, AVG(custAge) AS MEASURE avgAge FROM Customers)
+		SELECT o.prodName,
+		       AGGREGATE(o.rev) AS revenue,
+		       AGGREGATE(c.avgAge) AS age
+		FROM EO AS o
+		JOIN EC AS c USING (custName)
+		GROUP BY o.prodName
+		ORDER BY o.prodName`)
+	// rev keeps Orders' grain (sums order rows of the group); avgAge keeps
+	// Customers' grain (each distinct customer once).
+	want := [][]string{
+		{"Acme", "5", "41"},
+		{"Happy", "17", "32"},
+		{"Whizz", "3", "17"},
+	}
+	sameRows(t, got, want, "two-sided measures")
+}
+
+func TestCubeWithMeasures(t *testing.T) {
+	db := open(t)
+	got := mustRows(t, db, `
+		SELECT prodName, custName, AGGREGATE(rev) AS r
+		FROM (SELECT *, SUM(revenue) AS MEASURE rev FROM Orders) AS o
+		GROUP BY CUBE(prodName, custName)
+		ORDER BY prodName NULLS LAST, custName NULLS LAST, r`)
+	// 4 leaf combos + 3 product totals + 3 customer totals + 1 grand = 11.
+	if len(got) != 11 {
+		t.Fatalf("CUBE rows: %d (%v)", len(got), got)
+	}
+	last := got[len(got)-1]
+	if last[0] != "NULL" || last[1] != "NULL" || last[2] != "25" {
+		t.Errorf("grand total: %v", last)
+	}
+}
+
+func TestNestedAtComposition(t *testing.T) {
+	db := open(t)
+	// Deep chains: ((m AT (SET custName='Bob')) AT (ALL prodName)) AT (VISIBLE)
+	// applies VISIBLE, then ALL prodName, then SET.
+	got := mustRows(t, db, `
+		SELECT prodName,
+		       rev AT (VISIBLE) AT (ALL prodName) AT (SET custName = 'Bob') AS v
+		FROM (SELECT *, SUM(revenue) AS MEASURE rev FROM Orders) AS o
+		WHERE custName <> 'Bob'
+		GROUP BY prodName
+		ORDER BY prodName`)
+	// Application order is outermost-first: SET custName='Bob', then ALL
+	// prodName, then VISIBLE (which adds custName <> 'Bob'). Bob's rows
+	// conflict with VISIBLE's filter, so the result is the empty sum.
+	for _, row := range got {
+		if row[1] != "NULL" {
+			t.Errorf("contradictory context should be empty → NULL, got %v", row)
+		}
+	}
+	// Without VISIBLE the same chain yields Bob's total (9) everywhere.
+	got = mustRows(t, db, `
+		SELECT prodName,
+		       rev AT (ALL prodName) AT (SET custName = 'Bob') AS v
+		FROM (SELECT *, SUM(revenue) AS MEASURE rev FROM Orders) AS o
+		WHERE custName <> 'Bob'
+		GROUP BY prodName
+		ORDER BY prodName`)
+	for _, row := range got {
+		if row[1] != "9" {
+			t.Errorf("Bob's total expected, got %v", row)
+		}
+	}
+}
+
+func TestMeasureWithFilterClauseInFormula(t *testing.T) {
+	db := open(t)
+	got := mustRows(t, db, `
+		SELECT prodName, AGGREGATE(aliceRev) AS ar
+		FROM (SELECT *, SUM(revenue) FILTER (WHERE custName = 'Alice') AS MEASURE aliceRev
+		      FROM Orders) AS o
+		GROUP BY prodName
+		ORDER BY prodName`)
+	want := [][]string{{"Acme", "NULL"}, {"Happy", "13"}, {"Whizz", "NULL"}}
+	sameRows(t, got, want, "FILTER in measure formula")
+}
+
+func TestCountDistinctMeasure(t *testing.T) {
+	db := open(t)
+	got := mustRows(t, db, `
+		SELECT prodName, AGGREGATE(buyers) AS b
+		FROM (SELECT *, COUNT(DISTINCT custName) AS MEASURE buyers FROM Orders) AS o
+		GROUP BY ROLLUP(prodName)
+		ORDER BY prodName NULLS LAST`)
+	want := [][]string{{"Acme", "1"}, {"Happy", "2"}, {"Whizz", "1"}, {"NULL", "3"}}
+	sameRows(t, got, want, "COUNT DISTINCT measure")
+}
+
+func TestMeasureInCaseExpression(t *testing.T) {
+	db := open(t)
+	got := mustRows(t, db, `
+		SELECT prodName,
+		       CASE WHEN AGGREGATE(rev) > 10 THEN 'big' ELSE 'small' END AS size
+		FROM (SELECT *, SUM(revenue) AS MEASURE rev FROM Orders) AS o
+		GROUP BY prodName
+		ORDER BY prodName`)
+	want := [][]string{{"Acme", "small"}, {"Happy", "big"}, {"Whizz", "small"}}
+	sameRows(t, got, want, "measure in CASE")
+}
+
+func TestExplainShowsMeasureContext(t *testing.T) {
+	db := open(t)
+	out, err := db.Explain(`
+		SELECT prodName, rev AT (ALL) AS total
+		FROM (SELECT *, SUM(revenue) AS MEASURE rev FROM Orders) AS o
+		GROUP BY prodName`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "measure rev") || !strings.Contains(out, "TRUE") {
+		t.Errorf("EXPLAIN should label measure subqueries with their context:\n%s", out)
+	}
+}
+
+// §6.5: measures evaluated at dimension values with no rows (gap
+// filling through a calendar table). Also serves as the regression test
+// for examples/timeseries.
+func TestGapFillingWithCalendar(t *testing.T) {
+	db := msql.Open()
+	db.MustExec(`
+		CREATE TABLE Sales (day DATE, amount INTEGER);
+		INSERT INTO Sales VALUES
+		  (DATE '2024-03-01', 10), (DATE '2024-03-01', 5),
+		  (DATE '2024-03-02', 8), (DATE '2024-03-04', 12);
+		CREATE TABLE Calendar (day DATE);
+		INSERT INTO Calendar VALUES
+		  (DATE '2024-03-01'), (DATE '2024-03-02'),
+		  (DATE '2024-03-03'), (DATE '2024-03-04');
+		CREATE VIEW SalesM AS SELECT day, SUM(amount) AS MEASURE rev FROM Sales;
+	`)
+	got := mustRows(t, db, `
+		SELECT c.day, COALESCE(s.rev AT (SET day = c.day), 0) AS revenue
+		FROM Calendar AS c
+		CROSS JOIN (SELECT * FROM SalesM LIMIT 1) AS s
+		ORDER BY c.day`)
+	want := [][]string{
+		{"2024-03-01", "15"},
+		{"2024-03-02", "8"},
+		{"2024-03-03", "0"},
+		{"2024-03-04", "12"},
+	}
+	sameRows(t, got, want, "calendar gap filling")
+}
+
+// Wide-table views (join inside the view, §5.3): the call site has no
+// join, so VISIBLE contributes only the WHERE predicates, and ALL can
+// lift the group constraint past them — a share-of-visible calculation.
+func TestVisibleAllOnWideTable(t *testing.T) {
+	db := msql.Open()
+	db.MustExec(`
+		CREATE TABLE O (p VARCHAR, c VARCHAR, r INTEGER);
+		INSERT INTO O VALUES ('x','adult',10), ('x','kid',1), ('y','adult',20), ('y','kid',2);
+		CREATE TABLE C (c VARCHAR, age INTEGER);
+		INSERT INTO C VALUES ('adult', 30), ('kid', 10);
+		CREATE VIEW W AS
+		SELECT o.p, o.c, o.r, cu.age, SUM(o.r) AS MEASURE rev
+		FROM O AS o JOIN C AS cu ON o.c = cu.c;
+	`)
+	got := mustRows(t, db, `
+		SELECT p,
+		       AGGREGATE(rev) AS vis,
+		       rev AT (VISIBLE ALL p) AS visTotal,
+		       rev AT (ALL p VISIBLE) AS totalVis,
+		       rev AT (ALL p) AS total
+		FROM W WHERE age >= 18 GROUP BY p ORDER BY p`)
+	want := [][]string{
+		// visible per product; visible total (both orders); same with the
+		// modifiers in either order (they commute here); unfiltered total.
+		{"x", "10", "30", "30", "33"},
+		{"y", "20", "30", "30", "33"},
+	}
+	sameRows(t, got, want, "VISIBLE/ALL on wide table")
+}
+
+// WITHIN DISTINCT (Calcite CALCITE-4483; the paper's §6.3/§6.4 candidate
+// for preserving a measure's grain under joins): the aggregate sees one
+// row per distinct key tuple. The hand-written WITHIN DISTINCT query must
+// match what the measure computes automatically.
+func TestWithinDistinct(t *testing.T) {
+	db := open(t)
+	// Join Orders to Customers: custAge repeats once per order. A plain
+	// AVG double-counts repeat buyers; WITHIN DISTINCT (custName) does not.
+	manual := mustRows(t, db, `
+		SELECT o.prodName,
+		       AVG(c.custAge) AS weighted,
+		       AVG(c.custAge) WITHIN DISTINCT (c.custName) AS symmetric
+		FROM Orders AS o JOIN Customers AS c USING (custName)
+		GROUP BY o.prodName ORDER BY o.prodName`)
+	viaMeasure := mustRows(t, db, `
+		WITH EC AS (SELECT *, AVG(custAge) AS MEASURE avgAge FROM Customers)
+		SELECT o.prodName, AGGREGATE(c.avgAge) AS symmetric
+		FROM Orders AS o JOIN EC AS c USING (custName)
+		GROUP BY o.prodName ORDER BY o.prodName`)
+	for i := range manual {
+		if manual[i][2] != viaMeasure[i][1] {
+			t.Errorf("row %d: WITHIN DISTINCT %s vs measure %s", i, manual[i][2], viaMeasure[i][1])
+		}
+	}
+	// Happy: weighted (23+23+41)/3 = 29, symmetric (23+41)/2 = 32.
+	if manual[1][1] != "29" || manual[1][2] != "32" {
+		t.Errorf("Happy row: %v", manual[1])
+	}
+}
+
+func TestWithinDistinctConsistencyError(t *testing.T) {
+	db := open(t)
+	// revenue is NOT functionally dependent on custName → error.
+	_, err := db.Query(`
+		SELECT SUM(revenue) WITHIN DISTINCT (custName) AS s FROM Orders`)
+	if err == nil || !strings.Contains(err.Error(), "functionally dependent") {
+		t.Errorf("expected functional-dependence error, got %v", err)
+	}
+	// DISTINCT + WITHIN DISTINCT cannot combine.
+	_, err = db.Query(`
+		SELECT SUM(DISTINCT revenue) WITHIN DISTINCT (custName) AS s FROM Orders`)
+	if err == nil {
+		t.Error("DISTINCT with WITHIN DISTINCT should be rejected")
+	}
+}
+
+// WITHIN DISTINCT inside a measure formula: a wide-table measure that
+// protects its own grain explicitly (§6.4's suggested implementation
+// strategy for joins).
+func TestWithinDistinctInMeasureFormula(t *testing.T) {
+	db := open(t)
+	got := mustRows(t, db, `
+		SELECT prodName, AGGREGATE(avgBuyerAge) AS age
+		FROM (SELECT o.prodName, o.custName, c.custAge,
+		             AVG(c.custAge) WITHIN DISTINCT (o.custName) AS MEASURE avgBuyerAge
+		      FROM Orders AS o JOIN Customers AS c USING (custName)) AS w
+		GROUP BY prodName ORDER BY prodName`)
+	want := [][]string{{"Acme", "41"}, {"Happy", "32"}, {"Whizz", "17"}}
+	sameRows(t, got, want, "WITHIN DISTINCT measure")
+}
+
+// Deep nesting stress: measures survive five levels of query nesting with
+// renames and filters at each level, composing their base relations.
+func TestDeepNestingStress(t *testing.T) {
+	db := open(t)
+	got := mustRows(t, db, `
+		SELECT p5, AGGREGATE(m5) AS v
+		FROM (SELECT p4 AS p5, m4 AS m5
+		      FROM (SELECT p3 AS p4, m3 AS m4
+		            FROM (SELECT p2 AS p3, m2 AS m3
+		                  FROM (SELECT prodName AS p2, rev AS m2
+		                        FROM (SELECT *, SUM(revenue) AS MEASURE rev
+		                              FROM Orders) AS l1) AS l2) AS l3) AS l4) AS l5
+		GROUP BY p5 ORDER BY p5`)
+	want := [][]string{{"Acme", "5"}, {"Happy", "17"}, {"Whizz", "3"}}
+	sameRows(t, got, want, "five-level nesting")
+}
+
+// Many measures on one view: 20 sibling measures all evaluate in one
+// query without interference (and with inlining they share one scan).
+func TestManyMeasuresOneQuery(t *testing.T) {
+	db := open(t)
+	var defs, uses []string
+	for i := 0; i < 20; i++ {
+		defs = append(defs, fmt.Sprintf("SUM(revenue) + %d AS MEASURE m%d", i, i))
+		uses = append(uses, fmt.Sprintf("AGGREGATE(m%d) AS v%d", i, i))
+	}
+	sql := "SELECT prodName, " + strings.Join(uses, ", ") +
+		" FROM (SELECT *, " + strings.Join(defs, ", ") +
+		" FROM Orders) AS o GROUP BY prodName ORDER BY prodName"
+	got := mustRows(t, db, sql)
+	if len(got) != 3 {
+		t.Fatalf("rows: %d", len(got))
+	}
+	// Acme rev = 5, so v0..v19 = 5..24.
+	for i := 0; i < 20; i++ {
+		if got[0][1+i] != fmt.Sprintf("%d", 5+i) {
+			t.Errorf("m%d = %s, want %d", i, got[0][1+i], 5+i)
+		}
+	}
+	if s := db.LastStats(); s.SubqueryEvals != 0 {
+		t.Errorf("20 inlined measures should need 0 subquery evals, got %d", s.SubqueryEvals)
+	}
+}

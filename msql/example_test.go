@@ -1,0 +1,77 @@
+package msql_test
+
+import (
+	"fmt"
+
+	"github.com/measures-sql/msql/msql"
+)
+
+// The paper's core example: a measure view and the AGGREGATE function.
+func Example() {
+	db := msql.Open()
+	db.MustExec(`
+		CREATE TABLE Orders (prodName VARCHAR, revenue INTEGER, cost INTEGER);
+		INSERT INTO Orders VALUES
+		  ('Happy', 6, 4), ('Acme', 5, 2), ('Happy', 7, 4),
+		  ('Whizz', 3, 1), ('Happy', 4, 1);
+		CREATE VIEW EnhancedOrders AS
+		SELECT *, (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin
+		FROM Orders;
+	`)
+	res := db.MustQuery(`
+		SELECT prodName, ROUND(AGGREGATE(profitMargin), 2) AS margin
+		FROM EnhancedOrders
+		GROUP BY prodName
+		ORDER BY prodName`)
+	fmt.Print(msql.Format(res))
+	// Output:
+	// prodName  margin
+	// ========  ======
+	// Acme      0.6
+	// Happy     0.47
+	// Whizz     0.67
+}
+
+// The AT operator transforms the evaluation context: here ALL removes
+// the product constraint to compute each product's share of the total.
+func ExampleDB_Query_atOperator() {
+	db := msql.Open()
+	db.MustExec(`
+		CREATE TABLE Orders (prodName VARCHAR, revenue INTEGER);
+		INSERT INTO Orders VALUES ('Happy', 17), ('Acme', 5), ('Whizz', 3);
+		CREATE VIEW V AS SELECT *, SUM(revenue) AS MEASURE rev FROM Orders;
+	`)
+	res := db.MustQuery(`
+		SELECT prodName, AGGREGATE(rev) AS revenue,
+		       ROUND(rev / rev AT (ALL prodName), 2) AS share
+		FROM V GROUP BY prodName ORDER BY revenue DESC`)
+	fmt.Print(msql.Format(res))
+	// Output:
+	// prodName  revenue  share
+	// ========  =======  =====
+	// Happy     17       0.68
+	// Acme      5        0.2
+	// Whizz     3        0.12
+}
+
+// Expand rewrites a measure query into plain SQL — the paper's §4.2
+// static expansion.
+func ExampleDB_Expand() {
+	db := msql.Open()
+	db.MustExec(`
+		CREATE TABLE Orders (prodName VARCHAR, revenue INTEGER);
+		CREATE VIEW V AS SELECT *, SUM(revenue) AS MEASURE rev FROM Orders;
+	`)
+	sql, err := db.Expand(`SELECT prodName, AGGREGATE(rev) AS r FROM V GROUP BY prodName`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sql)
+	// Output:
+	// SELECT prodName, (
+	//   SELECT SUM(i.revenue)
+	//   FROM Orders AS i
+	//   WHERE i.prodName IS NOT DISTINCT FROM o.prodName) AS r
+	// FROM Orders AS o
+	// GROUP BY prodName
+}

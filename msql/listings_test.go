@@ -1,0 +1,387 @@
+package msql_test
+
+// Golden tests reproducing every listing of "Measures in SQL" (Hyde &
+// Fremlin, SIGMOD 2024) on the paper's Tables 1-2 data. Where the paper
+// prints a result (Listings 4 and 8) the expected rows are the paper's;
+// elsewhere the expectations were derived by hand from the paper's
+// semantics. See EXPERIMENTS.md for the experiment index.
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/measures-sql/msql/internal/paperdata"
+	"github.com/measures-sql/msql/internal/sqltypes"
+	"github.com/measures-sql/msql/msql"
+)
+
+func open(t testing.TB) *msql.DB {
+	t.Helper()
+	db := msql.Open()
+	if err := db.Exec(paperdata.All); err != nil {
+		t.Fatalf("loading paper data: %v", err)
+	}
+	return db
+}
+
+// rowsAsStrings renders rows with NULL as "NULL" and floats rounded to
+// 2 decimals for stable comparison against the paper's printed values.
+func rowsAsStrings(res *msql.Result) [][]string {
+	out := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			if !v.Null && v.K == sqltypes.KindFloat {
+				f := math.Round(v.AsFloat()*100) / 100
+				cells[j] = trimFloat(f)
+				continue
+			}
+			cells[j] = v.String()
+		}
+		out[i] = cells
+	}
+	return out
+}
+
+func trimFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" || s == "-0" {
+		return "0"
+	}
+	return s
+}
+
+func expectRows(t *testing.T, db *msql.DB, sql string, want [][]string) {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("query failed: %v\nSQL: %s", err, sql)
+	}
+	got := rowsAsStrings(res)
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d\ngot: %v\nSQL: %s", len(got), len(want), got, sql)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("row %d col %d: got %q, want %q (full row %v)", i, j, got[i][j], want[i][j], got[i])
+			}
+		}
+	}
+}
+
+func TestListing01_SummarizeByProduct(t *testing.T) {
+	db := open(t)
+	expectRows(t, db, `
+		SELECT prodName, COUNT(*) AS c,
+		       (SUM(revenue) - SUM(cost)) / SUM(revenue) AS profitMargin
+		FROM Orders
+		GROUP BY prodName
+		ORDER BY prodName`,
+		[][]string{
+			{"Acme", "1", "0.6"},
+			{"Happy", "3", "0.47"},
+			{"Whizz", "1", "0.67"},
+		})
+}
+
+func TestListing02_BrokenView(t *testing.T) {
+	// The paper's point: AVG over the summarized view weighs (prodName,
+	// orderDate) combinations equally, NOT orders, so Happy differs from
+	// the correct per-order margin 0.47.
+	db := open(t)
+	res, err := db.Query(`
+		SELECT prodName, AVG(profitMargin) AS m
+		FROM SummarizedOrders
+		GROUP BY prodName
+		ORDER BY prodName`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowsAsStrings(res)
+	// Happy: margins are (6-4)/6=0.333, (7-4)/7=0.4286, (4-1)/4=0.75 per
+	// date; their average 0.504 != 0.47 (the correct order-weighted one).
+	if got[1][0] != "Happy" {
+		t.Fatalf("unexpected rows: %v", got)
+	}
+	if got[1][1] == "0.47" {
+		t.Errorf("SummarizedOrders should NOT produce the correct margin; the paper's premise failed")
+	}
+	if got[1][1] != "0.5" {
+		t.Errorf("Happy avg-of-margins = %s, want 0.5 ((0.33+0.43+0.75)/3 rounded)", got[1][1])
+	}
+}
+
+func TestListing03_04_MeasureWithAggregate(t *testing.T) {
+	db := open(t)
+	// The paper's printed output for Listing 4.
+	expectRows(t, db, `
+		SELECT prodName, AGGREGATE(profitMargin) AS profitMargin, COUNT(*) AS c
+		FROM EnhancedOrders
+		GROUP BY prodName
+		ORDER BY prodName`,
+		[][]string{
+			{"Acme", "0.6", "1"},
+			{"Happy", "0.47", "3"},
+			{"Whizz", "0.67", "1"},
+		})
+}
+
+func TestListing05_ManualExpansion(t *testing.T) {
+	// The paper's hand-expanded SQL (Listing 5) must give the same result
+	// as the measure query of Listing 4.
+	db := open(t)
+	expanded := `
+		SELECT prodName,
+		       (SELECT (SUM(i.revenue) - SUM(i.cost)) / SUM(i.revenue)
+		        FROM Orders AS i
+		        WHERE i.prodName = o.prodName) AS profitMargin,
+		       COUNT(*) AS c
+		FROM Orders AS o
+		GROUP BY prodName
+		ORDER BY prodName`
+	expectRows(t, db, expanded,
+		[][]string{
+			{"Acme", "0.6", "1"},
+			{"Happy", "0.47", "3"},
+			{"Whizz", "0.67", "1"},
+		})
+}
+
+func TestListing05_EngineExpansion(t *testing.T) {
+	// EXPAND must produce measure-free SQL that evaluates identically.
+	db := open(t)
+	src := `
+		SELECT prodName, AGGREGATE(profitMargin) AS profitMargin, COUNT(*) AS c
+		FROM EnhancedOrders
+		GROUP BY prodName
+		ORDER BY prodName`
+	expanded, err := db.Expand(src)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if strings.Contains(strings.ToUpper(expanded), "MEASURE") ||
+		strings.Contains(strings.ToUpper(expanded), "AGGREGATE(") {
+		t.Fatalf("expansion still contains measure syntax:\n%s", expanded)
+	}
+	want := db.MustQuery(src)
+	got, err := db.Query(expanded)
+	if err != nil {
+		t.Fatalf("expanded SQL does not run: %v\nSQL:\n%s", err, expanded)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("row counts differ: %d vs %d\nexpanded:\n%s", len(got.Rows), len(want.Rows), expanded)
+	}
+	g, w := rowsAsStrings(got), rowsAsStrings(want)
+	for i := range w {
+		for j := range w[i] {
+			if g[i][j] != w[i][j] {
+				t.Errorf("row %d col %d: expanded %q vs measure %q", i, j, g[i][j], w[i][j])
+			}
+		}
+	}
+}
+
+func TestListing06_ProportionOfTotal(t *testing.T) {
+	db := open(t)
+	// Revenue: Acme 5, Happy 17, Whizz 3; total 25.
+	expectRows(t, db, `
+		SELECT prodName, sumRevenue,
+		       sumRevenue / sumRevenue AT (ALL prodName) AS proportionOfTotalRevenue
+		FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders) AS o
+		GROUP BY prodName
+		ORDER BY prodName`,
+		[][]string{
+			{"Acme", "5", "0.2"},
+			{"Happy", "17", "0.68"},
+			{"Whizz", "3", "0.12"},
+		})
+}
+
+func TestListing07_SetCurrentYear(t *testing.T) {
+	db := open(t)
+	// 2024 has only Happy (margin (7-4)/7 = 0.43); last year Happy 2023:
+	// (6-4)/6 = 0.33.
+	expectRows(t, db, `
+		SELECT prodName, orderYear, profitMargin,
+		       profitMargin AT (SET orderYear = CURRENT orderYear - 1)
+		         AS profitMarginLastYear
+		FROM (SELECT *,
+		        (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin,
+		        YEAR(orderDate) AS orderYear
+		      FROM Orders)
+		WHERE orderYear = 2024
+		GROUP BY prodName, orderYear`,
+		[][]string{
+			{"Happy", "2024", "0.43", "0.33"},
+		})
+}
+
+func TestListing08_VisibleRollup(t *testing.T) {
+	db := open(t)
+	// The paper's printed output, including the grand-total row.
+	expectRows(t, db, `
+		SELECT o.prodName,
+		       COUNT(*) AS c,
+		       AGGREGATE(o.sumRevenue) AS rAgg,
+		       o.sumRevenue AT (VISIBLE) AS rViz,
+		       o.sumRevenue AS r
+		FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders) AS o
+		WHERE o.custName <> 'Bob'
+		GROUP BY ROLLUP(o.prodName)
+		ORDER BY o.prodName NULLS LAST`,
+		[][]string{
+			{"Happy", "2", "13", "13", "17"},
+			{"Whizz", "1", "3", "3", "3"},
+			{"NULL", "3", "16", "16", "25"},
+		})
+}
+
+func TestListing09_JoinedMeasures(t *testing.T) {
+	db := open(t)
+	// Happy is bought by Alice (23) and Bob (41): two orders by Alice,
+	// one by Bob, all with custAge >= 18.
+	//   weightedAvgAge = (23+23+41)/3 = 29
+	//   avgAge (measure, distinct customers) = (23+41)/2 = 32
+	// Whizz is bought only by Celia (17), removed by the WHERE clause,
+	// so no Whizz group exists.
+	expectRows(t, db, `
+		WITH EnhancedCustomers AS (
+		  SELECT *, AVG(custAge) AS MEASURE avgAge FROM Customers)
+		SELECT o.prodName,
+		       COUNT(*) AS orderCount,
+		       AVG(c.custAge) AS weightedAvgAge,
+		       c.avgAge AS avgAge,
+		       c.avgAge AT (VISIBLE) AS visibleAvgAge
+		FROM Orders AS o
+		JOIN EnhancedCustomers AS c USING (custName)
+		WHERE c.custAge >= 18
+		GROUP BY o.prodName
+		ORDER BY o.prodName`,
+		[][]string{
+			{"Acme", "1", "41", "41", "41"},
+			{"Happy", "3", "29", "32", "32"},
+		})
+}
+
+func TestListing10_YearOverYearRatio(t *testing.T) {
+	db := open(t)
+	// Happy: 2022 rev 4, 2023 rev 6, 2024 rev 7.
+	expectRows(t, db, `
+		SELECT prodName, YEAR(orderDate) AS orderYear,
+		       sumRevenue / sumRevenue AT (SET orderYear = CURRENT orderYear - 1) AS ratio
+		FROM OrdersWithRevenue
+		GROUP BY prodName, YEAR(orderDate)
+		ORDER BY prodName, orderYear`,
+		[][]string{
+			{"Acme", "2023", "NULL"},
+			{"Happy", "2022", "NULL"},
+			{"Happy", "2023", "1.5"},
+			{"Happy", "2024", "1.17"},
+			{"Whizz", "2023", "NULL"},
+		})
+}
+
+func TestListing11_ExpansionOfYearOverYear(t *testing.T) {
+	db := open(t)
+	src := `
+		SELECT prodName, YEAR(orderDate) AS orderYear,
+		       sumRevenue / sumRevenue AT (SET orderYear = CURRENT orderYear - 1) AS ratio
+		FROM OrdersWithRevenue
+		GROUP BY prodName, YEAR(orderDate)
+		ORDER BY prodName, orderYear`
+	expanded, err := db.Expand(src)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	want := rowsAsStrings(db.MustQuery(src))
+	res, err := db.Query(expanded)
+	if err != nil {
+		t.Fatalf("expanded SQL does not run: %v\nSQL:\n%s", err, expanded)
+	}
+	got := rowsAsStrings(res)
+	if len(got) != len(want) {
+		t.Fatalf("rows: got %d want %d\nexpanded:\n%s", len(got), len(want), expanded)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("row %d col %d: %q vs %q", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	// The paper's own hand expansion (Listing 11, adapted to this
+	// engine's dialect) must also agree.
+	manual := `
+		SELECT o.prodName, YEAR(o.orderDate) AS orderYear,
+		       (SELECT SUM(i.revenue) FROM Orders AS i
+		        WHERE i.prodName = o.prodName
+		          AND YEAR(i.orderDate) = YEAR(o.orderDate))
+		     / (SELECT SUM(i.revenue) FROM Orders AS i
+		        WHERE i.prodName = o.prodName
+		          AND YEAR(i.orderDate) = YEAR(o.orderDate) - 1) AS ratio
+		FROM Orders AS o
+		GROUP BY prodName, YEAR(orderDate)
+		ORDER BY prodName, orderYear`
+	expectRows(t, db, manual, want)
+}
+
+func TestListing12_FourEquivalentQueries(t *testing.T) {
+	db := open(t)
+	queries := map[string]string{
+		"correlated": `
+			SELECT o.prodName, o.orderDate
+			FROM Orders AS o
+			WHERE o.revenue > (SELECT AVG(revenue) FROM Orders AS o1
+			                   WHERE o1.prodName = o.prodName)
+			ORDER BY o.prodName, o.orderDate`,
+		"self-join": `
+			SELECT o.prodName, o.orderDate
+			FROM Orders AS o
+			LEFT JOIN (SELECT prodName, AVG(revenue) AS avgRevenue
+			           FROM Orders GROUP BY prodName) AS o2
+			  ON o.prodName = o2.prodName
+			WHERE o.revenue > o2.avgRevenue
+			ORDER BY o.prodName, o.orderDate`,
+		"window": `
+			SELECT o.prodName, o.orderDate
+			FROM (SELECT prodName, revenue, orderDate,
+			             AVG(revenue) OVER (PARTITION BY prodName) AS avgRevenue
+			      FROM Orders) AS o
+			WHERE o.revenue > o.avgRevenue
+			ORDER BY o.prodName, o.orderDate`,
+		"measure": `
+			SELECT o.prodName, o.orderDate
+			FROM (SELECT prodName, orderDate, revenue,
+			             AVG(revenue) AS MEASURE avgRevenue
+			      FROM Orders) AS o
+			WHERE o.revenue > o.avgRevenue AT (WHERE prodName = o.prodName)
+			ORDER BY o.prodName, o.orderDate`,
+	}
+	// Happy avg = 17/3 = 5.67 → orders with revenue 6, 7 qualify.
+	want := [][]string{
+		{"Happy", "2023-11-28"},
+		{"Happy", "2024-11-28"},
+	}
+	for name, sql := range queries {
+		res, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("%s query failed: %v", name, err)
+		}
+		got := rowsAsStrings(res)
+		if len(got) != len(want) {
+			t.Fatalf("%s: got %d rows (%v), want %d", name, len(got), got, len(want))
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Errorf("%s row %d col %d: got %q want %q", name, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package msql is the public API of the measures-enabled SQL engine: an
+// embeddable, in-memory SQL database implementing the language extension
+// of "Measures in SQL" (Hyde & Fremlin, SIGMOD 2024).
+//
+// A measure is a column defined by AS MEASURE whose formula contains
+// aggregate functions; referencing it in a query evaluates the formula
+// in that call site's evaluation context, which the AT operator can
+// transform (ALL, SET, VISIBLE, WHERE) — see README.md for a tour.
+//
+//	db := msql.Open()
+//	db.MustExec(`CREATE TABLE Orders (prodName VARCHAR, revenue INTEGER)`)
+//	db.MustExec(`INSERT INTO Orders VALUES ('Happy', 6), ('Acme', 5)`)
+//	db.MustExec(`CREATE VIEW EO AS
+//	    SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders`)
+//	res, _ := db.Query(`SELECT prodName, AGGREGATE(sumRevenue)
+//	    FROM EO GROUP BY prodName`)
+//	fmt.Print(msql.Format(res))
+package msql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/measures-sql/msql/internal/ast"
+	"github.com/measures-sql/msql/internal/engine"
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/parser"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// Value is a SQL value.
+type Value = sqltypes.Value
+
+// Type is a SQL type (possibly a measure type, e.g. DOUBLE MEASURE).
+type Type = sqltypes.Type
+
+// Result holds the rows of one statement.
+type Result = engine.Result
+
+// Strategy selects how measure references are evaluated; see the paper's
+// §5.1/§6.4 and EXPERIMENTS.md for the trade-offs.
+type Strategy int
+
+const (
+	// StrategyDefault inlines measures into plain aggregation when
+	// provably equivalent and memoizes correlated subqueries otherwise.
+	StrategyDefault Strategy = iota
+	// StrategyMemo always expands to correlated subqueries, with
+	// memoization (the "localized self-join" of §5.1).
+	StrategyMemo
+	// StrategyNaive always expands to correlated subqueries and
+	// re-evaluates them per row/group (the textbook nested-loops
+	// reading of the §4.2 rewrite).
+	StrategyNaive
+)
+
+// DB is an in-memory SQL database session. It is safe for sequential
+// use; wrap with your own synchronization for concurrent sessions.
+type DB struct {
+	session *engine.Session
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	return &DB{session: engine.New()}
+}
+
+// SetStrategy switches the measure evaluation strategy.
+func (db *DB) SetStrategy(s Strategy) {
+	opt := db.session.OptOptions()
+	ex := db.session.ExecSettings()
+	switch s {
+	case StrategyMemo:
+		opt.InlineMeasures = false
+		opt.WinMagic = false
+		opt.MemoizeSubqueries = true
+		ex.MemoizeSubqueries = true
+	case StrategyNaive:
+		opt.InlineMeasures = false
+		opt.WinMagic = false
+		opt.MemoizeSubqueries = false
+		ex.MemoizeSubqueries = false
+	default:
+		opt.InlineMeasures = true
+		opt.WinMagic = true
+		opt.MemoizeSubqueries = true
+		ex.MemoizeSubqueries = true
+	}
+}
+
+// Exec runs a script of one or more statements, discarding result rows.
+func (db *DB) Exec(sql string) error {
+	_, err := db.session.Execute(sql)
+	return err
+}
+
+// Run executes a script and returns every statement's result (rows for
+// queries, a message for DDL/DML/EXPLAIN/EXPAND).
+func (db *DB) Run(sql string) ([]*Result, error) {
+	return db.session.Execute(sql)
+}
+
+// MustExec is Exec that panics on error, for setup code and examples.
+func (db *DB) MustExec(sql string) {
+	if err := db.Exec(sql); err != nil {
+		panic(err)
+	}
+}
+
+// Query runs a single statement and returns its rows.
+func (db *DB) Query(sql string) (*Result, error) {
+	return db.session.Query(sql)
+}
+
+// MustQuery is Query that panics on error.
+func (db *DB) MustQuery(sql string) *Result {
+	res, err := db.Query(sql)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Explain returns the optimized logical plan of a query as text.
+func (db *DB) Explain(sql string) (string, error) {
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		return "", err
+	}
+	res, err := db.session.ExecStatement(&ast.Explain{Query: q})
+	if err != nil {
+		return "", err
+	}
+	return res.Message, nil
+}
+
+// Expand rewrites a measure query into plain, measure-free SQL — the
+// paper's §4.2 static expansion (Listings 5 and 11). The returned SQL
+// parses and runs on this same engine with identical results.
+func (db *DB) Expand(sql string) (string, error) {
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		return "", err
+	}
+	return db.session.ExpandQuery(q)
+}
+
+// InsertRows bulk-inserts pre-built rows into a base table without going
+// through the SQL parser; values are coerced to the column types.
+func (db *DB) InsertRows(table string, rows [][]Value) error {
+	return db.session.InsertRows(table, rows)
+}
+
+// Stats holds executor counters for one query (see LastStats).
+type Stats = exec.Stats
+
+// LastStats returns executor counters for the most recent Query call:
+// subquery evaluations, memo-cache hits, rows scanned. Useful to verify
+// what a strategy actually did (EXPERIMENTS.md E12).
+func (db *DB) LastStats() Stats { return db.session.LastStats() }
+
+// Tables lists base tables and views, for tooling.
+func (db *DB) Tables() (tables, views []string) {
+	return db.session.Catalog().Names()
+}
+
+// Format renders a result as an aligned text table, in the style of the
+// paper's listings.
+func Format(res *Result) string {
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range res.Columns {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[i], c)
+	}
+	sb.WriteByte('\n')
+	for i := range res.Columns {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("=", widths[i]))
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i == len(row)-1 {
+				sb.WriteString(cell) // no trailing padding
+			} else {
+				fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
