@@ -6,12 +6,16 @@
 //	msqlbench             # run everything
 //	msqlbench -exp E08    # one experiment
 //	msqlbench -quick      # smaller sweeps for the timing experiments
+//	msqlbench -workers 4  # executor goroutines (0 = one per CPU)
+//	msqlbench -cpuprofile cpu.out -exp E21
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -21,7 +25,10 @@ import (
 	"github.com/measures-sql/msql/msql"
 )
 
-var quick = flag.Bool("quick", false, "smaller data sizes for timing experiments")
+var (
+	quick   = flag.Bool("quick", false, "smaller data sizes for timing experiments")
+	workers = flag.Int("workers", 0, "executor worker goroutines (0 = one per CPU, 1 = serial)")
+)
 
 type experiment struct {
 	id    string
@@ -30,8 +37,23 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (E01..E20) or 'all'")
+	expFlag := flag.String("exp", "all", "experiment id (E01..E21) or 'all'")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	experiments := []experiment{
 		{"E01", "Paper tables 1-2 (datasets)", e01},
@@ -45,6 +67,7 @@ func main() {
 		{"E14", "Conciseness of measure queries (§5.7)", e14},
 		{"E15-E18,E20", "Semantic claims: hologram, composability, laws, strategies", eSemantics},
 		{"E19", "Planning overhead of measure expansion", e19},
+		{"E21", "Parallel execution: speedup by worker count", e21},
 	}
 
 	failed := 0
@@ -59,6 +82,7 @@ func main() {
 		}
 	}
 	if failed > 0 {
+		pprof.StopCPUProfile()
 		os.Exit(1)
 	}
 }
@@ -66,6 +90,7 @@ func main() {
 func paperDB() *msql.DB {
 	db := msql.Open()
 	db.MustExec(paperdata.All)
+	db.SetWorkers(*workers)
 	return db
 }
 
@@ -371,6 +396,62 @@ func e19() error {
 	return nil
 }
 
+// e21 measures the morsel-parallel executor: the same measure-heavy
+// query at increasing worker counts, with a row-identity check against
+// the serial run. Speedups require spare CPUs (see the GOMAXPROCS line
+// in the output); on a single-CPU host all worker counts time alike.
+func e21() error {
+	sizes := []int{10000, 50000}
+	if *quick {
+		sizes = []int{2000, 10000}
+	}
+	workerCounts := []int{1, 2, 4, 8}
+	fmt.Printf("GOMAXPROCS=%d NumCPU=%d (speedup is bounded by available CPUs)\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	q := `SELECT prodName, AGGREGATE(margin) AS m, AGGREGATE(rev) AS r, rev AT (ALL) AS tot
+	      FROM (SELECT *, SUM(revenue) AS MEASURE rev,
+	                   (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE margin
+	            FROM Orders) AS o
+	      GROUP BY prodName`
+	fmt.Printf("%-8s |", "orders")
+	for _, w := range workerCounts {
+		fmt.Printf(" %10s", fmt.Sprintf("w=%d", w))
+	}
+	fmt.Printf(" | %-10s %s\n", "speedup@4", "identical")
+	for _, n := range sizes {
+		db := loadSynthetic(n, 100, 0)
+		db.SetStrategy(msql.StrategyMemo)
+		var baseSig []string
+		var times []time.Duration
+		identical := true
+		for _, w := range workerCounts {
+			db.SetWorkers(w)
+			times = append(times, timeQuery(db, q))
+			res, err := db.Query(q)
+			if err != nil {
+				return err
+			}
+			sig := signature(res)
+			if baseSig == nil {
+				baseSig = sig
+			} else if !equalSigs(sig, baseSig) {
+				identical = false
+			}
+		}
+		fmt.Printf("%-8d |", n)
+		for _, d := range times {
+			fmt.Printf(" %10v", d)
+		}
+		speedup := float64(times[0]) / float64(times[2])
+		fmt.Printf(" | %-10s %v\n", fmt.Sprintf("%.2fx", speedup), identical)
+		if !identical {
+			return fmt.Errorf("parallel output differs from serial output at %d orders", n)
+		}
+	}
+	fmt.Println("rows are bit-identical at every worker count (order-preserving morsel reassembly)")
+	return nil
+}
+
 // ---------------------------------------------------------------------------
 // helpers
 
@@ -415,6 +496,7 @@ func loadSynthetic(orders, products int, nullFrac float64) *msql.DB {
 	if err := db.InsertRows("Orders", ds.Orders); err != nil {
 		panic(err)
 	}
+	db.SetWorkers(*workers)
 	return db
 }
 

@@ -138,7 +138,7 @@ func (s *Session) runQuery(q *ast.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.lastStats = exec.Stats{}
+	s.lastStats.Reset()
 	settings := *s.exec
 	settings.Stats = &s.lastStats
 	rows, err := exec.Run(node, &settings)

@@ -17,20 +17,23 @@ type groupAcc struct {
 	// within tracks WITHIN DISTINCT key tuples and the argument values
 	// first seen for each, to enforce functional dependence.
 	within []map[string]string
-	order  int // stable output order (first-seen)
+	order  int // index of the group's first input row (stable output order)
 }
 
-// runAggregate evaluates grouping-set hash aggregation. The input is
-// scanned once; every grouping set maintains its own hash table, so
-// ROLLUP/CUBE cost one pass regardless of the number of sets.
-func (rt *runtime) runAggregate(n *plan.Aggregate) ([]Row, error) {
-	in, err := rt.run(n.Input)
-	if err != nil {
-		return nil, err
-	}
+// aggEnv holds per-query aggregate metadata shared by the serial and
+// parallel aggregation paths.
+type aggEnv struct {
+	n        *plan.Aggregate
+	defs     []*fn.Agg
+	argTypes [][]sqltypes.Type
+}
 
-	argTypes := make([][]sqltypes.Type, len(n.Aggs))
-	aggDefs := make([]*fn.Agg, len(n.Aggs))
+func newAggEnv(n *plan.Aggregate) (*aggEnv, error) {
+	env := &aggEnv{
+		n:        n,
+		defs:     make([]*fn.Agg, len(n.Aggs)),
+		argTypes: make([][]sqltypes.Type, len(n.Aggs)),
+	}
 	for i, call := range n.Aggs {
 		if call.Name == "GROUPING" {
 			continue
@@ -39,53 +42,148 @@ func (rt *runtime) runAggregate(n *plan.Aggregate) ([]Row, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown aggregate %s at runtime", call.Name)
 		}
-		aggDefs[i] = def
+		env.defs[i] = def
 		types := make([]sqltypes.Type, len(call.Args))
 		for j, a := range call.Args {
 			types[j] = a.Type()
 		}
-		argTypes[i] = types
+		env.argTypes[i] = types
 	}
+	return env, nil
+}
 
-	newAcc := func(keyVals []sqltypes.Value, order int) *groupAcc {
-		acc := &groupAcc{
-			keyVals: keyVals,
-			states:  make([]fn.AggState, len(n.Aggs)),
-			dedup:   make([]map[string]bool, len(n.Aggs)),
-			within:  make([]map[string]string, len(n.Aggs)),
-			order:   order,
-		}
-		for i, call := range n.Aggs {
-			if call.Name == "GROUPING" {
-				continue
-			}
-			acc.states[i] = aggDefs[i].New(argTypes[i])
-			if call.Distinct {
-				acc.dedup[i] = map[string]bool{}
-			}
-			if len(call.WithinDistinct) > 0 {
-				acc.within[i] = map[string]string{}
-			}
-		}
-		return acc
+func (env *aggEnv) newAcc(keyVals []sqltypes.Value, order int) *groupAcc {
+	n := env.n
+	acc := &groupAcc{
+		keyVals: keyVals,
+		states:  make([]fn.AggState, len(n.Aggs)),
+		dedup:   make([]map[string]bool, len(n.Aggs)),
+		within:  make([]map[string]string, len(n.Aggs)),
+		order:   order,
 	}
+	for i, call := range n.Aggs {
+		if call.Name == "GROUPING" {
+			continue
+		}
+		acc.states[i] = env.defs[i].New(env.argTypes[i])
+		if call.Distinct {
+			acc.dedup[i] = map[string]bool{}
+		}
+		if len(call.WithinDistinct) > 0 {
+			acc.within[i] = map[string]string{}
+		}
+	}
+	return acc
+}
 
-	type setTable struct {
-		groups map[string]*groupAcc
+// nullKeyVals returns a full-width key tuple with this set's columns
+// filled in and the rest NULL.
+func (env *aggEnv) maskKeyVals(set []int, keyVals []sqltypes.Value) []sqltypes.Value {
+	kv := make([]sqltypes.Value, len(env.n.GroupExprs))
+	for j := range kv {
+		kv[j] = sqltypes.Null(sqltypes.KindUnknown)
 	}
-	tables := make([]setTable, len(n.Sets))
+	for _, j := range set {
+		kv[j] = keyVals[j]
+	}
+	return kv
+}
+
+// chunkMergeable reports whether two-phase (partial-state merge)
+// parallel aggregation is exact for this query: every aggregate's
+// partial states must merge exactly (no floating-point accumulation),
+// and DISTINCT / WITHIN DISTINCT need the group's full row stream in
+// one place, so they disqualify the chunk-merge path.
+func (env *aggEnv) chunkMergeable() bool {
+	for i, call := range env.n.Aggs {
+		if call.Name == "GROUPING" {
+			continue
+		}
+		if call.Distinct || len(call.WithinDistinct) > 0 {
+			return false
+		}
+		def := env.defs[i]
+		if def.ExactMerge == nil || !def.ExactMerge(env.argTypes[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// exprs returns every expression the aggregate evaluates per row, for
+// parallel-safety analysis and cost detection.
+func (env *aggEnv) exprs() []plan.Expr {
+	var exprs []plan.Expr
+	exprs = append(exprs, env.n.GroupExprs...)
+	for _, call := range env.n.Aggs {
+		exprs = append(exprs, call.Args...)
+		if call.Filter != nil {
+			exprs = append(exprs, call.Filter)
+		}
+		exprs = append(exprs, call.WithinDistinct...)
+	}
+	return exprs
+}
+
+type setTable struct {
+	groups map[string]*groupAcc
+}
+
+func newSetTables(n int) []setTable {
+	tables := make([]setTable, n)
 	for i := range tables {
 		tables[i] = setTable{groups: map[string]*groupAcc{}}
 	}
-	orderCounter := 0
+	return tables
+}
 
-	for _, row := range in {
+// runAggregate evaluates grouping-set hash aggregation. The input is
+// scanned once; every grouping set maintains its own hash table, so
+// ROLLUP/CUBE cost one pass regardless of the number of sets. With
+// spare workers the scan runs in parallel: either by chunk-merging
+// partial states (exact-merge aggregates) or by partitioning groups
+// across workers (order-sensitive aggregates); both orders groups by
+// first input row, reproducing the serial output exactly.
+func (rt *runtime) runAggregate(n *plan.Aggregate) ([]Row, error) {
+	in, err := rt.run(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	env, err := newAggEnv(n)
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []setTable
+	if workers, grain := rt.rowParallelism(len(in), env.exprs()...); workers > 1 {
+		if env.chunkMergeable() {
+			tables, err = rt.aggChunkMerge(env, in, workers, grain)
+		} else {
+			tables, err = rt.aggGroupPartitioned(env, in, workers, grain)
+		}
+	} else {
+		tables = newSetTables(len(n.Sets))
+		err = rt.accumulateRows(env, tables, in, 0, len(in))
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	return env.emit(tables, len(in))
+}
+
+// accumulateRows folds rows[lo:hi] into tables, creating groups keyed
+// by each grouping set. Group order is the first input-row index.
+func (rt *runtime) accumulateRows(env *aggEnv, tables []setTable, in []Row, lo, hi int) error {
+	n := env.n
+	for i := lo; i < hi; i++ {
+		row := in[i]
 		// Evaluate each group expression once per row.
 		keyVals := make([]sqltypes.Value, len(n.GroupExprs))
 		for j, g := range n.GroupExprs {
 			v, err := rt.eval(g, row)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			keyVals[j] = v
 		}
@@ -97,22 +195,150 @@ func (rt *runtime) runAggregate(n *plan.Aggregate) ([]Row, error) {
 			key := sqltypes.RowKey(setKey)
 			acc := tables[si].groups[key]
 			if acc == nil {
-				kv := make([]sqltypes.Value, len(n.GroupExprs))
-				for j := range kv {
-					kv[j] = sqltypes.Null(sqltypes.KindUnknown)
-				}
-				for _, j := range set {
-					kv[j] = keyVals[j]
-				}
-				acc = newAcc(kv, orderCounter)
-				orderCounter++
+				acc = env.newAcc(env.maskKeyVals(set, keyVals), i)
 				tables[si].groups[key] = acc
 			}
-			if err := rt.accumulate(n, acc, row, aggDefs); err != nil {
-				return nil, err
+			if err := rt.accumulate(env, acc, row); err != nil {
+				return err
 			}
 		}
 	}
+	return nil
+}
+
+// aggChunkMerge is the two-phase parallel path: each chunk accumulates
+// private partial tables over its contiguous row range, then partials
+// are merged left-to-right in chunk order. Restricted to exact-merge
+// aggregates, so the result is bit-identical to one serial pass.
+func (rt *runtime) aggChunkMerge(env *aggEnv, in []Row, workers, grain int) ([]setTable, error) {
+	chunkTables := make([][]setTable, numChunks(len(in), grain))
+	err := rt.forEachChunk(len(in), workers, grain, func(w *runtime, _, chunk, lo, hi int) error {
+		t := newSetTables(len(env.n.Sets))
+		if err := w.accumulateRows(env, t, in, lo, hi); err != nil {
+			return err
+		}
+		chunkTables[chunk] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tables := newSetTables(len(env.n.Sets))
+	for _, ct := range chunkTables {
+		for si := range ct {
+			for key, acc := range ct[si].groups {
+				dst := tables[si].groups[key]
+				if dst == nil {
+					tables[si].groups[key] = acc
+					continue
+				}
+				// dst holds earlier chunks' rows; acc extends it.
+				for ai := range dst.states {
+					if dst.states[ai] == nil {
+						continue
+					}
+					if err := dst.states[ai].Merge(acc.states[ai]); err != nil {
+						return nil, err
+					}
+				}
+				if acc.order < dst.order {
+					dst.order = acc.order
+				}
+			}
+		}
+	}
+	return tables, nil
+}
+
+// aggGroupPartitioned is the fallback parallel path for order-sensitive
+// aggregates (floating-point SUM/AVG/VAR, DISTINCT, WITHIN DISTINCT):
+// group keys are precomputed over morsels, then groups are partitioned
+// across workers by key hash, and each worker folds its groups' rows in
+// ascending input order — exactly the serial accumulation per group.
+func (rt *runtime) aggGroupPartitioned(env *aggEnv, in []Row, workers, grain int) ([]setTable, error) {
+	n := env.n
+	nSets := len(n.Sets)
+
+	// Phase 1: per-row group-expression values, set keys, and hashes.
+	allKeyVals := make([][]sqltypes.Value, len(in))
+	setKeys := make([]string, len(in)*nSets)
+	setHash := make([]uint32, len(in)*nSets)
+	err := rt.forEachChunk(len(in), workers, grain, func(w *runtime, _, _, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			keyVals := make([]sqltypes.Value, len(n.GroupExprs))
+			for j, g := range n.GroupExprs {
+				v, err := w.eval(g, in[i])
+				if err != nil {
+					return err
+				}
+				keyVals[j] = v
+			}
+			allKeyVals[i] = keyVals
+			for si, set := range n.Sets {
+				setKey := make([]sqltypes.Value, len(set))
+				for k, j := range set {
+					setKey[k] = keyVals[j]
+				}
+				key := sqltypes.RowKey(setKey)
+				setKeys[i*nSets+si] = key
+				setHash[i*nSets+si] = hash32(key)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: worker w owns the groups whose key hash ≡ w (mod
+	// workers). Every worker scans all rows in ascending order but only
+	// evaluates aggregate arguments for rows of its own groups, so each
+	// group sees its input in global order on a single goroutine.
+	workerTables := make([][]setTable, workers)
+	err = rt.runWorkers(workers, func(w *runtime, worker int) error {
+		tables := newSetTables(nSets)
+		workerTables[worker] = tables
+		for i, row := range in {
+			for si, set := range n.Sets {
+				idx := i*nSets + si
+				if int(setHash[idx])%workers != worker {
+					continue
+				}
+				key := setKeys[idx]
+				acc := tables[si].groups[key]
+				if acc == nil {
+					acc = env.newAcc(env.maskKeyVals(set, allKeyVals[i]), i)
+					tables[si].groups[key] = acc
+				}
+				if err := w.accumulate(env, acc, row); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: union the disjoint per-worker tables.
+	tables := newSetTables(nSets)
+	for _, wt := range workerTables {
+		for si := range wt {
+			for key, acc := range wt[si].groups {
+				tables[si].groups[key] = acc
+			}
+		}
+	}
+	return tables, nil
+}
+
+// emit renders the final rows: group key columns, then aggregates. Set
+// order, then first-seen (first input row) order within a set, for
+// deterministic output.
+func (env *aggEnv) emit(tables []setTable, inputLen int) ([]Row, error) {
+	n := env.n
 
 	// A global grouping set (no keys) emits a row even with no input.
 	for si, set := range n.Sets {
@@ -121,13 +347,10 @@ func (rt *runtime) runAggregate(n *plan.Aggregate) ([]Row, error) {
 			for j := range kv {
 				kv[j] = sqltypes.Null(sqltypes.KindUnknown)
 			}
-			tables[si].groups[""] = newAcc(kv, orderCounter)
-			orderCounter++
+			tables[si].groups[""] = env.newAcc(kv, inputLen)
 		}
 	}
 
-	// Emit: group key columns, then aggregates. Set order, then first-seen
-	// order within a set, for deterministic output.
 	var out []Row
 	for si, set := range n.Sets {
 		inSet := make(map[int]bool, len(set))
@@ -169,8 +392,8 @@ func sortAccs(accs []*groupAcc) {
 	sort.Slice(accs, func(a, b int) bool { return accs[a].order < accs[b].order })
 }
 
-func (rt *runtime) accumulate(n *plan.Aggregate, acc *groupAcc, row Row, defs []*fn.Agg) error {
-	for i, call := range n.Aggs {
+func (rt *runtime) accumulate(env *aggEnv, acc *groupAcc, row Row) error {
+	for i, call := range env.n.Aggs {
 		if call.Name == "GROUPING" {
 			continue
 		}
@@ -191,7 +414,7 @@ func (rt *runtime) accumulate(n *plan.Aggregate, acc *groupAcc, row Row, defs []
 				return err
 			}
 			args[j] = v
-			if j == 0 && v.Null && defs[i].SkipNulls {
+			if j == 0 && v.Null && env.defs[i].SkipNulls {
 				skip = true
 			}
 		}

@@ -9,6 +9,8 @@ package exec
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/measures-sql/msql/internal/fn"
 	"github.com/measures-sql/msql/internal/plan"
@@ -20,14 +22,25 @@ type Row = []sqltypes.Value
 
 // Stats counts executor events for one query; the experiment harness and
 // tests use it to verify strategies do what they claim (e.g. memoization
-// evaluates each distinct context once).
+// evaluates each distinct context once). Counters are updated atomically
+// so they stay exact when Workers > 1.
 type Stats struct {
 	// SubqueryEvals counts actual subquery plan executions.
-	SubqueryEvals int
-	// SubqueryCacheHits counts evaluations served from the memo cache.
-	SubqueryCacheHits int
+	SubqueryEvals int64
+	// SubqueryCacheHits counts evaluations served from the memo cache
+	// (including waits on another worker's in-flight evaluation).
+	SubqueryCacheHits int64
 	// RowsScanned counts rows produced by Scan nodes.
-	RowsScanned int
+	RowsScanned int64
+}
+
+// Reset zeroes the counters with atomic stores, so a session may reuse
+// one Stats across queries even while other goroutines run queries that
+// update it.
+func (s *Stats) Reset() {
+	atomic.StoreInt64(&s.SubqueryEvals, 0)
+	atomic.StoreInt64(&s.SubqueryCacheHits, 0)
+	atomic.StoreInt64(&s.RowsScanned, 0)
 }
 
 // Settings control execution strategies (for ablation benchmarks).
@@ -36,6 +49,11 @@ type Settings struct {
 	// subquery results keyed by their correlated inputs. Disabling it
 	// re-evaluates subqueries per outer row (the naive strategy).
 	MemoizeSubqueries bool
+	// Workers bounds the number of goroutines an operator may fan out
+	// to. 0 means runtime.GOMAXPROCS(0); 1 runs every operator on the
+	// calling goroutine (the exact serial path). Results are identical
+	// for any value.
+	Workers int
 	// Stats, when non-nil, accumulates executor counters.
 	Stats *Stats
 }
@@ -45,27 +63,32 @@ func DefaultSettings() *Settings {
 	return &Settings{MemoizeSubqueries: true}
 }
 
-// runtime carries per-query execution state.
-type runtime struct {
+// shared is the per-query state common to every worker goroutine: the
+// settings, the concurrency-safe subquery memo cache, and the discovered
+// correlation dependencies per subquery.
+type shared struct {
 	settings *Settings
+	memo     *memoCache
+	depsMu   sync.RWMutex
+	deps     map[*plan.Subquery][]corrDep
+}
+
+// runtime carries the execution state of one goroutine. The top-level
+// runtime owns the full worker budget; worker runtimes created by the
+// parallel operators share sh but run nested plans serially.
+type runtime struct {
+	sh *shared
 	// outer is the stack of outer-frame rows; a CorrRef at level L reads
 	// outer[len(outer)-L].
 	outer []Row
-	// memo caches subquery evaluations per Subquery node.
-	memo map[*plan.Subquery]*memoState
-	// deps caches the discovered external dependencies per Subquery node.
-	deps map[*plan.Subquery][]corrDep
+	// workers is this goroutine's parallelism budget for the operators
+	// it executes; worker runtimes get 1 so fan-out never nests.
+	workers int
 }
 
 type corrDep struct {
 	levels int // relative to the subquery frame: 1 = immediate outer
 	index  int
-}
-
-type memoState struct {
-	scalar map[string]sqltypes.Value
-	exists map[string]bool
-	inSet  map[string]*inSet
 }
 
 type inSet struct {
@@ -76,9 +99,12 @@ type inSet struct {
 
 func newRuntime(settings *Settings) *runtime {
 	return &runtime{
-		settings: settings,
-		memo:     map[*plan.Subquery]*memoState{},
-		deps:     map[*plan.Subquery][]corrDep{},
+		sh: &shared{
+			settings: settings,
+			memo:     newMemoCache(),
+			deps:     map[*plan.Subquery][]corrDep{},
+		},
+		workers: resolveWorkers(settings.Workers),
 	}
 }
 
@@ -305,10 +331,14 @@ func collectDeps(sq *plan.Subquery) []corrDep {
 // memoKey computes the cache key for sq given the current outer frames
 // (with row about to be pushed as the immediate outer frame).
 func (rt *runtime) memoKey(sq *plan.Subquery, row Row) (string, error) {
-	deps, ok := rt.deps[sq]
+	rt.sh.depsMu.RLock()
+	deps, ok := rt.sh.deps[sq]
+	rt.sh.depsMu.RUnlock()
 	if !ok {
 		deps = collectDeps(sq)
-		rt.deps[sq] = deps
+		rt.sh.depsMu.Lock()
+		rt.sh.deps[sq] = deps
+		rt.sh.depsMu.Unlock()
 	}
 	vals := make([]sqltypes.Value, len(deps))
 	for i, d := range deps {
@@ -331,108 +361,43 @@ func (rt *runtime) memoKey(sq *plan.Subquery, row Row) (string, error) {
 }
 
 func (rt *runtime) evalSubquery(sq *plan.Subquery, row Row) (sqltypes.Value, error) {
-	memoize := sq.Memo && rt.settings.MemoizeSubqueries
-	var key string
-	var state *memoState
-	if memoize {
-		k, err := rt.memoKey(sq, row)
+	var e *memoEntry
+	if sq.Memo && rt.sh.settings.MemoizeSubqueries {
+		key, err := rt.memoKey(sq, row)
 		if err != nil {
 			return sqltypes.Value{}, err
 		}
-		key = k
-		state = rt.memo[sq]
-		if state == nil {
-			state = &memoState{}
-			rt.memo[sq] = state
+		// Singleflight: workers that race on the same evaluation context
+		// wait for the one computing it — exactly one base scan per
+		// distinct context (the parallel "localized self-join").
+		var hit bool
+		e, hit = rt.sh.memo.do(sq, key, func(e *memoEntry) {
+			rt.computeSubquery(sq, row, e)
+		})
+		if hit {
+			rt.countHit()
 		}
+	} else {
+		e = &memoEntry{}
+		rt.computeSubquery(sq, row, e)
+	}
+	if e.err != nil {
+		return sqltypes.Value{}, e.err
 	}
 
 	switch sq.Mode {
 	case plan.SubScalar:
-		if memoize {
-			if v, ok := state.scalar[key]; ok {
-				rt.countHit()
-				return v, nil
-			}
-		}
-		rows, err := rt.runNested(sq, row)
-		if err != nil {
-			return sqltypes.Value{}, err
-		}
-		var v sqltypes.Value
-		switch len(rows) {
-		case 0:
-			v = sqltypes.Null(sq.Typ.Kind)
-		case 1:
-			v = rows[0][0]
-		default:
-			return sqltypes.Value{}, fmt.Errorf("scalar subquery returned %d rows", len(rows))
-		}
-		if memoize {
-			if state.scalar == nil {
-				state.scalar = map[string]sqltypes.Value{}
-			}
-			state.scalar[key] = v
-		}
-		return v, nil
+		return e.scalar, nil
 
 	case plan.SubExists:
-		var exists bool
-		cached := false
-		if memoize {
-			if v, ok := state.exists[key]; ok {
-				exists, cached = v, true
-				rt.countHit()
-			}
-		}
-		if !cached {
-			rows, err := rt.runNested(sq, row)
-			if err != nil {
-				return sqltypes.Value{}, err
-			}
-			exists = len(rows) > 0
-			if memoize {
-				if state.exists == nil {
-					state.exists = map[string]bool{}
-				}
-				state.exists[key] = exists
-			}
-		}
-		return sqltypes.NewBool(exists != sq.Neg), nil
+		return sqltypes.NewBool(e.exists != sq.Neg), nil
 
 	case plan.SubIn:
-		var set *inSet
-		if memoize {
-			set = state.inSet[key]
-			if set != nil {
-				rt.countHit()
-			}
-		}
-		if set == nil {
-			rows, err := rt.runNested(sq, row)
-			if err != nil {
-				return sqltypes.Value{}, err
-			}
-			set = &inSet{keys: make(map[string]bool, len(rows)), count: len(rows)}
-			for _, r := range rows {
-				set.keys[sqltypes.RowKey(r)] = true
-				for _, v := range r {
-					if v.Null {
-						set.hasNull = true
-					}
-				}
-			}
-			if memoize {
-				if state.inSet == nil {
-					state.inSet = map[string]*inSet{}
-				}
-				state.inSet[key] = set
-			}
-		}
+		set := e.set
 		left := make([]sqltypes.Value, len(sq.Exprs))
 		leftNull := false
-		for i, e := range sq.Exprs {
-			v, err := rt.eval(e, row)
+		for i, x := range sq.Exprs {
+			v, err := rt.eval(x, row)
 			if err != nil {
 				return sqltypes.Value{}, err
 			}
@@ -459,15 +424,50 @@ func (rt *runtime) evalSubquery(sq *plan.Subquery, row Row) (sqltypes.Value, err
 	}
 }
 
+// computeSubquery runs sq's plan for the given outer row and fills e
+// with the mode-specific artifact (scalar value, existence bit, or IN
+// set); the per-row parts of IN are applied by the caller.
+func (rt *runtime) computeSubquery(sq *plan.Subquery, row Row, e *memoEntry) {
+	rows, err := rt.runNested(sq, row)
+	if err != nil {
+		e.err = err
+		return
+	}
+	switch sq.Mode {
+	case plan.SubScalar:
+		switch len(rows) {
+		case 0:
+			e.scalar = sqltypes.Null(sq.Typ.Kind)
+		case 1:
+			e.scalar = rows[0][0]
+		default:
+			e.err = fmt.Errorf("scalar subquery returned %d rows", len(rows))
+		}
+	case plan.SubExists:
+		e.exists = len(rows) > 0
+	case plan.SubIn:
+		set := &inSet{keys: make(map[string]bool, len(rows)), count: len(rows)}
+		for _, r := range rows {
+			set.keys[sqltypes.RowKey(r)] = true
+			for _, v := range r {
+				if v.Null {
+					set.hasNull = true
+				}
+			}
+		}
+		e.set = set
+	}
+}
+
 func (rt *runtime) countHit() {
-	if rt.settings.Stats != nil {
-		rt.settings.Stats.SubqueryCacheHits++
+	if s := rt.sh.settings.Stats; s != nil {
+		atomic.AddInt64(&s.SubqueryCacheHits, 1)
 	}
 }
 
 func (rt *runtime) runNested(sq *plan.Subquery, row Row) ([]Row, error) {
-	if rt.settings.Stats != nil {
-		rt.settings.Stats.SubqueryEvals++
+	if s := rt.sh.settings.Stats; s != nil {
+		atomic.AddInt64(&s.SubqueryEvals, 1)
 	}
 	rt.outer = append(rt.outer, row)
 	rows, err := rt.run(sq.Plan)

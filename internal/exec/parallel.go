@@ -1,0 +1,351 @@
+package exec
+
+// This file implements morsel-parallel execution. Operators over
+// materialized row slices split their input into contiguous chunks
+// ("morsels") claimed dynamically by a small pool of worker goroutines,
+// then reassemble outputs in chunk order, so results are bit-identical
+// to the serial path. Each worker gets its own runtime (private
+// outer-row stack, serial nested execution) while sharing the query's
+// settings, stats, and the sharded singleflight memo cache below.
+
+import (
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+const (
+	// morselRows is the chunk size for row-parallel operators: big
+	// enough to amortize scheduling, small enough to balance skew.
+	morselRows = 4096
+	// minParallelRows is the input size below which fan-out overhead
+	// outweighs the work and operators stay serial.
+	minParallelRows = 2048
+)
+
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return stdruntime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// child creates a worker runtime sharing this runtime's caches and
+// settings. The outer stack is copied so the worker's nested subquery
+// evaluation cannot alias the parent's; workers run nested plans
+// serially (workers=1) so fan-out never nests.
+func (rt *runtime) child() *runtime {
+	outer := make([]Row, len(rt.outer))
+	copy(outer, rt.outer)
+	return &runtime{sh: rt.sh, outer: outer, workers: 1}
+}
+
+// rowParallelism decides worker count and chunk size for a row-wise
+// operator over n input rows whose expressions are exprs. Serial (1, 0)
+// unless the runtime has spare workers and every expression is
+// parallel-safe (no volatile functions). Expressions containing
+// subqueries make each row expensive — a handful of rows is then worth
+// fanning out at fine granularity (the memo strategy's Project over a
+// few hundred group contexts is exactly this shape); cheap expressions
+// need a large input and coarse morsels to amortize scheduling.
+func (rt *runtime) rowParallelism(n int, exprs ...plan.Expr) (workers, grain int) {
+	w := rt.workers
+	if w <= 1 || n < 2 {
+		return 1, 0
+	}
+	expensive := false
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if !plan.ExprParallelSafe(e) {
+			return 1, 0
+		}
+		plan.WalkExprs(e, func(x plan.Expr) {
+			if _, ok := x.(*plan.Subquery); ok {
+				expensive = true
+			}
+		})
+	}
+	grain = morselRows
+	if expensive {
+		// Fine-grained dynamic claiming; each task is a scan or a cache
+		// hit, so per-chunk overhead is irrelevant.
+		grain = (n + w*8 - 1) / (w * 8)
+		if grain > morselRows {
+			grain = morselRows
+		}
+	} else if n < minParallelRows {
+		return 1, 0
+	}
+	if chunks := (n + grain - 1) / grain; chunks < w {
+		w = chunks
+	}
+	if w <= 1 {
+		return 1, 0
+	}
+	return w, grain
+}
+
+// taskParallelism decides the worker count for coarse independent work
+// items (window partitions) drawn from totalRows input rows. Serial
+// unless there are spare workers, at least two tasks, every expression
+// is parallel-safe, and the work is worth fanning out (large input, or
+// subquery-bearing expressions that make each task expensive).
+func (rt *runtime) taskParallelism(nTasks, totalRows int, exprs ...plan.Expr) int {
+	w := rt.workers
+	if w <= 1 || nTasks < 2 {
+		return 1
+	}
+	expensive := false
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if !plan.ExprParallelSafe(e) {
+			return 1
+		}
+		plan.WalkExprs(e, func(x plan.Expr) {
+			if _, ok := x.(*plan.Subquery); ok {
+				expensive = true
+			}
+		})
+	}
+	if !expensive && totalRows < minParallelRows {
+		return 1
+	}
+	if nTasks < w {
+		w = nTasks
+	}
+	return w
+}
+
+// runWorkers runs fn on `workers` goroutines, each with its own child
+// runtime. It returns the lowest-indexed worker's error, if any.
+func (rt *runtime) runWorkers(workers int, fn func(w *runtime, worker int) error) error {
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		w := rt.child()
+		wg.Add(1)
+		go func(i int, w *runtime) {
+			defer wg.Done()
+			errs[i] = fn(w, i)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// numChunks returns how many chunks of the given grain cover n rows.
+func numChunks(n, grain int) int { return (n + grain - 1) / grain }
+
+// forEachChunk processes [0, n) in contiguous grain-sized chunks on
+// `workers` goroutines; chunks are claimed dynamically, and every
+// worker walks its chunks in ascending order. fn must write only chunk-
+// or worker-owned state. On error the remaining chunks are abandoned.
+func (rt *runtime) forEachChunk(n, workers, grain int, fn func(w *runtime, worker, chunk, lo, hi int) error) error {
+	chunks := numChunks(n, grain)
+	var next atomic.Int64
+	var failed atomic.Bool
+	return rt.runWorkers(workers, func(w *runtime, worker int) error {
+		for {
+			if failed.Load() {
+				return nil
+			}
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return nil
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			if err := fn(w, worker, c, lo, hi); err != nil {
+				failed.Store(true)
+				return err
+			}
+		}
+	})
+}
+
+// forEachTask processes task indices [0, n) on `workers` goroutines,
+// one index at a time (for coarse work items like window partitions or
+// aggregation groups).
+func (rt *runtime) forEachTask(n, workers int, fn func(w *runtime, i int) error) error {
+	var next atomic.Int64
+	var failed atomic.Bool
+	return rt.runWorkers(workers, func(w *runtime, _ int) error {
+		for {
+			if failed.Load() {
+				return nil
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return nil
+			}
+			if err := fn(w, i); err != nil {
+				failed.Store(true)
+				return err
+			}
+		}
+	})
+}
+
+// projectExprs collects a Project's expressions for safety analysis.
+func projectExprs(n *plan.Project) []plan.Expr {
+	exprs := make([]plan.Expr, len(n.Exprs))
+	for i, ne := range n.Exprs {
+		exprs[i] = ne.Expr
+	}
+	return exprs
+}
+
+// projectRow evaluates one Project output row.
+func (rt *runtime) projectRow(n *plan.Project, row Row) (Row, error) {
+	proj := make(Row, len(n.Exprs))
+	for j, ne := range n.Exprs {
+		v, err := rt.eval(ne.Expr, row)
+		if err != nil {
+			return nil, err
+		}
+		proj[j] = v
+	}
+	return proj, nil
+}
+
+// runFilterParallel evaluates the predicate over morsels in parallel,
+// writing a keep-bit per row, then compacts serially in row order.
+func (rt *runtime) runFilterParallel(n *plan.Filter, in []Row, workers, grain int) ([]Row, error) {
+	keep := make([]bool, len(in))
+	err := rt.forEachChunk(len(in), workers, grain, func(w *runtime, _, _, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			v, err := w.eval(n.Pred, in[i])
+			if err != nil {
+				return err
+			}
+			keep[i] = v.IsTrue()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	for i, row := range in {
+		if keep[i] {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// runProjectParallel evaluates the projection over morsels in parallel;
+// each row's output lands at its own index, so order is preserved.
+func (rt *runtime) runProjectParallel(n *plan.Project, in []Row, workers, grain int) ([]Row, error) {
+	out := make([]Row, len(in))
+	err := rt.forEachChunk(len(in), workers, grain, func(w *runtime, _, _, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			proj, err := w.projectRow(n, in[i])
+			if err != nil {
+				return err
+			}
+			out[i] = proj
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sharded singleflight memo cache
+
+// memoShardCount is a power of two comfortably above typical worker
+// counts, keeping shard-lock contention negligible.
+const memoShardCount = 32
+
+// memoCache memoizes subquery evaluations per (subquery, evaluation
+// context) across all workers of one query. Lookups of an in-flight
+// entry block until its computation finishes, so concurrent workers
+// evaluating the same context trigger exactly one base-table scan —
+// the paper's "localized self-join" strategy (§5.1), parallel.
+type memoCache struct {
+	shards [memoShardCount]memoShard
+}
+
+type memoShard struct {
+	mu      sync.Mutex
+	entries map[memoCacheKey]*memoEntry
+}
+
+type memoCacheKey struct {
+	sq  *plan.Subquery
+	ctx string
+}
+
+// memoEntry holds one computed subquery artifact. Fields are written by
+// the computing goroutine before done is closed and read by waiters
+// after it is closed (or by the sole owner for uncached evaluation).
+type memoEntry struct {
+	done   chan struct{}
+	scalar sqltypes.Value
+	exists bool
+	set    *inSet
+	err    error
+}
+
+func newMemoCache() *memoCache {
+	c := &memoCache{}
+	for i := range c.shards {
+		c.shards[i].entries = map[memoCacheKey]*memoEntry{}
+	}
+	return c
+}
+
+// hash32 is FNV-1a, used to shard memo entries and partition aggregate
+// groups across workers.
+func hash32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func memoShardIndex(ctx string) uint32 {
+	return hash32(ctx) % memoShardCount
+}
+
+// do returns the completed entry for (sq, ctx), running compute at most
+// once across all goroutines. hit reports whether this caller was
+// served by the cache — either a finished entry or a wait on another
+// goroutine's in-flight computation — rather than computing itself.
+func (c *memoCache) do(sq *plan.Subquery, ctx string, compute func(*memoEntry)) (e *memoEntry, hit bool) {
+	s := &c.shards[memoShardIndex(ctx)]
+	k := memoCacheKey{sq: sq, ctx: ctx}
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		s.mu.Unlock()
+		<-e.done
+		return e, true
+	}
+	e = &memoEntry{done: make(chan struct{})}
+	s.entries[k] = e
+	s.mu.Unlock()
+	compute(e)
+	close(e.done)
+	return e, false
+}

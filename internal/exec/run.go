@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"github.com/measures-sql/msql/internal/plan"
 	"github.com/measures-sql/msql/internal/sqltypes"
@@ -21,8 +22,8 @@ func (rt *runtime) run(n plan.Node) ([]Row, error) {
 	switch n := n.(type) {
 	case *plan.Scan:
 		rows := n.Source.Rows()
-		if rt.settings.Stats != nil {
-			rt.settings.Stats.RowsScanned += len(rows)
+		if s := rt.sh.settings.Stats; s != nil {
+			atomic.AddInt64(&s.RowsScanned, int64(len(rows)))
 		}
 		return rows, nil
 
@@ -46,6 +47,9 @@ func (rt *runtime) run(n plan.Node) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		if w, g := rt.rowParallelism(len(in), n.Pred); w > 1 {
+			return rt.runFilterParallel(n, in, w, g)
+		}
 		var out []Row
 		for _, row := range in {
 			v, err := rt.eval(n.Pred, row)
@@ -63,15 +67,14 @@ func (rt *runtime) run(n plan.Node) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		if w, g := rt.rowParallelism(len(in), projectExprs(n)...); w > 1 {
+			return rt.runProjectParallel(n, in, w, g)
+		}
 		out := make([]Row, len(in))
 		for i, row := range in {
-			proj := make(Row, len(n.Exprs))
-			for j, ne := range n.Exprs {
-				v, err := rt.eval(ne.Expr, row)
-				if err != nil {
-					return nil, err
-				}
-				proj[j] = v
+			proj, err := rt.projectRow(n, row)
+			if err != nil {
+				return nil, err
 			}
 			out[i] = proj
 		}
@@ -153,6 +156,93 @@ func (rt *runtime) run(n plan.Node) ([]Row, error) {
 	}
 }
 
+// joinEnv bundles per-join helpers shared by the serial and parallel
+// probe paths.
+type joinEnv struct {
+	j          *plan.Join
+	leftWidth  int
+	rightWidth int
+}
+
+func (e *joinEnv) concat(l, r Row) Row {
+	row := make(Row, 0, e.leftWidth+e.rightWidth)
+	row = append(row, l...)
+	return append(row, r...)
+}
+
+func (e *joinEnv) nullRow(w int, cols []plan.Col) Row {
+	row := make(Row, w)
+	for i := range row {
+		row[i] = sqltypes.Null(cols[i].Typ.Kind)
+	}
+	return row
+}
+
+func (e *joinEnv) residualOK(rt *runtime, row Row) (bool, error) {
+	if e.j.Residual == nil {
+		return true, nil
+	}
+	v, err := rt.eval(e.j.Residual, row)
+	if err != nil {
+		return false, err
+	}
+	return v.IsTrue(), nil
+}
+
+// needRightMatched reports whether the join must track which right rows
+// found a partner: only RIGHT and FULL joins null-pad unmatched right
+// rows, so INNER/LEFT/SEMI/CROSS joins skip the bookkeeping entirely.
+func (e *joinEnv) needRightMatched() bool {
+	return e.j.Kind == plan.JoinRight || e.j.Kind == plan.JoinFull
+}
+
+// evalJoinKeys fills keys[lo:hi] (and nulls[lo:hi]) with the RowKey of
+// exprs over rows; a key tuple containing NULL never matches anything
+// and is marked instead of hashed.
+func evalJoinKeys(w *runtime, rows []Row, exprs []plan.Expr, keys []string, nulls []bool, lo, hi int) error {
+	kv := make([]sqltypes.Value, len(exprs))
+	for i := lo; i < hi; i++ {
+		hasNull := false
+		for k, e := range exprs {
+			v, err := w.eval(e, rows[i])
+			if err != nil {
+				return err
+			}
+			kv[k] = v
+			if v.Null {
+				hasNull = true
+			}
+		}
+		nulls[i] = hasNull
+		if hasNull {
+			keys[i] = ""
+		} else {
+			keys[i] = sqltypes.RowKey(kv)
+		}
+	}
+	return nil
+}
+
+// joinKeys computes the join-key strings for one side, fanning out over
+// morsels when the side is large and the key expressions are safe.
+func (rt *runtime) joinKeys(rows []Row, exprs []plan.Expr) ([]string, []bool, error) {
+	keys := make([]string, len(rows))
+	nulls := make([]bool, len(rows))
+	if w, g := rt.rowParallelism(len(rows), exprs...); w > 1 {
+		err := rt.forEachChunk(len(rows), w, g, func(wr *runtime, _, _, lo, hi int) error {
+			return evalJoinKeys(wr, rows, exprs, keys, nulls, lo, hi)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return keys, nulls, nil
+	}
+	if err := evalJoinKeys(rt, rows, exprs, keys, nulls, 0, len(rows)); err != nil {
+		return nil, nil, err
+	}
+	return keys, nulls, nil
+}
+
 func (rt *runtime) runJoin(j *plan.Join) ([]Row, error) {
 	left, err := rt.run(j.Left)
 	if err != nil {
@@ -162,143 +252,194 @@ func (rt *runtime) runJoin(j *plan.Join) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	leftWidth := len(j.Left.Schema().Cols)
-	rightWidth := len(j.Right.Schema().Cols)
-
-	concat := func(l, r Row) Row {
-		row := make(Row, 0, leftWidth+rightWidth)
-		row = append(row, l...)
-		return append(row, r...)
-	}
-	nullRow := func(w int, cols []plan.Col) Row {
-		row := make(Row, w)
-		for i := range row {
-			row[i] = sqltypes.Null(cols[i].Typ.Kind)
-		}
-		return row
-	}
-
-	residualOK := func(row Row) (bool, error) {
-		if j.Residual == nil {
-			return true, nil
-		}
-		v, err := rt.eval(j.Residual, row)
-		if err != nil {
-			return false, err
-		}
-		return v.IsTrue(), nil
+	env := &joinEnv{
+		j:          j,
+		leftWidth:  len(j.Left.Schema().Cols),
+		rightWidth: len(j.Right.Schema().Cols),
 	}
 
 	var out []Row
-	rightMatched := make([]bool, len(right))
-
+	var rightMatched []bool
 	if len(j.EquiLeft) > 0 {
-		// Hash join.
-		index := make(map[string][]int, len(right))
-		rightKeyNull := make([]bool, len(right))
-		for ri, rrow := range right {
-			keyVals := make([]sqltypes.Value, len(j.EquiRight))
-			hasNull := false
-			for k, e := range j.EquiRight {
-				v, err := rt.eval(e, rrow)
-				if err != nil {
-					return nil, err
-				}
-				keyVals[k] = v
-				if v.Null {
-					hasNull = true
-				}
-			}
-			rightKeyNull[ri] = hasNull
-			if !hasNull {
-				key := sqltypes.RowKey(keyVals)
-				index[key] = append(index[key], ri)
-			}
-		}
-		for _, lrow := range left {
-			keyVals := make([]sqltypes.Value, len(j.EquiLeft))
-			hasNull := false
-			for k, e := range j.EquiLeft {
-				v, err := rt.eval(e, lrow)
-				if err != nil {
-					return nil, err
-				}
-				keyVals[k] = v
-				if v.Null {
-					hasNull = true
-				}
-			}
-			matched := false
-			if !hasNull {
-				for _, ri := range index[sqltypes.RowKey(keyVals)] {
-					row := concat(lrow, right[ri])
-					ok, err := residualOK(row)
-					if err != nil {
-						return nil, err
-					}
-					if !ok {
-						continue
-					}
-					matched = true
-					rightMatched[ri] = true
-					if j.Kind == plan.JoinSemi {
-						break
-					}
-					out = append(out, row)
-				}
-			}
-			switch j.Kind {
-			case plan.JoinSemi:
-				if matched {
-					out = append(out, lrow)
-				}
-			case plan.JoinLeft, plan.JoinFull:
-				if !matched {
-					out = append(out, concat(lrow, nullRow(rightWidth, j.Right.Schema().Cols)))
-				}
-			}
-		}
+		out, rightMatched, err = rt.runHashJoin(env, left, right)
 	} else {
-		// Nested loop (cross join or arbitrary condition).
-		for _, lrow := range left {
-			matched := false
-			for ri, rrow := range right {
-				row := concat(lrow, rrow)
-				ok, err := residualOK(row)
+		out, rightMatched, err = rt.runNestedLoopJoin(env, left, right)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if env.needRightMatched() {
+		for ri, rrow := range right {
+			if !rightMatched[ri] {
+				out = append(out, env.concat(env.nullRow(env.leftWidth, j.Left.Schema().Cols), rrow))
+			}
+		}
+	}
+	return out, nil
+}
+
+// probeChunk probes left[lo:hi] against the build index, appending
+// output rows in left-row order; matched (when non-nil) records right
+// rows that found a partner.
+func (env *joinEnv) probeChunk(rt *runtime, left, right []Row, leftKeys []string, leftNulls []bool,
+	index map[string][]int, matched []bool, lo, hi int) ([]Row, error) {
+	j := env.j
+	var out []Row
+	for li := lo; li < hi; li++ {
+		lrow := left[li]
+		found := false
+		if !leftNulls[li] {
+			for _, ri := range index[leftKeys[li]] {
+				row := env.concat(lrow, right[ri])
+				ok, err := env.residualOK(rt, row)
 				if err != nil {
 					return nil, err
 				}
 				if !ok {
 					continue
 				}
-				matched = true
-				rightMatched[ri] = true
+				found = true
+				if matched != nil {
+					matched[ri] = true
+				}
 				if j.Kind == plan.JoinSemi {
 					break
 				}
 				out = append(out, row)
 			}
-			switch j.Kind {
-			case plan.JoinSemi:
-				if matched {
-					out = append(out, lrow)
-				}
-			case plan.JoinLeft, plan.JoinFull:
-				if !matched {
-					out = append(out, concat(lrow, nullRow(rightWidth, j.Right.Schema().Cols)))
-				}
-			}
 		}
-	}
-
-	if j.Kind == plan.JoinRight || j.Kind == plan.JoinFull {
-		for ri, rrow := range right {
-			if !rightMatched[ri] {
-				out = append(out, concat(nullRow(leftWidth, j.Left.Schema().Cols), rrow))
+		switch j.Kind {
+		case plan.JoinSemi:
+			if found {
+				out = append(out, lrow)
+			}
+		case plan.JoinLeft, plan.JoinFull:
+			if !found {
+				out = append(out, env.concat(lrow, env.nullRow(env.rightWidth, j.Right.Schema().Cols)))
 			}
 		}
 	}
 	return out, nil
+}
+
+// runHashJoin builds a hash index over the right (build) side and
+// probes it with the left. Key evaluation on both sides and the probe
+// loop fan out over morsels; map insertion and chunk reassembly stay in
+// row order, so output is identical to the serial plan.
+func (rt *runtime) runHashJoin(env *joinEnv, left, right []Row) ([]Row, []bool, error) {
+	j := env.j
+
+	rightKeys, rightNulls, err := rt.joinKeys(right, j.EquiRight)
+	if err != nil {
+		return nil, nil, err
+	}
+	index := make(map[string][]int, len(right))
+	for ri := range right {
+		if !rightNulls[ri] {
+			index[rightKeys[ri]] = append(index[rightKeys[ri]], ri)
+		}
+	}
+
+	leftKeys, leftNulls, err := rt.joinKeys(left, j.EquiLeft)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	probeExprs := append([]plan.Expr{}, j.EquiLeft...)
+	if j.Residual != nil {
+		probeExprs = append(probeExprs, j.Residual)
+	}
+	workers, grain := rt.rowParallelism(len(left), probeExprs...)
+	if workers <= 1 {
+		var matched []bool
+		if env.needRightMatched() {
+			matched = make([]bool, len(right))
+		}
+		out, err := env.probeChunk(rt, left, right, leftKeys, leftNulls, index, matched, 0, len(left))
+		return out, matched, err
+	}
+
+	chunkOut := make([][]Row, numChunks(len(left), grain))
+	workerMatched := make([][]bool, workers)
+	err = rt.forEachChunk(len(left), workers, grain, func(w *runtime, worker, chunk, lo, hi int) error {
+		var matched []bool
+		if env.needRightMatched() {
+			matched = workerMatched[worker]
+			if matched == nil {
+				matched = make([]bool, len(right))
+				workerMatched[worker] = matched
+			}
+		}
+		rows, err := env.probeChunk(w, left, right, leftKeys, leftNulls, index, matched, lo, hi)
+		if err != nil {
+			return err
+		}
+		chunkOut[chunk] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var out []Row
+	for _, rows := range chunkOut {
+		out = append(out, rows...)
+	}
+	var matched []bool
+	if env.needRightMatched() {
+		matched = make([]bool, len(right))
+		for _, wm := range workerMatched {
+			for ri, m := range wm {
+				if m {
+					matched[ri] = true
+				}
+			}
+		}
+	}
+	return out, matched, nil
+}
+
+// runNestedLoopJoin handles cross joins and arbitrary join conditions.
+func (rt *runtime) runNestedLoopJoin(env *joinEnv, left, right []Row) ([]Row, []bool, error) {
+	j := env.j
+	var matched []bool
+	if env.needRightMatched() {
+		matched = make([]bool, len(right))
+	}
+	var out []Row
+	for _, lrow := range left {
+		found := false
+		for ri, rrow := range right {
+			row := env.concat(lrow, rrow)
+			ok, err := env.residualOK(rt, row)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok {
+				continue
+			}
+			found = true
+			if matched != nil {
+				matched[ri] = true
+			}
+			if j.Kind == plan.JoinSemi {
+				break
+			}
+			out = append(out, row)
+		}
+		switch j.Kind {
+		case plan.JoinSemi:
+			if found {
+				out = append(out, lrow)
+			}
+		case plan.JoinLeft, plan.JoinFull:
+			if !found {
+				out = append(out, env.concat(lrow, env.nullRow(env.rightWidth, j.Right.Schema().Cols)))
+			}
+		}
+	}
+	return out, matched, nil
 }
 
 func (rt *runtime) sortRows(rows []Row, items []plan.SortItem) ([]Row, error) {

@@ -40,77 +40,114 @@ func (rt *runtime) runWindow(n *plan.Window) ([]Row, error) {
 }
 
 func (rt *runtime) windowFunc(wf plan.WindowFunc, in []Row) ([]sqltypes.Value, error) {
-	// Partition.
+	// Partition: compute per-row partition keys (over morsels when the
+	// input is large and the keys are safe), then bucket serially so
+	// partOrder stays first-seen order.
+	rowKeys := make([]string, len(in))
+	evalKeys := func(w *runtime, lo, hi int) error {
+		keyVals := make([]sqltypes.Value, len(wf.PartitionBy))
+		for i := lo; i < hi; i++ {
+			for j, e := range wf.PartitionBy {
+				v, err := w.eval(e, in[i])
+				if err != nil {
+					return err
+				}
+				keyVals[j] = v
+			}
+			rowKeys[i] = sqltypes.RowKey(keyVals)
+		}
+		return nil
+	}
+	if w, g := rt.rowParallelism(len(in), wf.PartitionBy...); w > 1 {
+		err := rt.forEachChunk(len(in), w, g, func(wr *runtime, _, _, lo, hi int) error {
+			return evalKeys(wr, lo, hi)
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else if err := evalKeys(rt, 0, len(in)); err != nil {
+		return nil, err
+	}
 	partitions := map[string][]int{}
 	var partOrder []string
-	for i, row := range in {
-		keyVals := make([]sqltypes.Value, len(wf.PartitionBy))
-		for j, e := range wf.PartitionBy {
-			v, err := rt.eval(e, row)
-			if err != nil {
-				return nil, err
-			}
-			keyVals[j] = v
-		}
-		key := sqltypes.RowKey(keyVals)
+	for i := range in {
+		key := rowKeys[i]
 		if _, ok := partitions[key]; !ok {
 			partOrder = append(partOrder, key)
 		}
 		partitions[key] = append(partitions[key], i)
 	}
 
+	// Partitions are independent: each one sorts its own rows and writes
+	// results at its own disjoint set of out indices, so with spare
+	// workers whole partitions are computed in parallel.
 	out := make([]sqltypes.Value, len(in))
+	exprs := append([]plan.Expr{}, wf.Args...)
+	for _, item := range wf.OrderBy {
+		exprs = append(exprs, item.Expr)
+	}
+	if w := rt.taskParallelism(len(partOrder), len(in), exprs...); w > 1 {
+		err := rt.forEachTask(len(partOrder), w, func(wr *runtime, pi int) error {
+			return wr.windowOnePartition(wf, in, partitions[partOrder[pi]], out)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	for _, key := range partOrder {
-		idxs := partitions[key]
-		if len(wf.OrderBy) > 0 {
-			sortKeys := make([][]sqltypes.Value, len(idxs))
-			for k, i := range idxs {
-				sk := make([]sqltypes.Value, len(wf.OrderBy))
-				for j, item := range wf.OrderBy {
-					v, err := rt.eval(item.Expr, in[i])
-					if err != nil {
-						return nil, err
-					}
-					sk[j] = v
-				}
-				sortKeys[k] = sk
-			}
-			perm := make([]int, len(idxs))
-			for k := range perm {
-				perm[k] = k
-			}
-			var sortErr error
-			sort.SliceStable(perm, func(a, b int) bool {
-				for j, item := range wf.OrderBy {
-					c, err := compareForSort(sortKeys[perm[a]][j], sortKeys[perm[b]][j], item)
-					if err != nil && sortErr == nil {
-						sortErr = err
-					}
-					if c != 0 {
-						return c < 0
-					}
-				}
-				return false
-			})
-			if sortErr != nil {
-				return nil, sortErr
-			}
-			sorted := make([]int, len(idxs))
-			keys := make([][]sqltypes.Value, len(idxs))
-			for k, p := range perm {
-				sorted[k] = idxs[p]
-				keys[k] = sortKeys[p]
-			}
-			if err := rt.windowPartition(wf, in, sorted, keys, out); err != nil {
-				return nil, err
-			}
-		} else {
-			if err := rt.windowPartition(wf, in, idxs, nil, out); err != nil {
-				return nil, err
-			}
+		if err := rt.windowOnePartition(wf, in, partitions[key], out); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// windowOnePartition sorts one partition's rows (when the function has
+// ORDER BY) and computes its per-row results into out.
+func (rt *runtime) windowOnePartition(wf plan.WindowFunc, in []Row, idxs []int, out []sqltypes.Value) error {
+	if len(wf.OrderBy) == 0 {
+		return rt.windowPartition(wf, in, idxs, nil, out)
+	}
+	sortKeys := make([][]sqltypes.Value, len(idxs))
+	for k, i := range idxs {
+		sk := make([]sqltypes.Value, len(wf.OrderBy))
+		for j, item := range wf.OrderBy {
+			v, err := rt.eval(item.Expr, in[i])
+			if err != nil {
+				return err
+			}
+			sk[j] = v
+		}
+		sortKeys[k] = sk
+	}
+	perm := make([]int, len(idxs))
+	for k := range perm {
+		perm[k] = k
+	}
+	var sortErr error
+	sort.SliceStable(perm, func(a, b int) bool {
+		for j, item := range wf.OrderBy {
+			c, err := compareForSort(sortKeys[perm[a]][j], sortKeys[perm[b]][j], item)
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	sorted := make([]int, len(idxs))
+	keys := make([][]sqltypes.Value, len(idxs))
+	for k, p := range perm {
+		sorted[k] = idxs[p]
+		keys[k] = sortKeys[p]
+	}
+	return rt.windowPartition(wf, in, sorted, keys, out)
 }
 
 // windowPartition computes wf over one partition (already sorted when

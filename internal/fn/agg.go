@@ -12,8 +12,16 @@ import (
 // Add is called once per qualifying input row (NULL-skipping and
 // DISTINCT de-duplication are handled by the executor); Result returns
 // the aggregate value for the group.
+//
+// Merge folds another state of the same concrete type into the receiver.
+// The other state must have been accumulated over a later, disjoint
+// slice of the group's input rows; merging partial states left-to-right
+// in input order is then equivalent to single-pass accumulation. The
+// parallel executor uses this for two-phase (per-chunk, then merge)
+// hash aggregation.
 type AggState interface {
 	Add(args []sqltypes.Value) error
+	Merge(other AggState) error
 	Result() sqltypes.Value
 }
 
@@ -31,6 +39,13 @@ type Agg struct {
 	Ret func(args []sqltypes.Type) (sqltypes.Type, error)
 	// New creates a fresh accumulator for a group.
 	New func(args []sqltypes.Type) AggState
+	// ExactMerge reports whether two-phase accumulation (per-chunk states
+	// combined with Merge) reproduces single-pass accumulation
+	// bit-for-bit for the given argument types. It is false for
+	// floating-point accumulators, where addition order matters; the
+	// executor then falls back to a group-partitioned parallel plan that
+	// keeps each group's rows in input order. nil means false.
+	ExactMerge func(args []sqltypes.Type) bool
 }
 
 var aggs = map[string]*Agg{}
@@ -52,10 +67,25 @@ func registerAgg(a *Agg) { aggs[a.Name] = a }
 // ---------------------------------------------------------------------------
 // States
 
+// mergeTypeError reports an executor bug: partial states of two
+// different concrete types were merged.
+func mergeTypeError(dst, src AggState) error {
+	return fmt.Errorf("internal error: cannot merge aggregate state %T into %T", src, dst)
+}
+
 type countState struct{ n int64 }
 
 func (s *countState) Add([]sqltypes.Value) error { s.n++; return nil }
 func (s *countState) Result() sqltypes.Value     { return sqltypes.NewInt(s.n) }
+
+func (s *countState) Merge(other AggState) error {
+	o, ok := other.(*countState)
+	if !ok {
+		return mergeTypeError(s, other)
+	}
+	s.n += o.n
+	return nil
+}
 
 type sumState struct {
 	kind   sqltypes.Kind
@@ -71,6 +101,20 @@ func (s *sumState) Add(args []sqltypes.Value) error {
 	} else {
 		s.fltSum += args[0].AsFloat()
 	}
+	return nil
+}
+
+func (s *sumState) Merge(other AggState) error {
+	o, ok := other.(*sumState)
+	if !ok {
+		return mergeTypeError(s, other)
+	}
+	if !o.any {
+		return nil
+	}
+	s.any = true
+	s.intSum += o.intSum
+	s.fltSum += o.fltSum
 	return nil
 }
 
@@ -92,6 +136,16 @@ type avgState struct {
 func (s *avgState) Add(args []sqltypes.Value) error {
 	s.n++
 	s.sum += args[0].AsFloat()
+	return nil
+}
+
+func (s *avgState) Merge(other AggState) error {
+	o, ok := other.(*avgState)
+	if !ok {
+		return mergeTypeError(s, other)
+	}
+	s.n += o.n
+	s.sum += o.sum
 	return nil
 }
 
@@ -123,6 +177,29 @@ func (s *minMaxState) Add(args []sqltypes.Value) error {
 	return nil
 }
 
+func (s *minMaxState) Merge(other AggState) error {
+	o, ok := other.(*minMaxState)
+	if !ok {
+		return mergeTypeError(s, other)
+	}
+	if !o.any {
+		return nil
+	}
+	if !s.any {
+		s.best, s.any = o.best, true
+		return nil
+	}
+	c, err := sqltypes.Compare(o.best, s.best)
+	if err != nil {
+		return err
+	}
+	// Ties keep the receiver's (earlier) value, matching Add.
+	if (c < 0) == s.wantLess && c != 0 {
+		s.best = o.best
+	}
+	return nil
+}
+
 func (s *minMaxState) Result() sqltypes.Value {
 	if !s.any {
 		return sqltypes.Null(s.best.K)
@@ -144,6 +221,28 @@ func (s *varState) Add(args []sqltypes.Value) error {
 	d := x - s.mean
 	s.mean += d / float64(s.n)
 	s.m2 += d * (x - s.mean)
+	return nil
+}
+
+// Merge combines two Welford partial states (Chan et al.'s parallel
+// update). Not bit-identical to sequential Add, so ExactMerge is false.
+func (s *varState) Merge(other AggState) error {
+	o, ok := other.(*varState)
+	if !ok {
+		return mergeTypeError(s, other)
+	}
+	if o.n == 0 {
+		return nil
+	}
+	if s.n == 0 {
+		s.n, s.mean, s.m2 = o.n, o.mean, o.m2
+		return nil
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	s.n = n
 	return nil
 }
 
@@ -170,6 +269,17 @@ type anyValueState struct {
 func (s *anyValueState) Add(args []sqltypes.Value) error {
 	if !s.any {
 		s.val, s.any = args[0], true
+	}
+	return nil
+}
+
+func (s *anyValueState) Merge(other AggState) error {
+	o, ok := other.(*anyValueState)
+	if !ok {
+		return mergeTypeError(s, other)
+	}
+	if !s.any && o.any {
+		s.val, s.any = o.val, true
 	}
 	return nil
 }
@@ -202,6 +312,29 @@ func (s *argExtremeState) Add(args []sqltypes.Value) error {
 	return nil
 }
 
+func (s *argExtremeState) Merge(other AggState) error {
+	o, ok := other.(*argExtremeState)
+	if !ok {
+		return mergeTypeError(s, other)
+	}
+	if !o.any {
+		return nil
+	}
+	if !s.any {
+		s.val, s.bestKey, s.any = o.val, o.bestKey, true
+		return nil
+	}
+	c, err := sqltypes.Compare(o.bestKey, s.bestKey)
+	if err != nil {
+		return err
+	}
+	// Ties keep the receiver's (earlier) value, matching Add.
+	if (c < 0) == s.wantLess && c != 0 {
+		s.val, s.bestKey = o.val, o.bestKey
+	}
+	return nil
+}
+
 func (s *argExtremeState) Result() sqltypes.Value {
 	if !s.any {
 		return sqltypes.Null(s.val.K)
@@ -212,11 +345,15 @@ func (s *argExtremeState) Result() sqltypes.Value {
 // ---------------------------------------------------------------------------
 // Registration
 
+// alwaysExact is the ExactMerge of order-insensitive, non-float states.
+func alwaysExact([]sqltypes.Type) bool { return true }
+
 func init() {
 	registerAgg(&Agg{
 		Name: "COUNT", MinArgs: 0, MaxArgs: 1, Star: true, SkipNulls: true,
 		Ret: func([]sqltypes.Type) (sqltypes.Type, error) { return sqltypes.Type{Kind: sqltypes.KindInt}, nil },
-		New: func([]sqltypes.Type) AggState { return &countState{} },
+		New:        func([]sqltypes.Type) AggState { return &countState{} },
+		ExactMerge: alwaysExact,
 	})
 	registerAgg(&Agg{
 		Name: "SUM", MinArgs: 1, MaxArgs: 1, SkipNulls: true,
@@ -236,6 +373,10 @@ func init() {
 			}
 			return &sumState{kind: kind}
 		},
+		// Integer sums are associative; float sums are order-sensitive.
+		ExactMerge: func(args []sqltypes.Type) bool {
+			return len(args) == 0 || args[0].Kind != sqltypes.KindFloat
+		},
 	})
 	registerAgg(&Agg{
 		Name: "AVG", MinArgs: 1, MaxArgs: 1, SkipNulls: true,
@@ -250,8 +391,9 @@ func init() {
 	minMax := func(name string, wantLess bool) {
 		registerAgg(&Agg{
 			Name: name, MinArgs: 1, MaxArgs: 1, SkipNulls: true,
-			Ret: func(args []sqltypes.Type) (sqltypes.Type, error) { return args[0].Scalar(), nil },
-			New: func([]sqltypes.Type) AggState { return &minMaxState{wantLess: wantLess} },
+			Ret:        func(args []sqltypes.Type) (sqltypes.Type, error) { return args[0].Scalar(), nil },
+			New:        func([]sqltypes.Type) AggState { return &minMaxState{wantLess: wantLess} },
+			ExactMerge: alwaysExact,
 		})
 	}
 	minMax("MIN", true)
@@ -276,14 +418,16 @@ func init() {
 	variance("STDDEV", true, true)
 	registerAgg(&Agg{
 		Name: "ANY_VALUE", MinArgs: 1, MaxArgs: 1, SkipNulls: true,
-		Ret: func(args []sqltypes.Type) (sqltypes.Type, error) { return args[0].Scalar(), nil },
-		New: func([]sqltypes.Type) AggState { return &anyValueState{} },
+		Ret:        func(args []sqltypes.Type) (sqltypes.Type, error) { return args[0].Scalar(), nil },
+		New:        func([]sqltypes.Type) AggState { return &anyValueState{} },
+		ExactMerge: alwaysExact,
 	})
 	argExtreme := func(name string, wantLess bool) {
 		registerAgg(&Agg{
 			Name: name, MinArgs: 2, MaxArgs: 2, SkipNulls: true,
-			Ret: func(args []sqltypes.Type) (sqltypes.Type, error) { return args[0].Scalar(), nil },
-			New: func([]sqltypes.Type) AggState { return &argExtremeState{wantLess: wantLess} },
+			Ret:        func(args []sqltypes.Type) (sqltypes.Type, error) { return args[0].Scalar(), nil },
+			New:        func([]sqltypes.Type) AggState { return &argExtremeState{wantLess: wantLess} },
+			ExactMerge: alwaysExact,
 		})
 	}
 	argExtreme("ARG_MAX", false)

@@ -20,6 +20,10 @@ type Scalar struct {
 	// Strict functions return NULL when any argument is NULL; the
 	// executor short-circuits them and Eval never sees a NULL.
 	Strict bool
+	// Volatile functions may return different values for identical
+	// arguments (e.g. RANDOM). Expressions containing one are pinned to
+	// serial, in-order evaluation by the parallel executor.
+	Volatile bool
 	// Ret computes the result type from argument types.
 	Ret func(args []sqltypes.Type) (sqltypes.Type, error)
 	// Eval computes the result.

@@ -3,6 +3,7 @@ package fn
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"strings"
 
 	"github.com/measures-sql/msql/internal/sqltypes"
@@ -132,6 +133,14 @@ func registerNumericFuncs() {
 		Ret: retPromote("MOD"),
 		Eval: func(args []sqltypes.Value) (sqltypes.Value, error) {
 			return sqltypes.Mod(args[0], args[1])
+		},
+	})
+	register(&Scalar{
+		Name: "RANDOM", MinArgs: 0, MaxArgs: 0,
+		Volatile: true,
+		Ret:      retKind(sqltypes.KindFloat),
+		Eval: func([]sqltypes.Value) (sqltypes.Value, error) {
+			return sqltypes.NewFloat(rand.Float64()), nil
 		},
 	})
 }

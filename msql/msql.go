@@ -88,6 +88,13 @@ func (db *DB) SetStrategy(s Strategy) {
 	}
 }
 
+// SetWorkers sets the executor's worker-goroutine budget: 0 means one
+// worker per CPU, 1 runs the exact serial path. Results are identical
+// at every setting; only wall-clock time changes.
+func (db *DB) SetWorkers(n int) {
+	db.session.ExecSettings().Workers = n
+}
+
 // Exec runs a script of one or more statements, discarding result rows.
 func (db *DB) Exec(sql string) error {
 	_, err := db.session.Execute(sql)

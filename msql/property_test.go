@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -124,6 +125,90 @@ func TestRandomQueriesAgreeAcrossStrategies(t *testing.T) {
 					t.Fatalf("%s differs for %q row %d:\n%v\n%v", pair.name, q, r, pair.x[r], pair.y[r])
 				}
 			}
+		}
+	}
+}
+
+// TestRandomQueriesAgreeAcrossWorkers is the parallel-execution oracle:
+// every random query must return row-for-row identical results with the
+// serial executor (Workers=1) and a 4-worker morsel-parallel run, for
+// each strategy (memo exercises the shared singleflight context cache).
+func TestRandomQueriesAgreeAcrossWorkers(t *testing.T) {
+	const rounds = 40
+	for _, strategy := range []msql.Strategy{msql.StrategyDefault, msql.StrategyMemo} {
+		serial := buildRandomDB(t, 99, strategy)
+		serial.SetWorkers(1)
+		parallel := buildRandomDB(t, 99, strategy)
+		parallel.SetWorkers(4)
+		rng := rand.New(rand.NewSource(2025))
+		for i := 0; i < rounds; i++ {
+			q := randomQuery(rng)
+			a, errA := serial.Query(q)
+			b, errB := parallel.Query(q)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("workers disagree on error for %q: %v / %v", q, errA, errB)
+			}
+			if errA != nil {
+				t.Fatalf("generated query failed: %v\nSQL: %s", errA, q)
+			}
+			sa, sb2 := rowsAsStrings(a), rowsAsStrings(b)
+			if len(sa) != len(sb2) {
+				t.Fatalf("workers=1 vs workers=4 row count differs for %q: %d vs %d", q, len(sa), len(sb2))
+			}
+			for r := range sa {
+				if strings.Join(sa[r], "|") != strings.Join(sb2[r], "|") {
+					t.Fatalf("workers=1 vs workers=4 differs for %q row %d:\n%v\n%v", q, r, sa[r], sb2[r])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMemoCacheHammer runs the same memoized measure query from
+// 8 goroutines against one shared DB (one shared memo-capable session),
+// each with multi-worker execution; run under -race in CI this verifies
+// the concurrency safety of the measure-context cache and stats.
+func TestParallelMemoCacheHammer(t *testing.T) {
+	db := buildRandomDB(t, 31, msql.StrategyMemo)
+	db.SetWorkers(4)
+	const q = `SELECT prodName, AGGREGATE(rev) AS r, rev AT (ALL) AS tot
+		FROM EO GROUP BY prodName ORDER BY 1 NULLS FIRST`
+	want, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := rowsAsStrings(want)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				res, err := db.Query(q)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				got := rowsAsStrings(res)
+				if len(got) != len(wantRows) {
+					errs[g] = fmt.Errorf("row count %d, want %d", len(got), len(wantRows))
+					return
+				}
+				for r := range got {
+					if strings.Join(got[r], "|") != strings.Join(wantRows[r], "|") {
+						errs[g] = fmt.Errorf("row %d: %v, want %v", r, got[r], wantRows[r])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
 		}
 	}
 }
