@@ -8,9 +8,14 @@
 //	msqlbench -quick      # smaller sweeps for the timing experiments
 //	msqlbench -workers 4  # executor goroutines (0 = one per CPU)
 //	msqlbench -cpuprofile cpu.out -exp E21
+//	msqlbench -analyze    # print EXPLAIN ANALYZE next to every query
+//	msqlbench -trace      # stream lifecycle spans to stderr
+//	msqlbench -metrics    # dump each session's Prometheus metrics at exit
+//	msqlbench -quick -json > BENCH_smoke.json   # machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,9 +31,31 @@ import (
 )
 
 var (
-	quick   = flag.Bool("quick", false, "smaller data sizes for timing experiments")
-	workers = flag.Int("workers", 0, "executor worker goroutines (0 = one per CPU, 1 = serial)")
+	quick       = flag.Bool("quick", false, "smaller data sizes for timing experiments")
+	workers     = flag.Int("workers", 0, "executor worker goroutines (0 = one per CPU, 1 = serial)")
+	analyze     = flag.Bool("analyze", false, "print EXPLAIN ANALYZE after each experiment query")
+	trace       = flag.Bool("trace", false, "stream query-lifecycle spans to stderr")
+	metricsDump = flag.Bool("metrics", false, "dump each session's metrics (Prometheus text) at exit")
+	jsonOut     = flag.Bool("json", false, "run the bench suite and emit JSON results to stdout")
 )
+
+// sessions tracks every DB the harness opened, for -metrics.
+var sessions []*msql.DB
+
+// register applies the harness-wide observability flags to a new DB.
+func register(db *msql.DB) *msql.DB {
+	if *trace {
+		db.SetTrace(msql.NewTextTracer(os.Stderr))
+	}
+	sessions = append(sessions, db)
+	return db
+}
+
+func dumpMetrics() {
+	for i, db := range sessions {
+		fmt.Printf("\n---------------- session %d metrics ----------------\n%s", i+1, db.Metrics().Prometheus())
+	}
+}
 
 type experiment struct {
 	id    string
@@ -37,9 +64,17 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (E01..E21) or 'all'")
+	expFlag := flag.String("exp", "all", "experiment id (E01..E22) or 'all'")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *jsonOut {
+		if err := runJSONBench(); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -68,6 +103,7 @@ func main() {
 		{"E15-E18,E20", "Semantic claims: hologram, composability, laws, strategies", eSemantics},
 		{"E19", "Planning overhead of measure expansion", e19},
 		{"E21", "Parallel execution: speedup by worker count", e21},
+		{"E22", "Per-operator metrics: memo vs naive at workers 1 vs 4", e22},
 	}
 
 	failed := 0
@@ -81,6 +117,9 @@ func main() {
 			failed++
 		}
 	}
+	if *metricsDump {
+		dumpMetrics()
+	}
 	if failed > 0 {
 		pprof.StopCPUProfile()
 		os.Exit(1)
@@ -91,7 +130,7 @@ func paperDB() *msql.DB {
 	db := msql.Open()
 	db.MustExec(paperdata.All)
 	db.SetWorkers(*workers)
-	return db
+	return register(db)
 }
 
 func show(db *msql.DB, title, sql string) {
@@ -102,6 +141,11 @@ func show(db *msql.DB, title, sql string) {
 		return
 	}
 	fmt.Print(msql.Format(res))
+	if *analyze {
+		if txt, err := db.ExplainAnalyze(sql); err == nil {
+			fmt.Print(txt)
+		}
+	}
 	fmt.Println()
 }
 
@@ -452,6 +496,119 @@ func e21() error {
 	return nil
 }
 
+// e22 renders EXPLAIN ANALYZE for a share-of-total measure query under
+// StrategyMemo vs StrategyNaive at workers 1 vs 4: per-operator rows and
+// wall time, worker fan-out, and per measure subquery the split between
+// actual evaluations and memo hits.
+func e22() error {
+	n := 10000
+	if *quick {
+		n = 2000
+	}
+	q := `SELECT prodName, AGGREGATE(rev) AS r,
+	             rev / rev AT (ALL prodName) AS share
+	      FROM (SELECT *, SUM(revenue) AS MEASURE rev FROM Orders) AS o
+	      GROUP BY prodName`
+	for _, st := range []struct {
+		label string
+		s     msql.Strategy
+	}{{"memo", msql.StrategyMemo}, {"naive", msql.StrategyNaive}} {
+		for _, w := range []int{1, 4} {
+			db := loadSynthetic(n, 20, 0)
+			db.SetStrategy(st.s)
+			db.SetWorkers(w)
+			txt, err := db.ExplainAnalyze(q)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("-- strategy=%s workers=%d (%d orders)\n%s\n", st.label, w, n, txt)
+		}
+	}
+	fmt.Println("shape check: memo shows hits>0 on the grand-total context (one eval, the")
+	fmt.Println("rest served from cache); naive shows hits=0 and an eval per distinct call")
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// -json bench suite
+
+// benchResult is one machine-readable measurement, suitable for
+// committing as BENCH_*.json or diffing across commits in CI.
+type benchResult struct {
+	Name          string `json:"name"`
+	Strategy      string `json:"strategy"`
+	Workers       int    `json:"workers"`
+	Orders        int    `json:"orders"`
+	NsOp          int64  `json:"ns_op"`
+	Rows          int    `json:"rows"`
+	RowsScanned   int64  `json:"rows_scanned"`
+	SubqueryEvals int64  `json:"subquery_evals"`
+	CacheHits     int64  `json:"cache_hits"`
+}
+
+// runJSONBench times the canonical measure-aggregation query across
+// strategies and worker counts and emits a JSON array on stdout.
+func runJSONBench() error {
+	n := 20000
+	if *quick {
+		n = 2000
+	}
+	measureQ := `SELECT prodName, AGGREGATE(margin) AS m
+	             FROM (SELECT *, (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE margin
+	                   FROM Orders) AS o
+	             GROUP BY prodName`
+	plainQ := `SELECT prodName, (SUM(revenue) - SUM(cost)) / SUM(revenue) AS m
+	           FROM Orders GROUP BY prodName`
+	strategies := []struct {
+		label string
+		s     msql.Strategy
+	}{
+		{"default", msql.StrategyDefault},
+		{"memo", msql.StrategyMemo},
+		{"naive", msql.StrategyNaive},
+	}
+	var results []benchResult
+	for _, w := range []int{1, 4} {
+		db := loadSynthetic(n, 100, 0)
+		db.SetWorkers(w)
+		measure := func(name, strategy, sql string) error {
+			d := timeQuery(db, sql)
+			res, err := db.Query(sql)
+			if err != nil {
+				return err
+			}
+			st := db.LastStats()
+			results = append(results, benchResult{
+				Name: name, Strategy: strategy, Workers: w, Orders: n,
+				NsOp: d.Nanoseconds(), Rows: len(res.Rows),
+				RowsScanned:   st.RowsScanned,
+				SubqueryEvals: st.SubqueryEvals,
+				CacheHits:     st.SubqueryCacheHits,
+			})
+			return nil
+		}
+		if err := measure("plain_sql", "none", plainQ); err != nil {
+			return err
+		}
+		for _, st := range strategies {
+			if st.label == "naive" && n > 5000 {
+				continue // quadratic; only measured on the -quick size
+			}
+			db.SetStrategy(st.s)
+			if err := measure("measure_agg", st.label, measureQ); err != nil {
+				return err
+			}
+		}
+		db.SetStrategy(msql.StrategyDefault)
+	}
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
 // ---------------------------------------------------------------------------
 // helpers
 
@@ -497,7 +654,7 @@ func loadSynthetic(orders, products int, nullFrac float64) *msql.DB {
 		panic(err)
 	}
 	db.SetWorkers(*workers)
-	return db
+	return register(db)
 }
 
 func timeQuery(db *msql.DB, sql string) time.Duration {

@@ -57,9 +57,12 @@ type Drop struct {
 	Name string
 }
 
-// Explain is EXPLAIN query: prints the logical plan.
+// Explain is EXPLAIN query: prints the logical plan. With Analyze set
+// (EXPLAIN ANALYZE) the query is executed and the plan is annotated with
+// per-operator runtime metrics.
 type Explain struct {
-	Query *Query
+	Query   *Query
+	Analyze bool
 }
 
 // Expand is EXPAND query: prints the measure-free expansion of the query

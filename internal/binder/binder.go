@@ -23,6 +23,9 @@ type Binder struct {
 	ctes      map[string]*cteDef
 	viewDepth int
 	inline    bool
+	// inlined records the measures the §6.4 fast path replaced with plain
+	// aggregate calls during the last bind, for lifecycle tracing.
+	inlined []string
 }
 
 type cteDef struct {
@@ -44,6 +47,10 @@ func (b *Binder) WithInline(on bool) *Binder {
 	b.inline = on
 	return b
 }
+
+// InlinedMeasures returns the names of measures inlined into plain
+// aggregates during binding, in the order the rewrite fired.
+func (b *Binder) InlinedMeasures() []string { return b.inlined }
 
 // Rel is one relation visible in a scope frame. If Exprs is non-nil the
 // relation is virtual (e.g. a measure's dimension frame) and resolving

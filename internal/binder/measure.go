@@ -876,6 +876,7 @@ func (ab *aggBinder) tryInline(ph *measurePH, mapping func(*plan.ColRef) (plan.E
 	}
 
 	// Commit: register the aggregate calls and splice the formula.
+	ab.b.inlined = append(ab.b.inlined, ph.info.Name)
 	indexes := make([]int, len(calls))
 	for i, call := range calls {
 		indexes[i] = ab.addAgg(call)

@@ -5,6 +5,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/measures-sql/msql/internal/ast"
 	"github.com/measures-sql/msql/internal/binder"
@@ -34,17 +35,35 @@ type Session struct {
 	exec      *exec.Settings
 	opt       optimizer.Options
 	lastStats exec.Stats
+	metrics   *Metrics
+	tracer    exec.Tracer
+	// strategy labels the per-strategy metrics buckets; SetStrategy in
+	// the public API keeps it in sync with the options it sets.
+	strategy string
 }
 
-// LastStats returns the executor counters of the most recent query.
-func (s *Session) LastStats() exec.Stats { return s.lastStats }
+// LastStats returns the executor counters of the most recent query. The
+// copy is taken with atomic loads, so it is safe even while another
+// goroutine's query is updating the counters.
+func (s *Session) LastStats() exec.Stats { return s.lastStats.Snapshot() }
+
+// Metrics returns the session's cumulative metrics registry.
+func (s *Session) Metrics() *Metrics { return s.metrics }
+
+// SetTracer installs (or with nil removes) a lifecycle tracer.
+func (s *Session) SetTracer(t exec.Tracer) { s.tracer = t }
+
+// SetStrategyLabel names the strategy bucket for subsequent queries.
+func (s *Session) SetStrategyLabel(label string) { s.strategy = label }
 
 // New creates an empty session with default settings.
 func New() *Session {
 	return &Session{
-		cat:  catalog.New(),
-		exec: exec.DefaultSettings(),
-		opt:  optimizer.DefaultOptions(),
+		cat:      catalog.New(),
+		exec:     exec.DefaultSettings(),
+		opt:      optimizer.DefaultOptions(),
+		metrics:  newMetrics(),
+		strategy: "default",
 	}
 }
 
@@ -58,9 +77,30 @@ func (s *Session) ExecSettings() *exec.Settings { return s.exec }
 // experiments.
 func (s *Session) OptOptions() *optimizer.Options { return &s.opt }
 
+// span forwards one event to the session tracer, if any.
+func (s *Session) span(sp exec.Span) {
+	if s.tracer != nil {
+		s.tracer.Span(sp)
+	}
+}
+
+// parseStatements parses a script, emitting a parse span.
+func (s *Session) parseStatements(sql string) ([]ast.Statement, error) {
+	start := time.Now()
+	stmts, err := parser.ParseStatements(sql)
+	sp := exec.Span{Phase: "parse", Name: "parse", DurNs: int64(time.Since(start))}
+	if err == nil {
+		sp.Attrs = map[string]string{"statements": fmt.Sprintf("%d", len(stmts))}
+	} else {
+		sp.Attrs = map[string]string{"error": err.Error()}
+	}
+	s.span(sp)
+	return stmts, err
+}
+
 // Execute parses and runs a script of one or more statements.
 func (s *Session) Execute(sql string) ([]*Result, error) {
-	stmts, err := parser.ParseStatements(sql)
+	stmts, err := s.parseStatements(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +117,15 @@ func (s *Session) Execute(sql string) ([]*Result, error) {
 
 // Query runs a single statement that must produce rows.
 func (s *Session) Query(sql string) (*Result, error) {
+	start := time.Now()
 	stmt, err := parser.ParseStatement(sql)
+	sp := exec.Span{Phase: "parse", Name: "parse", DurNs: int64(time.Since(start))}
+	if err == nil {
+		sp.Attrs = map[string]string{"statements": "1"}
+	} else {
+		sp.Attrs = map[string]string{"error": err.Error()}
+	}
+	s.span(sp)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +156,10 @@ func (s *Session) ExecStatement(stmt ast.Statement) (*Result, error) {
 	case *ast.QueryStmt:
 		return s.runQuery(stmt.Query)
 	case *ast.Explain:
-		node, err := s.Plan(stmt.Query)
+		if stmt.Analyze {
+			return s.explainAnalyze(stmt.Query)
+		}
+		node, _, err := s.planQuery(stmt.Query)
 		if err != nil {
 			return nil, err
 		}
@@ -126,22 +177,120 @@ func (s *Session) ExecStatement(stmt ast.Statement) (*Result, error) {
 
 // Plan binds and optimizes a query.
 func (s *Session) Plan(q *ast.Query) (plan.Node, error) {
-	node, err := binder.New(s.cat).WithInline(s.opt.InlineMeasures).BindQuery(q)
-	if err != nil {
-		return nil, err
-	}
-	return optimizer.Optimize(node, s.opt), nil
+	node, _, err := s.planQuery(q)
+	return node, err
 }
 
-func (s *Session) runQuery(q *ast.Query) (*Result, error) {
-	node, err := s.Plan(q)
+// planQuery binds and optimizes q, emitting bind / expand / optimize
+// lifecycle spans and returning the total planning time.
+func (s *Session) planQuery(q *ast.Query) (plan.Node, int64, error) {
+	b := binder.New(s.cat).WithInline(s.opt.InlineMeasures)
+	start := time.Now()
+	bound, err := b.BindQuery(q)
+	bindNs := int64(time.Since(start))
 	if err != nil {
-		return nil, err
+		s.metrics.recordError()
+		return nil, 0, err
 	}
+	s.span(exec.Span{Phase: "bind", Name: "bind", DurNs: bindNs})
+	if s.tracer != nil {
+		for _, name := range b.InlinedMeasures() {
+			s.span(exec.Span{Phase: "expand", Name: name, Attrs: map[string]string{"strategy": "inline"}})
+		}
+		s.emitExpandSpans(bound)
+	}
+
+	start = time.Now()
+	node, rep := optimizer.OptimizeWithReport(bound, s.opt)
+	optNs := int64(time.Since(start))
+	s.span(exec.Span{Phase: "optimize", Name: "optimize", DurNs: optNs})
+	if s.tracer != nil {
+		rule := func(name, attr string, count int) {
+			if count > 0 {
+				s.span(exec.Span{Phase: "optimize", Name: name, Attrs: map[string]string{attr: fmt.Sprintf("%d", count)}})
+			}
+		}
+		rule("winmagic", "rewrites", rep.WinMagicRewrites)
+		rule("pushdown", "conjuncts", rep.FilterPushdowns)
+		rule("fold", "constants", rep.ConstantsFolded)
+		rule("memo-strip", "subqueries", rep.MemoStripped)
+	}
+	return node, bindNs + optNs, nil
+}
+
+// emitExpandSpans reports each measure expansion present in the bound
+// plan: BuildMeasureSubquery labels measure subqueries
+// "measure <name> at <context>", which is exactly the (measure, context
+// transform) pair the tracer wants.
+func (s *Session) emitExpandSpans(n plan.Node) {
+	plan.VisitNodeExprs(n, func(e plan.Expr) {
+		plan.WalkExprs(e, func(x plan.Expr) {
+			sq, ok := x.(*plan.Subquery)
+			if !ok {
+				return
+			}
+			if rest, ok := strings.CutPrefix(sq.Label, "measure "); ok {
+				name, ctx := rest, ""
+				if i := strings.Index(rest, " at "); i >= 0 {
+					name, ctx = rest[:i], rest[i+len(" at "):]
+				}
+				attrs := map[string]string{"strategy": "subquery"}
+				if ctx != "" {
+					attrs["context"] = ctx
+				}
+				s.span(exec.Span{Phase: "expand", Name: name, Attrs: attrs})
+			}
+			s.emitExpandSpans(sq.Plan)
+		})
+	})
+	for _, c := range n.Children() {
+		s.emitExpandSpans(c)
+	}
+}
+
+// execPlan runs an optimized plan with this session's settings: Stats
+// are reset and collected into lastStats, the metrics registry is
+// updated, and when withProfile is set (EXPLAIN ANALYZE) or a tracer is
+// installed, per-operator metrics are collected too.
+func (s *Session) execPlan(node plan.Node, planNs int64, withProfile bool) ([][]sqltypes.Value, *exec.Profile, error) {
 	s.lastStats.Reset()
 	settings := *s.exec
 	settings.Stats = &s.lastStats
+	var prof *exec.Profile
+	if withProfile || s.tracer != nil {
+		prof = exec.NewProfile(node)
+		settings.Profile = prof
+	}
+	settings.Tracer = s.tracer
+
+	start := time.Now()
 	rows, err := exec.Run(node, &settings)
+	execNs := int64(time.Since(start))
+	if err != nil {
+		s.metrics.recordError()
+		return nil, nil, err
+	}
+	st := s.lastStats.Snapshot()
+	s.metrics.recordQuery(s.strategy, len(rows), st.RowsScanned, st.SubqueryEvals,
+		st.SubqueryCacheHits, st.ParallelFanouts, planNs, execNs)
+	s.span(exec.Span{Phase: "execute", Name: "query", DurNs: execNs, Attrs: map[string]string{
+		"rows":    fmt.Sprintf("%d", len(rows)),
+		"scanned": fmt.Sprintf("%d", st.RowsScanned),
+		"evals":   fmt.Sprintf("%d", st.SubqueryEvals),
+		"hits":    fmt.Sprintf("%d", st.SubqueryCacheHits),
+	}})
+	if prof != nil && s.tracer != nil {
+		exec.PlanSpans(node, prof, s.tracer)
+	}
+	return rows, prof, nil
+}
+
+func (s *Session) runQuery(q *ast.Query) (*Result, error) {
+	node, planNs, err := s.planQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	rows, _, err := s.execPlan(node, planNs, false)
 	if err != nil {
 		return nil, err
 	}
@@ -158,6 +307,24 @@ func (s *Session) runQuery(q *ast.Query) (*Result, error) {
 		res.Types[i] = c.Typ
 	}
 	return res, nil
+}
+
+// explainAnalyze executes the query with a Profile attached and renders
+// the annotated plan plus a totals footer.
+func (s *Session) explainAnalyze(q *ast.Query) (*Result, error) {
+	node, planNs, err := s.planQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	rows, prof, err := s.execPlan(node, planNs, true)
+	if err != nil {
+		return nil, err
+	}
+	st := s.lastStats.Snapshot()
+	msg := plan.ExplainAnalyzeTree(node, prof) + fmt.Sprintf(
+		"Totals: rows=%d scanned=%d evals=%d hits=%d fanouts=%d\n",
+		len(rows), st.RowsScanned, st.SubqueryEvals, st.SubqueryCacheHits, st.ParallelFanouts)
+	return &Result{Message: msg}, nil
 }
 
 func (s *Session) execCreateTable(stmt *ast.CreateTable) (*Result, error) {

@@ -1,0 +1,151 @@
+// Session-level metrics: cumulative counters across every query a
+// session runs, exportable as expvar-style JSON and Prometheus text.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics accumulates session-wide execution counters. All updates are
+// atomic (or mutex-guarded for the per-strategy map), so concurrent
+// queries on one session aggregate exactly.
+type Metrics struct {
+	queries         int64
+	errors          int64
+	rowsReturned    int64
+	rowsScanned     int64
+	subqueryEvals   int64
+	cacheHits       int64
+	parallelFanouts int64
+	planNs          int64
+	execNs          int64
+
+	mu         sync.Mutex
+	byStrategy map[string]*stratCounters
+}
+
+// stratCounters is the per-strategy slice of the registry.
+type stratCounters struct {
+	Queries int64 `json:"queries"`
+	PlanNs  int64 `json:"plan_ns"`
+	ExecNs  int64 `json:"exec_ns"`
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{byStrategy: map[string]*stratCounters{}}
+}
+
+// recordQuery folds one finished query into the registry.
+func (m *Metrics) recordQuery(strategy string, rows int, scanned, evals, hits, fanouts, planNs, execNs int64) {
+	atomic.AddInt64(&m.queries, 1)
+	atomic.AddInt64(&m.rowsReturned, int64(rows))
+	atomic.AddInt64(&m.rowsScanned, scanned)
+	atomic.AddInt64(&m.subqueryEvals, evals)
+	atomic.AddInt64(&m.cacheHits, hits)
+	atomic.AddInt64(&m.parallelFanouts, fanouts)
+	atomic.AddInt64(&m.planNs, planNs)
+	atomic.AddInt64(&m.execNs, execNs)
+	m.mu.Lock()
+	sc := m.byStrategy[strategy]
+	if sc == nil {
+		sc = &stratCounters{}
+		m.byStrategy[strategy] = sc
+	}
+	sc.Queries++
+	sc.PlanNs += planNs
+	sc.ExecNs += execNs
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordError() { atomic.AddInt64(&m.errors, 1) }
+
+// MetricsSnapshot is a point-in-time copy of the registry.
+type MetricsSnapshot struct {
+	Queries         int64                    `json:"queries"`
+	Errors          int64                    `json:"errors"`
+	RowsReturned    int64                    `json:"rows_returned"`
+	RowsScanned     int64                    `json:"rows_scanned"`
+	SubqueryEvals   int64                    `json:"subquery_evals"`
+	CacheHits       int64                    `json:"cache_hits"`
+	CacheHitRatio   float64                  `json:"cache_hit_ratio"`
+	ParallelFanouts int64                    `json:"parallel_fanouts"`
+	PlanNs          int64                    `json:"plan_ns"`
+	ExecNs          int64                    `json:"exec_ns"`
+	ByStrategy      map[string]stratCounters `json:"by_strategy"`
+}
+
+// Snapshot returns a consistent copy of the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Queries:         atomic.LoadInt64(&m.queries),
+		Errors:          atomic.LoadInt64(&m.errors),
+		RowsReturned:    atomic.LoadInt64(&m.rowsReturned),
+		RowsScanned:     atomic.LoadInt64(&m.rowsScanned),
+		SubqueryEvals:   atomic.LoadInt64(&m.subqueryEvals),
+		CacheHits:       atomic.LoadInt64(&m.cacheHits),
+		ParallelFanouts: atomic.LoadInt64(&m.parallelFanouts),
+		PlanNs:          atomic.LoadInt64(&m.planNs),
+		ExecNs:          atomic.LoadInt64(&m.execNs),
+		ByStrategy:      map[string]stratCounters{},
+	}
+	if total := s.SubqueryEvals + s.CacheHits; total > 0 {
+		s.CacheHitRatio = float64(s.CacheHits) / float64(total)
+	}
+	m.mu.Lock()
+	for k, v := range m.byStrategy {
+		s.ByStrategy[k] = *v
+	}
+	m.mu.Unlock()
+	return s
+}
+
+// JSON renders the snapshot as expvar-style indented JSON.
+func (s MetricsSnapshot) JSON() string {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format. Strategy labels are emitted in sorted order so the output is
+// deterministic.
+func (s MetricsSnapshot) Prometheus() string {
+	var sb strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("msql_queries_total", "Queries executed.", s.Queries)
+	counter("msql_query_errors_total", "Queries that returned an error.", s.Errors)
+	counter("msql_rows_returned_total", "Rows returned to clients.", s.RowsReturned)
+	counter("msql_rows_scanned_total", "Rows produced by Scan operators.", s.RowsScanned)
+	counter("msql_subquery_evals_total", "Actual subquery plan executions.", s.SubqueryEvals)
+	counter("msql_subquery_cache_hits_total", "Subquery evaluations served from the memo cache.", s.CacheHits)
+	counter("msql_parallel_fanouts_total", "Operator executions that fanned out to multiple workers.", s.ParallelFanouts)
+	fmt.Fprintf(&sb, "# HELP msql_cache_hit_ratio Fraction of subquery evaluations served from cache.\n# TYPE msql_cache_hit_ratio gauge\nmsql_cache_hit_ratio %g\n", s.CacheHitRatio)
+
+	strategies := make([]string, 0, len(s.ByStrategy))
+	for k := range s.ByStrategy {
+		strategies = append(strategies, k)
+	}
+	sort.Strings(strategies)
+	sb.WriteString("# HELP msql_strategy_queries_total Queries executed per strategy.\n# TYPE msql_strategy_queries_total counter\n")
+	for _, k := range strategies {
+		fmt.Fprintf(&sb, "msql_strategy_queries_total{strategy=%q} %d\n", k, s.ByStrategy[k].Queries)
+	}
+	sb.WriteString("# HELP msql_plan_seconds_total Time spent binding and optimizing, per strategy.\n# TYPE msql_plan_seconds_total counter\n")
+	for _, k := range strategies {
+		fmt.Fprintf(&sb, "msql_plan_seconds_total{strategy=%q} %g\n", k, float64(s.ByStrategy[k].PlanNs)/1e9)
+	}
+	sb.WriteString("# HELP msql_exec_seconds_total Time spent executing, per strategy.\n# TYPE msql_exec_seconds_total counter\n")
+	for _, k := range strategies {
+		fmt.Fprintf(&sb, "msql_exec_seconds_total{strategy=%q} %g\n", k, float64(s.ByStrategy[k].ExecNs)/1e9)
+	}
+	return sb.String()
+}

@@ -156,6 +156,7 @@ func (rt *runtime) runAggregate(n *plan.Aggregate) ([]Row, error) {
 
 	var tables []setTable
 	if workers, grain := rt.rowParallelism(len(in), env.exprs()...); workers > 1 {
+		rt.noteFanout(n, workers)
 		if env.chunkMergeable() {
 			tables, err = rt.aggChunkMerge(env, in, workers, grain)
 		} else {

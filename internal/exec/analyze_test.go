@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/measures-sql/msql/internal/plan"
+)
+
+// memoProbePlan is the shared-memo plan of TestSharedMemoParallelQuery:
+// 4000 outer rows probing a memoized correlated COUNT over 97 distinct
+// contexts.
+func memoProbePlan() plan.Node {
+	right := bigScan(500)
+	sub := &plan.Subquery{
+		Mode: plan.SubScalar,
+		Memo: true,
+		Plan: &plan.Aggregate{
+			Input: &plan.Filter{
+				Input: right,
+				Pred: &plan.Call{Name: "=", Typ: boolT(),
+					Args: []plan.Expr{col(1, "b"), &plan.CorrRef{Levels: 1, Index: 1, Name: "b", Typ: intT()}}},
+			},
+			GroupExprs: nil,
+			Sets:       [][]int{{}},
+			Aggs:       []plan.AggCall{{Name: "COUNT", Star: true, KeyIndex: -1, Typ: intT()}},
+			Sch:        &plan.Schema{Cols: []plan.Col{{Name: "c", Typ: intT()}}},
+		},
+		Typ: intT(),
+	}
+	outer := bigScan(4000)
+	return &plan.Project{
+		Input: outer,
+		Exprs: []plan.NamedExpr{
+			{Expr: col(0, "a"), Col: plan.Col{Name: "a", Typ: intT()}},
+			{Expr: sub, Col: plan.Col{Name: "c", Typ: intT()}},
+		},
+		Sch: &plan.Schema{Cols: []plan.Col{{Name: "a", Typ: intT()}, {Name: "c", Typ: intT()}}},
+	}
+}
+
+// TestExplainAnalyzeSharedMemoParallel is the rendered-plan version of
+// TestSharedMemoParallelQuery: after a 4-worker run, the annotated tree
+// must show exactly 97 subquery evaluations (one per distinct context)
+// with every other probe served by the memo, agreeing with Stats.
+func TestExplainAnalyzeSharedMemoParallel(t *testing.T) {
+	node := memoProbePlan()
+	settings := DefaultSettings()
+	settings.Workers = 4
+	var stats Stats
+	settings.Stats = &stats
+	prof := NewProfile(node)
+	settings.Profile = prof
+	rows, err := Run(node, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4000 {
+		t.Fatalf("got %d rows, want 4000", len(rows))
+	}
+
+	txt := plan.ExplainAnalyzeTree(node, prof)
+	if !strings.Contains(txt, "(evals=97 hits=3903)") {
+		t.Errorf("rendered plan must show 97 evals / 3903 hits:\n%s", txt)
+	}
+	// The annotation must agree with the executor's own counters.
+	want := fmt.Sprintf("(evals=%d hits=%d)", stats.SubqueryEvals, stats.SubqueryCacheHits)
+	if !strings.Contains(txt, want) {
+		t.Errorf("rendered plan disagrees with Stats %s:\n%s", want, txt)
+	}
+	// The outer Project fanned out across workers.
+	if !strings.Contains(txt, "workers=4") {
+		t.Errorf("rendered plan must show the worker fan-out:\n%s", txt)
+	}
+	if stats.ParallelFanouts == 0 {
+		t.Error("expected at least one recorded fan-out")
+	}
+	// Root row count annotates the Project line.
+	if !strings.Contains(txt, "(rows=4000 workers=4") {
+		t.Errorf("root annotation missing rows/workers:\n%s", txt)
+	}
+}
+
+// TestProfileDisabledIsNil ensures runs without a Profile leave node
+// metrics untouched (the zero-overhead path) and that ExplainAnalyzeTree
+// with a nil source degrades to the plain rendering.
+func TestProfileDisabledIsNil(t *testing.T) {
+	node := memoProbePlan()
+	settings := DefaultSettings()
+	settings.Workers = 2
+	if _, err := Run(node, settings); err != nil {
+		t.Fatal(err)
+	}
+	plain := plan.ExplainAnalyzeTree(node, nil)
+	if strings.Contains(plain, "rows=") || strings.Contains(plain, "evals=") {
+		t.Errorf("nil-source rendering must be unannotated:\n%s", plain)
+	}
+	if plain != plan.ExplainTree(node) {
+		t.Error("nil-source ExplainAnalyzeTree must equal ExplainTree")
+	}
+}
+
+// TestOpMetricsConcurrent hammers one OpMetrics from several goroutines;
+// run under -race in CI.
+func TestOpMetricsConcurrent(t *testing.T) {
+	m := &plan.OpMetrics{}
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(w int) {
+			for i := 0; i < 1000; i++ {
+				m.Record(3, 5)
+				m.NoteWorkers(w + 1)
+				m.AddEval()
+				m.AddCacheHit()
+			}
+			done <- struct{}{}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	got := m.Load()
+	if got.Calls != 4000 || got.RowsOut != 12000 || got.WallNs != 20000 {
+		t.Errorf("record counters: %+v", got)
+	}
+	if got.MaxWorkers != 4 {
+		t.Errorf("MaxWorkers = %d, want 4", got.MaxWorkers)
+	}
+	if got.Evals != 4000 || got.CacheHits != 4000 {
+		t.Errorf("subquery counters: %+v", got)
+	}
+}

@@ -32,6 +32,9 @@ type Stats struct {
 	SubqueryCacheHits int64
 	// RowsScanned counts rows produced by Scan nodes.
 	RowsScanned int64
+	// ParallelFanouts counts operator executions that fanned out to more
+	// than one worker goroutine.
+	ParallelFanouts int64
 }
 
 // Reset zeroes the counters with atomic stores, so a session may reuse
@@ -41,6 +44,18 @@ func (s *Stats) Reset() {
 	atomic.StoreInt64(&s.SubqueryEvals, 0)
 	atomic.StoreInt64(&s.SubqueryCacheHits, 0)
 	atomic.StoreInt64(&s.RowsScanned, 0)
+	atomic.StoreInt64(&s.ParallelFanouts, 0)
+}
+
+// Snapshot returns a copy taken with atomic loads, safe against
+// concurrent updates from worker goroutines.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		SubqueryEvals:     atomic.LoadInt64(&s.SubqueryEvals),
+		SubqueryCacheHits: atomic.LoadInt64(&s.SubqueryCacheHits),
+		RowsScanned:       atomic.LoadInt64(&s.RowsScanned),
+		ParallelFanouts:   atomic.LoadInt64(&s.ParallelFanouts),
+	}
 }
 
 // Settings control execution strategies (for ablation benchmarks).
@@ -56,6 +71,12 @@ type Settings struct {
 	Workers int
 	// Stats, when non-nil, accumulates executor counters.
 	Stats *Stats
+	// Profile, when non-nil, collects per-operator metrics for EXPLAIN
+	// ANALYZE. Leaving it nil keeps the instrumented paths to a single
+	// nil check per operator call.
+	Profile *Profile
+	// Tracer, when non-nil, receives execution span events.
+	Tracer Tracer
 }
 
 // DefaultSettings returns the production configuration.
@@ -68,9 +89,12 @@ func DefaultSettings() *Settings {
 // correlation dependencies per subquery.
 type shared struct {
 	settings *Settings
-	memo     *memoCache
-	depsMu   sync.RWMutex
-	deps     map[*plan.Subquery][]corrDep
+	// prof mirrors settings.Profile so operators pay one pointer load on
+	// the hot path instead of chasing settings.
+	prof   *Profile
+	memo   *memoCache
+	depsMu sync.RWMutex
+	deps   map[*plan.Subquery][]corrDep
 }
 
 // runtime carries the execution state of one goroutine. The top-level
@@ -101,6 +125,7 @@ func newRuntime(settings *Settings) *runtime {
 	return &runtime{
 		sh: &shared{
 			settings: settings,
+			prof:     settings.Profile,
 			memo:     newMemoCache(),
 			deps:     map[*plan.Subquery][]corrDep{},
 		},
@@ -375,7 +400,7 @@ func (rt *runtime) evalSubquery(sq *plan.Subquery, row Row) (sqltypes.Value, err
 			rt.computeSubquery(sq, row, e)
 		})
 		if hit {
-			rt.countHit()
+			rt.countHit(sq)
 		}
 	} else {
 		e = &memoEntry{}
@@ -459,15 +484,21 @@ func (rt *runtime) computeSubquery(sq *plan.Subquery, row Row, e *memoEntry) {
 	}
 }
 
-func (rt *runtime) countHit() {
+func (rt *runtime) countHit(sq *plan.Subquery) {
 	if s := rt.sh.settings.Stats; s != nil {
 		atomic.AddInt64(&s.SubqueryCacheHits, 1)
+	}
+	if p := rt.sh.prof; p != nil {
+		p.SubqueryMetrics(sq).AddCacheHit()
 	}
 }
 
 func (rt *runtime) runNested(sq *plan.Subquery, row Row) ([]Row, error) {
 	if s := rt.sh.settings.Stats; s != nil {
 		atomic.AddInt64(&s.SubqueryEvals, 1)
+	}
+	if p := rt.sh.prof; p != nil {
+		p.SubqueryMetrics(sq).AddEval()
 	}
 	rt.outer = append(rt.outer, row)
 	rows, err := rt.run(sq.Plan)

@@ -1,0 +1,90 @@
+package exec
+
+import (
+	"sync"
+
+	"github.com/measures-sql/msql/internal/plan"
+)
+
+// Profile collects per-operator runtime metrics for one query, keyed by
+// plan node identity (the executor runs the exact tree the optimizer
+// produced, so pointer identity is stable for the life of the query).
+// It implements plan.MetricsSource, so the annotated tree can be
+// rendered with plan.ExplainAnalyzeTree(root, profile).
+//
+// All nodes reachable from the root — including subquery plans nested in
+// expressions — are pre-registered at construction, so the hot path is
+// almost always a read-locked map lookup; nodes materialized later (none
+// today) fall back to lazy insertion under the write lock.
+type Profile struct {
+	mu    sync.RWMutex
+	nodes map[plan.Node]*plan.OpMetrics
+	subs  map[*plan.Subquery]*plan.OpMetrics
+}
+
+// NewProfile creates a profile pre-registered for every operator and
+// subquery expression reachable from root.
+func NewProfile(root plan.Node) *Profile {
+	p := &Profile{
+		nodes: map[plan.Node]*plan.OpMetrics{},
+		subs:  map[*plan.Subquery]*plan.OpMetrics{},
+	}
+	p.register(root)
+	return p
+}
+
+func (p *Profile) register(n plan.Node) {
+	if _, ok := p.nodes[n]; ok {
+		return
+	}
+	p.nodes[n] = &plan.OpMetrics{}
+	plan.VisitNodeExprs(n, func(e plan.Expr) {
+		plan.WalkExprs(e, func(x plan.Expr) {
+			if sq, ok := x.(*plan.Subquery); ok {
+				if _, ok := p.subs[sq]; !ok {
+					p.subs[sq] = &plan.OpMetrics{}
+					p.register(sq.Plan)
+				}
+			}
+		})
+	})
+	for _, c := range n.Children() {
+		p.register(c)
+	}
+}
+
+// NodeMetrics implements plan.MetricsSource.
+func (p *Profile) NodeMetrics(n plan.Node) *plan.OpMetrics {
+	p.mu.RLock()
+	m, ok := p.nodes[n]
+	p.mu.RUnlock()
+	if ok {
+		return m
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m, ok := p.nodes[n]; ok {
+		return m
+	}
+	m = &plan.OpMetrics{}
+	p.nodes[n] = m
+	return m
+}
+
+// SubqueryMetrics implements plan.MetricsSource.
+func (p *Profile) SubqueryMetrics(sq *plan.Subquery) *plan.OpMetrics {
+	p.mu.RLock()
+	m, ok := p.subs[sq]
+	p.mu.RUnlock()
+	if ok {
+		return m
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m, ok := p.subs[sq]; ok {
+		return m
+	}
+	m = &plan.OpMetrics{}
+	p.subs[sq] = m
+	return m
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"github.com/measures-sql/msql/internal/plan"
 	"github.com/measures-sql/msql/internal/sqltypes"
@@ -18,7 +19,32 @@ func Run(n plan.Node, settings *Settings) ([]Row, error) {
 	return rt.run(n)
 }
 
+// run executes one operator. When profiling is off (the common case)
+// this is a single nil check on top of runNode; when a Profile is
+// attached it records rows out and inclusive wall time per call.
 func (rt *runtime) run(n plan.Node) ([]Row, error) {
+	p := rt.sh.prof
+	if p == nil {
+		return rt.runNode(n)
+	}
+	m := p.NodeMetrics(n)
+	start := time.Now()
+	rows, err := rt.runNode(n)
+	m.Record(len(rows), int64(time.Since(start)))
+	return rows, err
+}
+
+// noteFanout records that operator n fanned out to workers goroutines.
+func (rt *runtime) noteFanout(n plan.Node, workers int) {
+	if s := rt.sh.settings.Stats; s != nil {
+		atomic.AddInt64(&s.ParallelFanouts, 1)
+	}
+	if p := rt.sh.prof; p != nil {
+		p.NodeMetrics(n).NoteWorkers(workers)
+	}
+}
+
+func (rt *runtime) runNode(n plan.Node) ([]Row, error) {
 	switch n := n.(type) {
 	case *plan.Scan:
 		rows := n.Source.Rows()
@@ -48,6 +74,7 @@ func (rt *runtime) run(n plan.Node) ([]Row, error) {
 			return nil, err
 		}
 		if w, g := rt.rowParallelism(len(in), n.Pred); w > 1 {
+			rt.noteFanout(n, w)
 			return rt.runFilterParallel(n, in, w, g)
 		}
 		var out []Row
@@ -68,6 +95,7 @@ func (rt *runtime) run(n plan.Node) ([]Row, error) {
 			return nil, err
 		}
 		if w, g := rt.rowParallelism(len(in), projectExprs(n)...); w > 1 {
+			rt.noteFanout(n, w)
 			return rt.runProjectParallel(n, in, w, g)
 		}
 		out := make([]Row, len(in))
@@ -351,6 +379,9 @@ func (rt *runtime) runHashJoin(env *joinEnv, left, right []Row) ([]Row, []bool, 
 		probeExprs = append(probeExprs, j.Residual)
 	}
 	workers, grain := rt.rowParallelism(len(left), probeExprs...)
+	if workers > 1 {
+		rt.noteFanout(j, workers)
+	}
 	if workers <= 1 {
 		var matched []bool
 		if env.needRightMatched() {

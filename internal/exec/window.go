@@ -21,7 +21,7 @@ func (rt *runtime) runWindow(n *plan.Window) ([]Row, error) {
 	}
 	results := make([][]sqltypes.Value, len(n.Funcs))
 	for fi, wf := range n.Funcs {
-		vals, err := rt.windowFunc(wf, in)
+		vals, err := rt.windowFunc(n, wf, in)
 		if err != nil {
 			return nil, err
 		}
@@ -39,7 +39,7 @@ func (rt *runtime) runWindow(n *plan.Window) ([]Row, error) {
 	return out, nil
 }
 
-func (rt *runtime) windowFunc(wf plan.WindowFunc, in []Row) ([]sqltypes.Value, error) {
+func (rt *runtime) windowFunc(n *plan.Window, wf plan.WindowFunc, in []Row) ([]sqltypes.Value, error) {
 	// Partition: compute per-row partition keys (over morsels when the
 	// input is large and the keys are safe), then bucket serially so
 	// partOrder stays first-seen order.
@@ -59,6 +59,7 @@ func (rt *runtime) windowFunc(wf plan.WindowFunc, in []Row) ([]sqltypes.Value, e
 		return nil
 	}
 	if w, g := rt.rowParallelism(len(in), wf.PartitionBy...); w > 1 {
+		rt.noteFanout(n, w)
 		err := rt.forEachChunk(len(in), w, g, func(wr *runtime, _, _, lo, hi int) error {
 			return evalKeys(wr, lo, hi)
 		})
@@ -87,6 +88,7 @@ func (rt *runtime) windowFunc(wf plan.WindowFunc, in []Row) ([]sqltypes.Value, e
 		exprs = append(exprs, item.Expr)
 	}
 	if w := rt.taskParallelism(len(partOrder), len(in), exprs...); w > 1 {
+		rt.noteFanout(n, w)
 		err := rt.forEachTask(len(partOrder), w, func(wr *runtime, pi int) error {
 			return wr.windowOnePartition(wf, in, partitions[partOrder[pi]], out)
 		})

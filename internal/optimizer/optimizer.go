@@ -43,20 +43,47 @@ func DefaultOptions() Options {
 	}
 }
 
+// Report counts which rewrites fired during one Optimize pass, feeding
+// the query-lifecycle tracer's "optimize" spans.
+type Report struct {
+	// WinMagicRewrites counts correlated aggregate subqueries rewritten
+	// into window aggregates.
+	WinMagicRewrites int
+	// FilterPushdowns counts filter conjuncts moved below a projection or
+	// into a join side.
+	FilterPushdowns int
+	// ConstantsFolded counts constant subexpressions replaced by literals.
+	ConstantsFolded int
+	// MemoStripped counts subqueries whose Memo flag was removed (naive
+	// strategy only).
+	MemoStripped int
+}
+
 // Optimize rewrites the plan according to opts. (InlineMeasures is
 // consumed by the binder, which has the semantic information the rule
 // needs; it is carried here so one options struct controls the whole
 // strategy surface.)
 func Optimize(n plan.Node, opts Options) plan.Node {
+	n, _ = OptimizeWithReport(n, opts)
+	return n
+}
+
+// OptimizeWithReport rewrites the plan and reports which rules fired.
+func OptimizeWithReport(n plan.Node, opts Options) (plan.Node, Report) {
+	var rep Report
 	if opts.WinMagic {
-		n = winMagic(n)
+		n = winMagic(n, &rep)
 	}
 	if opts.PushDownFilters {
-		n = pushDown(n)
+		n = pushDown(n, &rep)
 	}
 	if opts.FoldConstants {
 		n = plan.TransformNodeExprs(n, func(e plan.Expr, _ int) plan.Expr {
-			return foldConstant(e)
+			out := foldConstant(e)
+			if out != e {
+				rep.ConstantsFolded++
+			}
+			return out
 		})
 	}
 	if !opts.MemoizeSubqueries {
@@ -64,12 +91,13 @@ func Optimize(n plan.Node, opts Options) plan.Node {
 			if sq, ok := e.(*plan.Subquery); ok && sq.Memo {
 				c := *sq
 				c.Memo = false
+				rep.MemoStripped++
 				return &c
 			}
 			return e
 		})
 	}
-	return n
+	return n, rep
 }
 
 // foldConstant evaluates calls whose arguments are all literals. It is

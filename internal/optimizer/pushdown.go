@@ -17,17 +17,17 @@ import (
 // Outer joins keep their filters (null-extended rows make pushing
 // unsound in general), and predicates containing subqueries stay put to
 // avoid duplicating their evaluation.
-func pushDown(n plan.Node) plan.Node {
+func pushDown(n plan.Node, rep *Report) plan.Node {
 	switch n := n.(type) {
 	case *plan.Filter:
-		return pushFilter(n)
+		return pushFilter(n, rep)
 	default:
-		return copyWithChildren(n, pushDown)
+		return copyWithChildren(n, func(c plan.Node) plan.Node { return pushDown(c, rep) })
 	}
 }
 
-func pushFilter(f *plan.Filter) plan.Node {
-	input := pushDown(f.Input)
+func pushFilter(f *plan.Filter, rep *Report) plan.Node {
+	input := pushDown(f.Input, rep)
 	pred := f.Pred
 
 	for {
@@ -42,7 +42,8 @@ func pushFilter(f *plan.Filter) plan.Node {
 			if !ok {
 				return &plan.Filter{Input: input, Pred: pred}
 			}
-			inner := pushFilter(&plan.Filter{Input: in.Input, Pred: sub})
+			rep.FilterPushdowns += len(splitConj(pred))
+			inner := pushFilter(&plan.Filter{Input: in.Input, Pred: sub}, rep)
 			c := *in
 			c.Input = inner
 			return &c
@@ -70,12 +71,13 @@ func pushFilter(f *plan.Filter) plan.Node {
 			if len(leftPreds) == 0 && len(rightPreds) == 0 {
 				return &plan.Filter{Input: input, Pred: pred}
 			}
+			rep.FilterPushdowns += len(leftPreds) + len(rightPreds)
 			c := *in
 			if len(leftPreds) > 0 {
-				c.Left = pushFilter(&plan.Filter{Input: in.Left, Pred: conjoin(leftPreds)})
+				c.Left = pushFilter(&plan.Filter{Input: in.Left, Pred: conjoin(leftPreds)}, rep)
 			}
 			if len(rightPreds) > 0 {
-				c.Right = pushFilter(&plan.Filter{Input: in.Right, Pred: conjoin(rightPreds)})
+				c.Right = pushFilter(&plan.Filter{Input: in.Right, Pred: conjoin(rightPreds)}, rep)
 			}
 			if len(keep) == 0 {
 				return &c

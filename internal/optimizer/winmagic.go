@@ -22,16 +22,17 @@ import (
 //   - DISTINCT or FILTER aggregates, extra predicates in the subquery,
 //     and non-aligned plans all bail out (the subquery stays).
 
-// winMagic rewrites eligible Filter nodes in the plan bottom-up.
-func winMagic(n plan.Node) plan.Node {
+// winMagic rewrites eligible Filter nodes in the plan bottom-up,
+// counting fired rewrites into rep.
+func winMagic(n plan.Node, rep *Report) plan.Node {
 	switch n := n.(type) {
 	case *plan.Filter:
 		c := *n
-		c.Input = winMagic(n.Input)
-		return rewriteFilter(&c)
+		c.Input = winMagic(n.Input, rep)
+		return rewriteFilter(&c, rep)
 	default:
 		// Rewrite children generically via the copy helpers.
-		return copyWithChildren(n, winMagic)
+		return copyWithChildren(n, func(c plan.Node) plan.Node { return winMagic(c, rep) })
 	}
 }
 
@@ -86,7 +87,7 @@ type candidate struct {
 	formula  plan.Expr      // over aggregate outputs (AggRef-free ColRefs)
 }
 
-func rewriteFilter(f *plan.Filter) plan.Node {
+func rewriteFilter(f *plan.Filter, rep *Report) plan.Node {
 	// Candidates are keyed by the subquery's Plan pointer: expression
 	// transforms copy Subquery nodes but share the Plan.
 	cands := map[plan.Node]*candidate{}
@@ -100,6 +101,7 @@ func rewriteFilter(f *plan.Filter) plan.Node {
 	if len(cands) == 0 {
 		return f
 	}
+	rep.WinMagicRewrites += len(cands)
 
 	width := len(f.Input.Schema().Cols)
 	var funcs []plan.WindowFunc

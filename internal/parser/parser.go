@@ -204,11 +204,18 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 		return p.parseDrop()
 	case p.peekKeyword("EXPLAIN"):
 		p.advance()
+		// ANALYZE is not a reserved word: match it as an identifier so
+		// column names may still use it.
+		analyze := false
+		if t := p.cur(); t.Kind == lexer.Ident && strings.EqualFold(t.Text, "ANALYZE") {
+			p.advance()
+			analyze = true
+		}
 		q, err := p.parseQuery()
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Explain{Query: q}, nil
+		return &ast.Explain{Query: q, Analyze: analyze}, nil
 	case p.peekKeyword("EXPAND"):
 		p.advance()
 		q, err := p.parseQuery()

@@ -490,11 +490,14 @@ func (n *Window) Explain() string {
 // are printed as nested blocks beneath the node.
 func ExplainTree(n Node) string {
 	var sb strings.Builder
-	explainInto(&sb, n, 0)
+	explainInto(&sb, n, 0, nil)
 	return sb.String()
 }
 
-func explainInto(sb *strings.Builder, n Node, depth int) {
+// explainInto renders one node and its subtree. With a non-nil
+// MetricsSource it appends the EXPLAIN ANALYZE annotations; with nil it
+// produces the plain EXPLAIN output.
+func explainInto(sb *strings.Builder, n Node, depth int, src MetricsSource) {
 	indent := func(d int) {
 		for i := 0; i < d; i++ {
 			sb.WriteString("  ")
@@ -502,6 +505,11 @@ func explainInto(sb *strings.Builder, n Node, depth int) {
 	}
 	indent(depth)
 	sb.WriteString(n.Explain())
+	if src != nil {
+		if m := src.NodeMetrics(n); m != nil {
+			sb.WriteString(annotateNode(m))
+		}
+	}
 	sb.WriteByte('\n')
 	visitNodeExprs(n, func(e Expr) {
 		WalkExprs(e, func(x Expr) {
@@ -511,12 +519,18 @@ func explainInto(sb *strings.Builder, n Node, depth int) {
 				if label == "" {
 					label = sq.String()
 				}
-				sb.WriteString("[" + label + "]\n")
-				explainInto(sb, sq.Plan, depth+2)
+				sb.WriteString("[" + label + "]")
+				if src != nil {
+					if m := src.SubqueryMetrics(sq); m != nil {
+						sb.WriteString(annotateSubquery(m))
+					}
+				}
+				sb.WriteByte('\n')
+				explainInto(sb, sq.Plan, depth+2, src)
 			}
 		})
 	})
 	for _, c := range n.Children() {
-		explainInto(sb, c, depth+1)
+		explainInto(sb, c, depth+1, src)
 	}
 }

@@ -19,6 +19,7 @@ package msql
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"github.com/measures-sql/msql/internal/ast"
@@ -75,16 +76,19 @@ func (db *DB) SetStrategy(s Strategy) {
 		opt.WinMagic = false
 		opt.MemoizeSubqueries = true
 		ex.MemoizeSubqueries = true
+		db.session.SetStrategyLabel("memo")
 	case StrategyNaive:
 		opt.InlineMeasures = false
 		opt.WinMagic = false
 		opt.MemoizeSubqueries = false
 		ex.MemoizeSubqueries = false
+		db.session.SetStrategyLabel("naive")
 	default:
 		opt.InlineMeasures = true
 		opt.WinMagic = true
 		opt.MemoizeSubqueries = true
 		ex.MemoizeSubqueries = true
+		db.session.SetStrategyLabel("default")
 	}
 }
 
@@ -141,6 +145,22 @@ func (db *DB) Explain(sql string) (string, error) {
 	return res.Message, nil
 }
 
+// ExplainAnalyze executes a query and returns the optimized plan
+// annotated per operator with rows, loops, worker fan-out and wall time,
+// and per measure subquery with distinct-context evaluations vs memo
+// hits — equivalent to running `EXPLAIN ANALYZE <sql>`.
+func (db *DB) ExplainAnalyze(sql string) (string, error) {
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		return "", err
+	}
+	res, err := db.session.ExecStatement(&ast.Explain{Query: q, Analyze: true})
+	if err != nil {
+		return "", err
+	}
+	return res.Message, nil
+}
+
 // Expand rewrites a measure query into plain, measure-free SQL — the
 // paper's §4.2 static expansion (Listings 5 and 11). The returned SQL
 // parses and runs on this same engine with identical results.
@@ -165,6 +185,36 @@ type Stats = exec.Stats
 // subquery evaluations, memo-cache hits, rows scanned. Useful to verify
 // what a strategy actually did (EXPERIMENTS.md E12).
 func (db *DB) LastStats() Stats { return db.session.LastStats() }
+
+// TraceSpan is one structured query-lifecycle event: parse, bind,
+// measure expansion (which measure, which context transform), optimizer
+// rewrites that fired, execution, and per-operator detail.
+type TraceSpan = exec.Span
+
+// TraceHook receives lifecycle spans; implementations must be safe for
+// concurrent use.
+type TraceHook = exec.Tracer
+
+// SetTrace installs a lifecycle trace hook on the session; nil removes
+// it. Bundled implementations: NewTextTracer, NewJSONTracer.
+func (db *DB) SetTrace(t TraceHook) { db.session.SetTracer(t) }
+
+// NewTextTracer returns a TraceHook rendering each span as one aligned
+// text line on w.
+func NewTextTracer(w io.Writer) TraceHook { return &exec.TextTracer{W: w} }
+
+// NewJSONTracer returns a TraceHook rendering each span as one JSON
+// object per line on w.
+func NewJSONTracer(w io.Writer) TraceHook { return &exec.JSONTracer{W: w} }
+
+// MetricsSnapshot is a point-in-time copy of a session's cumulative
+// metrics; render with its JSON() (expvar-style) or Prometheus() (text
+// exposition format) methods.
+type MetricsSnapshot = engine.MetricsSnapshot
+
+// Metrics returns cumulative session metrics: queries, rows, subquery
+// cache hit ratio, and per-strategy plan/exec timings.
+func (db *DB) Metrics() MetricsSnapshot { return db.session.Metrics().Snapshot() }
 
 // Tables lists base tables and views, for tooling.
 func (db *DB) Tables() (tables, views []string) {
