@@ -12,15 +12,20 @@
 //	msqlbench -trace      # stream lifecycle spans to stderr
 //	msqlbench -metrics    # dump each session's Prometheus metrics at exit
 //	msqlbench -quick -json > BENCH_smoke.json   # machine-readable results
+//	msqlbench -timeout 5s # per-statement wall-clock limit on every session
+//	msqlbench -limits rows=5000000,mem=256000000,subq=1000000,depth=64
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,16 +42,57 @@ var (
 	trace       = flag.Bool("trace", false, "stream query-lifecycle spans to stderr")
 	metricsDump = flag.Bool("metrics", false, "dump each session's metrics (Prometheus text) at exit")
 	jsonOut     = flag.Bool("json", false, "run the bench suite and emit JSON results to stdout")
+	timeoutFlag = flag.Duration("timeout", 0, "per-statement wall-clock limit applied to every session (0 = none)")
+	limitsFlag  = flag.String("limits", "", "resource limits for every session: rows=N,mem=N,subq=N,depth=N")
 )
+
+// parseLimits turns the -limits/-timeout flags into msql.Limits.
+// Returns the zero value (unlimited) when neither flag is set.
+func parseLimits() (msql.Limits, error) {
+	var l msql.Limits
+	l.Timeout = *timeoutFlag
+	if *limitsFlag == "" {
+		return l, nil
+	}
+	for _, part := range strings.Split(*limitsFlag, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return l, fmt.Errorf("-limits: %q is not key=value", part)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return l, fmt.Errorf("-limits %s: %v", key, err)
+		}
+		switch key {
+		case "rows":
+			l.MaxRows = n
+		case "mem":
+			l.MaxMemBytes = n
+		case "subq":
+			l.MaxSubqueryEvals = n
+		case "depth":
+			l.MaxExpansionDepth = int(n)
+		default:
+			return l, fmt.Errorf("-limits: unknown key %q (want rows, mem, subq, depth)", key)
+		}
+	}
+	return l, nil
+}
+
+// sessionLimits is the parsed -limits/-timeout value, applied to every
+// DB the harness opens.
+var sessionLimits msql.Limits
 
 // sessions tracks every DB the harness opened, for -metrics.
 var sessions []*msql.DB
 
-// register applies the harness-wide observability flags to a new DB.
+// register applies the harness-wide observability and resource-limit
+// flags to a new DB.
 func register(db *msql.DB) *msql.DB {
 	if *trace {
 		db.SetTrace(msql.NewTextTracer(os.Stderr))
 	}
+	db.SetLimits(sessionLimits)
 	sessions = append(sessions, db)
 	return db
 }
@@ -64,9 +110,15 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (E01..E22) or 'all'")
+	expFlag := flag.String("exp", "all", "experiment id (E01..E23) or 'all'")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	var err error
+	if sessionLimits, err = parseLimits(); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
 
 	if *jsonOut {
 		if err := runJSONBench(); err != nil {
@@ -104,6 +156,7 @@ func main() {
 		{"E19", "Planning overhead of measure expansion", e19},
 		{"E21", "Parallel execution: speedup by worker count", e21},
 		{"E22", "Per-operator metrics: memo vs naive at workers 1 vs 4", e22},
+		{"E23", "Cancellation latency: workers 1 vs 4", e23},
 	}
 
 	failed := 0
@@ -526,6 +579,70 @@ func e22() error {
 	}
 	fmt.Println("shape check: memo shows hits>0 on the grand-total context (one eval, the")
 	fmt.Println("rest served from cache); naive shows hits=0 and an eval per distinct call")
+	return nil
+}
+
+// e23 measures cancellation latency: the time from cancel() until
+// QueryContext returns ErrCanceled, with the query reliably mid-flight.
+// Workers=4 must drain its in-flight goroutines too, so this checks the
+// cooperative-cancellation budget (50ms) under parallel execution.
+func e23() error {
+	n := 50000
+	if *quick {
+		n = 10000
+	}
+	q := `SELECT prodName, AGGREGATE(margin) AS m, AGGREGATE(rev) AS r, rev AT (ALL) AS tot
+	      FROM (SELECT *, SUM(revenue) AS MEASURE rev,
+	                   (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE margin
+	            FROM Orders) AS o
+	      GROUP BY prodName`
+	fmt.Println("latency from cancel() to QueryContext returning ErrCanceled (budget: 50ms)")
+	fmt.Printf("%-9s %12s %12s %12s %8s\n", "workers", "full query", "avg cancel", "max cancel", "hits")
+	for _, w := range []int{1, 4} {
+		db := loadSynthetic(n, 100, 0)
+		db.SetStrategy(msql.StrategyMemo)
+		db.SetWorkers(w)
+		full := timeQuery(db, q)
+		const reps = 10
+		var total, worst time.Duration
+		hits := 0
+		for i := 0; i < reps; i++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				_, err := db.QueryContext(ctx, q)
+				done <- err
+			}()
+			time.Sleep(full / 3) // let the query get mid-flight
+			start := time.Now()
+			cancel()
+			err := <-done
+			lat := time.Since(start)
+			if err == nil {
+				continue // the query beat the cancellation; not a sample
+			}
+			if !errors.Is(err, msql.ErrCanceled) {
+				return fmt.Errorf("workers=%d: want ErrCanceled, got %v", w, err)
+			}
+			hits++
+			total += lat
+			if lat > worst {
+				worst = lat
+			}
+		}
+		if hits == 0 {
+			fmt.Printf("%-9d %12v %12s %12s %8d  (query too fast to cancel; rerun without -quick)\n",
+				w, full, "-", "-", hits)
+			continue
+		}
+		avg := total / time.Duration(hits)
+		fmt.Printf("%-9d %12v %12v %12v %8d\n", w, full, avg, worst, hits)
+		if worst > 50*time.Millisecond {
+			return fmt.Errorf("workers=%d: worst cancellation latency %v exceeds the 50ms budget", w, worst)
+		}
+	}
+	fmt.Println("shape check: latency is bounded by the 1024-row tick interval, not by query size;")
+	fmt.Println("workers=4 also drains its sibling goroutines before returning")
 	return nil
 }
 

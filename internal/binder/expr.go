@@ -325,6 +325,12 @@ func (eb *exprBinder) bindBinary(e *ast.Binary) (plan.Expr, error) {
 // result type. Measure-typed arguments are rejected here, which catches
 // things like profitMargin + 1 outside an evaluable context.
 func (eb *exprBinder) call(name string, args []plan.Expr) (plan.Expr, error) {
+	return eb.callAt(name, args, 0)
+}
+
+// callAt is call with a source position (byte offset + 1, 0 unknown)
+// carried into the plan for runtime error reporting.
+func (eb *exprBinder) callAt(name string, args []plan.Expr, pos int) (plan.Expr, error) {
 	sc, ok := fn.LookupScalar(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown function or operator %s", name)
@@ -340,7 +346,7 @@ func (eb *exprBinder) call(name string, args []plan.Expr) (plan.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &plan.Call{Name: sc.Name, Args: args, Typ: ret}, nil
+	return &plan.Call{Name: sc.Name, Args: args, Typ: ret, Pos: pos}, nil
 }
 
 func (eb *exprBinder) bindCase(e *ast.Case) (plan.Expr, error) {
@@ -482,7 +488,7 @@ func (eb *exprBinder) bindFuncCall(e *ast.FuncCall) (plan.Expr, error) {
 	if e.Filter != nil {
 		return nil, fmt.Errorf("FILTER is only valid on aggregate functions")
 	}
-	return eb.call(name, args)
+	return eb.callAt(name, args, e.Pos+1)
 }
 
 func (eb *exprBinder) bindAggCall(e *ast.FuncCall, agg *fn.Agg) (plan.Expr, error) {

@@ -3,8 +3,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/measures-sql/msql/internal/ast"
@@ -30,8 +32,14 @@ type Result struct {
 }
 
 // Session is one database session: a catalog plus execution settings.
+// Statement execution snapshots the settings under mu (see
+// statementConfig), so mutating them through Update while another
+// goroutine runs a query is safe: the in-flight statement keeps the
+// configuration it started with.
 type Session struct {
-	cat       *catalog.Catalog
+	cat *catalog.Catalog
+	// mu guards exec, opt, and strategy against concurrent mutation.
+	mu        sync.Mutex
 	exec      *exec.Settings
 	opt       optimizer.Options
 	lastStats exec.Stats
@@ -40,6 +48,60 @@ type Session struct {
 	// strategy labels the per-strategy metrics buckets; SetStrategy in
 	// the public API keeps it in sync with the options it sets.
 	strategy string
+}
+
+// Overrides carries per-statement setting overrides for the Context
+// entry points; nil fields keep the session values.
+type Overrides struct {
+	// Workers overrides the executor worker budget.
+	Workers *int
+	// Limits replaces the session resource limits wholesale.
+	Limits *exec.Limits
+	// Timeout overrides (only) the statement timeout, after Limits.
+	Timeout *time.Duration
+}
+
+// stmtConfig is the per-statement snapshot of session configuration:
+// every statement runs to completion on the settings it started with.
+type stmtConfig struct {
+	exec     exec.Settings
+	opt      optimizer.Options
+	strategy string
+}
+
+// stmtEnv bundles one statement's context and configuration snapshot.
+type stmtEnv struct {
+	ctx context.Context
+	cfg stmtConfig
+}
+
+// statementConfig snapshots the session settings under the lock and
+// applies per-call overrides to the copy.
+func (s *Session) statementConfig(ov *Overrides) stmtConfig {
+	s.mu.Lock()
+	cfg := stmtConfig{exec: *s.exec, opt: s.opt, strategy: s.strategy}
+	s.mu.Unlock()
+	if ov != nil {
+		if ov.Workers != nil {
+			cfg.exec.Workers = *ov.Workers
+		}
+		if ov.Limits != nil {
+			cfg.exec.Limits = *ov.Limits
+		}
+		if ov.Timeout != nil {
+			cfg.exec.Limits.Timeout = *ov.Timeout
+		}
+	}
+	return cfg
+}
+
+// Update mutates the session settings under the lock. Statements that
+// are already running keep their snapshot; the change applies to the
+// next statement.
+func (s *Session) Update(fn func(ex *exec.Settings, opt *optimizer.Options)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.exec, &s.opt)
 }
 
 // LastStats returns the executor counters of the most recent query. The
@@ -54,7 +116,11 @@ func (s *Session) Metrics() *Metrics { return s.metrics }
 func (s *Session) SetTracer(t exec.Tracer) { s.tracer = t }
 
 // SetStrategyLabel names the strategy bucket for subsequent queries.
-func (s *Session) SetStrategyLabel(label string) { s.strategy = label }
+func (s *Session) SetStrategyLabel(label string) {
+	s.mu.Lock()
+	s.strategy = label
+	s.mu.Unlock()
+}
 
 // New creates an empty session with default settings.
 func New() *Session {
@@ -100,15 +166,24 @@ func (s *Session) parseStatements(sql string) ([]ast.Statement, error) {
 
 // Execute parses and runs a script of one or more statements.
 func (s *Session) Execute(sql string) ([]*Result, error) {
+	return s.ExecuteContext(context.Background(), sql, nil)
+}
+
+// ExecuteContext parses and runs a script under ctx with per-call
+// overrides (nil keeps the session settings). Errors carry the
+// statement text.
+func (s *Session) ExecuteContext(ctx context.Context, sql string, ov *Overrides) ([]*Result, error) {
 	stmts, err := s.parseStatements(sql)
 	if err != nil {
+		err = exec.WithQuery(exec.Wrap(err, exec.CodeParse, exec.PhaseParse), sql)
+		s.metrics.recordOutcome(err)
 		return nil, err
 	}
 	results := make([]*Result, 0, len(stmts))
 	for _, stmt := range stmts {
-		r, err := s.ExecStatement(stmt)
+		r, err := s.ExecStatementContext(ctx, stmt, ov)
 		if err != nil {
-			return results, err
+			return results, exec.WithQuery(err, sql)
 		}
 		results = append(results, r)
 	}
@@ -117,6 +192,12 @@ func (s *Session) Execute(sql string) ([]*Result, error) {
 
 // Query runs a single statement that must produce rows.
 func (s *Session) Query(sql string) (*Result, error) {
+	return s.QueryContext(context.Background(), sql, nil)
+}
+
+// QueryContext runs a single row-producing statement under ctx with
+// per-call overrides (nil keeps the session settings).
+func (s *Session) QueryContext(ctx context.Context, sql string, ov *Overrides) (*Result, error) {
 	start := time.Now()
 	stmt, err := parser.ParseStatement(sql)
 	sp := exec.Span{Phase: "parse", Name: "parse", DurNs: int64(time.Since(start))}
@@ -127,11 +208,13 @@ func (s *Session) Query(sql string) (*Result, error) {
 	}
 	s.span(sp)
 	if err != nil {
+		err = exec.WithQuery(exec.Wrap(err, exec.CodeParse, exec.PhaseParse), sql)
+		s.metrics.recordOutcome(err)
 		return nil, err
 	}
-	r, err := s.ExecStatement(stmt)
+	r, err := s.ExecStatementContext(ctx, stmt, ov)
 	if err != nil {
-		return nil, err
+		return nil, exec.WithQuery(err, sql)
 	}
 	if r.Columns == nil {
 		return nil, fmt.Errorf("statement did not return rows")
@@ -141,25 +224,59 @@ func (s *Session) Query(sql string) (*Result, error) {
 
 // ExecStatement runs one parsed statement.
 func (s *Session) ExecStatement(stmt ast.Statement) (*Result, error) {
+	return s.ExecStatementContext(context.Background(), stmt, nil)
+}
+
+// ExecStatementContext runs one parsed statement under ctx with
+// per-call overrides. This is the engine's guard rail: the statement
+// timeout is applied here (covering planning and execution), internal
+// panics are recovered into CodeRuntime errors, every escaping error is
+// classified into the taxonomy, and the outcome is folded into the
+// session metrics.
+func (s *Session) ExecStatementContext(ctx context.Context, stmt ast.Statement, ov *Overrides) (res *Result, err error) {
+	env := &stmtEnv{ctx: ctx, cfg: s.statementConfig(ov)}
+	if t := env.cfg.exec.Limits.Timeout; t > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			env.ctx, cancel = context.WithTimeout(ctx, t)
+			defer cancel()
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, exec.PanicError(r, exec.PhaseExecute)
+		}
+		if err != nil {
+			err = exec.Wrap(err, exec.CodeRuntime, exec.PhaseExecute)
+			s.metrics.recordOutcome(err)
+		}
+	}()
+	if err := env.ctx.Err(); err != nil {
+		return nil, exec.CtxError(err)
+	}
+	return s.execStatement(env, stmt)
+}
+
+func (s *Session) execStatement(env *stmtEnv, stmt ast.Statement) (*Result, error) {
 	switch stmt := stmt.(type) {
 	case *ast.CreateTable:
 		return s.execCreateTable(stmt)
 	case *ast.CreateView:
 		return s.execCreateView(stmt)
 	case *ast.Insert:
-		return s.execInsert(stmt)
+		return s.execInsert(env, stmt)
 	case *ast.Drop:
 		if err := s.cat.Drop(stmt.Kind, stmt.Name); err != nil {
 			return nil, err
 		}
 		return &Result{Message: fmt.Sprintf("dropped %s %s", strings.ToLower(stmt.Kind), stmt.Name)}, nil
 	case *ast.QueryStmt:
-		return s.runQuery(stmt.Query)
+		return s.runQuery(env, stmt.Query)
 	case *ast.Explain:
 		if stmt.Analyze {
-			return s.explainAnalyze(stmt.Query)
+			return s.explainAnalyze(env, stmt.Query)
 		}
-		node, _, err := s.planQuery(stmt.Query)
+		node, _, err := s.planQuery(env, stmt.Query)
 		if err != nil {
 			return nil, err
 		}
@@ -167,7 +284,7 @@ func (s *Session) ExecStatement(stmt ast.Statement) (*Result, error) {
 	case *ast.Expand:
 		text, err := s.ExpandQuery(stmt.Query)
 		if err != nil {
-			return nil, err
+			return nil, exec.Wrap(err, exec.CodeExpand, exec.PhaseExpand)
 		}
 		return &Result{Message: text}, nil
 	default:
@@ -177,20 +294,20 @@ func (s *Session) ExecStatement(stmt ast.Statement) (*Result, error) {
 
 // Plan binds and optimizes a query.
 func (s *Session) Plan(q *ast.Query) (plan.Node, error) {
-	node, _, err := s.planQuery(q)
+	env := &stmtEnv{ctx: context.Background(), cfg: s.statementConfig(nil)}
+	node, _, err := s.planQuery(env, q)
 	return node, err
 }
 
 // planQuery binds and optimizes q, emitting bind / expand / optimize
 // lifecycle spans and returning the total planning time.
-func (s *Session) planQuery(q *ast.Query) (plan.Node, int64, error) {
-	b := binder.New(s.cat).WithInline(s.opt.InlineMeasures)
+func (s *Session) planQuery(env *stmtEnv, q *ast.Query) (plan.Node, int64, error) {
+	b := binder.New(s.cat).WithInline(env.cfg.opt.InlineMeasures)
 	start := time.Now()
 	bound, err := b.BindQuery(q)
 	bindNs := int64(time.Since(start))
 	if err != nil {
-		s.metrics.recordError()
-		return nil, 0, err
+		return nil, 0, exec.Wrap(err, exec.CodeBind, exec.PhaseBind)
 	}
 	s.span(exec.Span{Phase: "bind", Name: "bind", DurNs: bindNs})
 	if s.tracer != nil {
@@ -201,7 +318,7 @@ func (s *Session) planQuery(q *ast.Query) (plan.Node, int64, error) {
 	}
 
 	start = time.Now()
-	node, rep := optimizer.OptimizeWithReport(bound, s.opt)
+	node, rep := optimizer.OptimizeWithReportContext(env.ctx, bound, env.cfg.opt)
 	optNs := int64(time.Since(start))
 	s.span(exec.Span{Phase: "optimize", Name: "optimize", DurNs: optNs})
 	if s.tracer != nil {
@@ -252,9 +369,9 @@ func (s *Session) emitExpandSpans(n plan.Node) {
 // are reset and collected into lastStats, the metrics registry is
 // updated, and when withProfile is set (EXPLAIN ANALYZE) or a tracer is
 // installed, per-operator metrics are collected too.
-func (s *Session) execPlan(node plan.Node, planNs int64, withProfile bool) ([][]sqltypes.Value, *exec.Profile, error) {
+func (s *Session) execPlan(env *stmtEnv, node plan.Node, planNs int64, withProfile bool) ([][]sqltypes.Value, *exec.Profile, error) {
 	s.lastStats.Reset()
-	settings := *s.exec
+	settings := env.cfg.exec
 	settings.Stats = &s.lastStats
 	var prof *exec.Profile
 	if withProfile || s.tracer != nil {
@@ -264,14 +381,15 @@ func (s *Session) execPlan(node plan.Node, planNs int64, withProfile bool) ([][]
 	settings.Tracer = s.tracer
 
 	start := time.Now()
-	rows, err := exec.Run(node, &settings)
+	rows, err := exec.RunContext(env.ctx, node, &settings)
 	execNs := int64(time.Since(start))
 	if err != nil {
-		s.metrics.recordError()
+		s.span(exec.Span{Phase: "execute", Name: "query", DurNs: execNs,
+			Attrs: map[string]string{"error": err.Error()}})
 		return nil, nil, err
 	}
 	st := s.lastStats.Snapshot()
-	s.metrics.recordQuery(s.strategy, len(rows), st.RowsScanned, st.SubqueryEvals,
+	s.metrics.recordQuery(env.cfg.strategy, len(rows), st.RowsScanned, st.SubqueryEvals,
 		st.SubqueryCacheHits, st.ParallelFanouts, planNs, execNs)
 	s.span(exec.Span{Phase: "execute", Name: "query", DurNs: execNs, Attrs: map[string]string{
 		"rows":    fmt.Sprintf("%d", len(rows)),
@@ -285,12 +403,12 @@ func (s *Session) execPlan(node plan.Node, planNs int64, withProfile bool) ([][]
 	return rows, prof, nil
 }
 
-func (s *Session) runQuery(q *ast.Query) (*Result, error) {
-	node, planNs, err := s.planQuery(q)
+func (s *Session) runQuery(env *stmtEnv, q *ast.Query) (*Result, error) {
+	node, planNs, err := s.planQuery(env, q)
 	if err != nil {
 		return nil, err
 	}
-	rows, _, err := s.execPlan(node, planNs, false)
+	rows, _, err := s.execPlan(env, node, planNs, false)
 	if err != nil {
 		return nil, err
 	}
@@ -311,12 +429,12 @@ func (s *Session) runQuery(q *ast.Query) (*Result, error) {
 
 // explainAnalyze executes the query with a Profile attached and renders
 // the annotated plan plus a totals footer.
-func (s *Session) explainAnalyze(q *ast.Query) (*Result, error) {
-	node, planNs, err := s.planQuery(q)
+func (s *Session) explainAnalyze(env *stmtEnv, q *ast.Query) (*Result, error) {
+	node, planNs, err := s.planQuery(env, q)
 	if err != nil {
 		return nil, err
 	}
-	rows, prof, err := s.execPlan(node, planNs, true)
+	rows, prof, err := s.execPlan(env, node, planNs, true)
 	if err != nil {
 		return nil, err
 	}
@@ -355,7 +473,7 @@ func (s *Session) execCreateView(stmt *ast.CreateView) (*Result, error) {
 	return &Result{Message: fmt.Sprintf("created view %s", stmt.Name)}, nil
 }
 
-func (s *Session) execInsert(stmt *ast.Insert) (*Result, error) {
+func (s *Session) execInsert(env *stmtEnv, stmt *ast.Insert) (*Result, error) {
 	table, ok := s.cat.Table(stmt.Table)
 	if !ok {
 		return nil, fmt.Errorf("table %s does not exist", stmt.Table)
@@ -392,7 +510,7 @@ func (s *Session) execInsert(stmt *ast.Insert) (*Result, error) {
 	var srcRows [][]sqltypes.Value
 	switch {
 	case stmt.Query != nil:
-		res, err := s.runQuery(stmt.Query)
+		res, err := s.runQuery(env, stmt.Query)
 		if err != nil {
 			return nil, err
 		}

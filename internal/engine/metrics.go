@@ -4,11 +4,14 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"github.com/measures-sql/msql/internal/exec"
 )
 
 // Metrics accumulates session-wide execution counters. All updates are
@@ -17,6 +20,9 @@ import (
 type Metrics struct {
 	queries         int64
 	errors          int64
+	canceled        int64
+	timeouts        int64
+	limitTrips      int64
 	rowsReturned    int64
 	rowsScanned     int64
 	subqueryEvals   int64
@@ -62,12 +68,31 @@ func (m *Metrics) recordQuery(strategy string, rows int, scanned, evals, hits, f
 	m.mu.Unlock()
 }
 
-func (m *Metrics) recordError() { atomic.AddInt64(&m.errors, 1) }
+// recordOutcome folds one failed statement into the registry,
+// classifying cancellations, timeouts, and resource-limit trips by
+// their error code.
+func (m *Metrics) recordOutcome(err error) {
+	if err == nil {
+		return
+	}
+	atomic.AddInt64(&m.errors, 1)
+	switch {
+	case errors.Is(err, exec.CodeCanceled):
+		atomic.AddInt64(&m.canceled, 1)
+	case errors.Is(err, exec.CodeTimeout):
+		atomic.AddInt64(&m.timeouts, 1)
+	case errors.Is(err, exec.CodeResourceExhausted):
+		atomic.AddInt64(&m.limitTrips, 1)
+	}
+}
 
 // MetricsSnapshot is a point-in-time copy of the registry.
 type MetricsSnapshot struct {
 	Queries         int64                    `json:"queries"`
 	Errors          int64                    `json:"errors"`
+	Canceled        int64                    `json:"canceled"`
+	Timeouts        int64                    `json:"timeouts"`
+	LimitTrips      int64                    `json:"limit_trips"`
 	RowsReturned    int64                    `json:"rows_returned"`
 	RowsScanned     int64                    `json:"rows_scanned"`
 	SubqueryEvals   int64                    `json:"subquery_evals"`
@@ -84,6 +109,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	s := MetricsSnapshot{
 		Queries:         atomic.LoadInt64(&m.queries),
 		Errors:          atomic.LoadInt64(&m.errors),
+		Canceled:        atomic.LoadInt64(&m.canceled),
+		Timeouts:        atomic.LoadInt64(&m.timeouts),
+		LimitTrips:      atomic.LoadInt64(&m.limitTrips),
 		RowsReturned:    atomic.LoadInt64(&m.rowsReturned),
 		RowsScanned:     atomic.LoadInt64(&m.rowsScanned),
 		SubqueryEvals:   atomic.LoadInt64(&m.subqueryEvals),
@@ -123,6 +151,9 @@ func (s MetricsSnapshot) Prometheus() string {
 	}
 	counter("msql_queries_total", "Queries executed.", s.Queries)
 	counter("msql_query_errors_total", "Queries that returned an error.", s.Errors)
+	counter("msql_queries_canceled_total", "Statements ended by caller cancellation.", s.Canceled)
+	counter("msql_query_timeouts_total", "Statements ended by a deadline or Limits.Timeout.", s.Timeouts)
+	counter("msql_limit_trips_total", "Statements ended by a resource governor limit.", s.LimitTrips)
 	counter("msql_rows_returned_total", "Rows returned to clients.", s.RowsReturned)
 	counter("msql_rows_scanned_total", "Rows produced by Scan operators.", s.RowsScanned)
 	counter("msql_subquery_evals_total", "Actual subquery plan executions.", s.SubqueryEvals)

@@ -178,6 +178,9 @@ func (rt *runtime) runAggregate(n *plan.Aggregate) ([]Row, error) {
 func (rt *runtime) accumulateRows(env *aggEnv, tables []setTable, in []Row, lo, hi int) error {
 	n := env.n
 	for i := lo; i < hi; i++ {
+		if err := rt.tick(); err != nil {
+			return err
+		}
 		row := in[i]
 		// Evaluate each group expression once per row.
 		keyVals := make([]sqltypes.Value, len(n.GroupExprs))
@@ -267,6 +270,9 @@ func (rt *runtime) aggGroupPartitioned(env *aggEnv, in []Row, workers, grain int
 	setHash := make([]uint32, len(in)*nSets)
 	err := rt.forEachChunk(len(in), workers, grain, func(w *runtime, _, _, lo, hi int) error {
 		for i := lo; i < hi; i++ {
+			if err := w.tick(); err != nil {
+				return err
+			}
 			keyVals := make([]sqltypes.Value, len(n.GroupExprs))
 			for j, g := range n.GroupExprs {
 				v, err := w.eval(g, in[i])
@@ -301,6 +307,9 @@ func (rt *runtime) aggGroupPartitioned(env *aggEnv, in []Row, workers, grain int
 		tables := newSetTables(nSets)
 		workerTables[worker] = tables
 		for i, row := range in {
+			if err := w.tick(); err != nil {
+				return err
+			}
 			for si, set := range n.Sets {
 				idx := i*nSets + si
 				if int(setHash[idx])%workers != worker {

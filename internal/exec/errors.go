@@ -1,0 +1,177 @@
+package exec
+
+// Structured error taxonomy. Every error that escapes a public engine
+// entry point is (or wraps) an *Error carrying a stable Code, the
+// lifecycle phase that produced it, and — when known — the query text
+// and a byte offset into it. Codes double as errors.Is sentinels:
+//
+//	if errors.Is(err, exec.CodeCanceled) { ... }
+//
+// and cancellation/timeout errors additionally unwrap to
+// context.Canceled / context.DeadlineExceeded, so callers using either
+// convention match.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	stdruntime "runtime"
+	"strings"
+)
+
+// Code is the stable classification of an engine error. Code implements
+// error so the constants act as errors.Is targets.
+type Code int
+
+const (
+	// CodeUnknown is the zero Code; no classified error carries it.
+	CodeUnknown Code = iota
+	// CodeParse: the statement text failed to lex or parse.
+	CodeParse
+	// CodeBind: name resolution or type checking failed.
+	CodeBind
+	// CodeExpand: measure expansion (AT-context rewriting) failed.
+	CodeExpand
+	// CodeRuntime: execution failed (bad cast, overflow, internal panic).
+	CodeRuntime
+	// CodeCanceled: the caller's context was canceled mid-statement.
+	CodeCanceled
+	// CodeTimeout: the statement deadline (Limits.Timeout or a caller
+	// deadline) expired.
+	CodeTimeout
+	// CodeResourceExhausted: a resource governor limit tripped
+	// (MaxRows, MaxMemBytes, MaxSubqueryEvals, MaxExpansionDepth).
+	CodeResourceExhausted
+)
+
+var codeNames = map[Code]string{
+	CodeUnknown:           "UNKNOWN",
+	CodeParse:             "PARSE",
+	CodeBind:              "BIND",
+	CodeExpand:            "EXPAND",
+	CodeRuntime:           "RUNTIME",
+	CodeCanceled:          "CANCELED",
+	CodeTimeout:           "TIMEOUT",
+	CodeResourceExhausted: "RESOURCE_EXHAUSTED",
+}
+
+// String returns the stable name of the code.
+func (c Code) String() string {
+	if n, ok := codeNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("CODE(%d)", int(c))
+}
+
+// Error implements error so Codes work as errors.Is sentinels.
+func (c Code) Error() string { return c.String() }
+
+// Lifecycle phase names used in Error.Phase and trace spans.
+const (
+	PhaseParse    = "parse"
+	PhaseBind     = "bind"
+	PhaseExpand   = "expand"
+	PhaseOptimize = "optimize"
+	PhaseExecute  = "execute"
+)
+
+// Error is the structured engine error. It satisfies errors.Is against
+// its Code and errors.As against *Error, and unwraps to the cause.
+type Error struct {
+	// Code classifies the failure; see the Code constants.
+	Code Code
+	// Phase is the lifecycle stage that produced the error.
+	Phase string
+	// Query is the statement text, when known ("" otherwise).
+	Query string
+	// Pos is a byte offset into Query locating the failure, -1 unknown.
+	Pos int
+	// Hint suggests how to avoid or fix the failure ("" when none).
+	Hint string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	var sb strings.Builder
+	sb.WriteString(strings.ToLower(e.Code.String()))
+	if e.Phase != "" && e.Phase != strings.ToLower(e.Code.String()) {
+		fmt.Fprintf(&sb, " (%s)", e.Phase)
+	}
+	sb.WriteString(": ")
+	if e.Err != nil {
+		sb.WriteString(e.Err.Error())
+	} else {
+		sb.WriteString("unknown error")
+	}
+	if e.Pos >= 0 && e.Query != "" {
+		fmt.Fprintf(&sb, " (at byte offset %d)", e.Pos)
+	}
+	if e.Hint != "" {
+		fmt.Fprintf(&sb, " [hint: %s]", e.Hint)
+	}
+	return sb.String()
+}
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches Code sentinels: errors.Is(err, CodeCanceled).
+func (e *Error) Is(target error) bool {
+	c, ok := target.(Code)
+	return ok && c == e.Code
+}
+
+// Wrap classifies err under code and phase unless it is already an
+// *Error (directly or wrapped), in which case it is returned unchanged.
+// Context errors are classified as CodeCanceled/CodeTimeout regardless
+// of the requested code.
+func Wrap(err error, code Code, phase string) error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return CtxError(err)
+	}
+	return &Error{Code: code, Phase: phase, Pos: -1, Err: err}
+}
+
+// CtxError classifies a context error: DeadlineExceeded → CodeTimeout,
+// anything else → CodeCanceled. The original error stays in the chain,
+// so errors.Is(err, context.Canceled) keeps working.
+func CtxError(err error) *Error {
+	code, hint := CodeCanceled, "the caller canceled the statement"
+	if errors.Is(err, context.DeadlineExceeded) {
+		code, hint = CodeTimeout, "raise Limits.Timeout or simplify the query"
+	}
+	return &Error{Code: code, Phase: PhaseExecute, Pos: -1, Hint: hint, Err: err}
+}
+
+// PanicError converts a recovered panic value into a CodeRuntime error
+// carrying the first frames of the panicking goroutine's stack.
+func PanicError(r any, phase string) *Error {
+	buf := make([]byte, 8192)
+	n := stdruntime.Stack(buf, false)
+	return &Error{
+		Code:  CodeRuntime,
+		Phase: phase,
+		Pos:   -1,
+		Hint:  "internal panic recovered; the session remains usable",
+		Err:   fmt.Errorf("panic: %v\n%s", r, buf[:n]),
+	}
+}
+
+// WithQuery attaches the statement text to err's outermost *Error when
+// it does not already carry one. Non-*Error errors pass through.
+func WithQuery(err error, query string) error {
+	var e *Error
+	if errors.As(err, &e) && e.Query == "" {
+		e.Query = query
+	}
+	return err
+}

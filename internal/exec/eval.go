@@ -8,6 +8,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -77,6 +78,9 @@ type Settings struct {
 	Profile *Profile
 	// Tracer, when non-nil, receives execution span events.
 	Tracer Tracer
+	// Limits bounds the statement's resource consumption; the zero
+	// value is unlimited. See Limits for the dimensions.
+	Limits Limits
 }
 
 // DefaultSettings returns the production configuration.
@@ -91,7 +95,12 @@ type shared struct {
 	settings *Settings
 	// prof mirrors settings.Profile so operators pay one pointer load on
 	// the hot path instead of chasing settings.
-	prof   *Profile
+	prof *Profile
+	// ctx carries the statement's cancellation signal; every worker
+	// checks it at amortized per-row checkpoints.
+	ctx context.Context
+	// bud is the statement's resource-consumption ledger.
+	bud    *budget
 	memo   *memoCache
 	depsMu sync.RWMutex
 	deps   map[*plan.Subquery][]corrDep
@@ -108,6 +117,33 @@ type runtime struct {
 	// workers is this goroutine's parallelism budget for the operators
 	// it executes; worker runtimes get 1 so fan-out never nests.
 	workers int
+	// steps counts rows processed since the last cancellation check;
+	// tick amortizes the context poll over cancelCheckRows rows.
+	steps int
+}
+
+// cancelCheckRows is the amortization interval of the cooperative
+// cancellation checkpoints: row loops poll the context once per this
+// many rows, keeping the per-row overhead to an increment and compare.
+const cancelCheckRows = 1024
+
+// tick is the cooperative cancellation checkpoint called from row
+// loops. It polls the context every cancelCheckRows calls.
+func (rt *runtime) tick() error {
+	if rt.steps++; rt.steps < cancelCheckRows {
+		return nil
+	}
+	return rt.tickNow()
+}
+
+// tickNow polls the context immediately and resets the amortization
+// counter.
+func (rt *runtime) tickNow() error {
+	rt.steps = 0
+	if err := rt.sh.ctx.Err(); err != nil {
+		return CtxError(err)
+	}
+	return nil
 }
 
 type corrDep struct {
@@ -121,11 +157,13 @@ type inSet struct {
 	count   int
 }
 
-func newRuntime(settings *Settings) *runtime {
+func newRuntime(ctx context.Context, settings *Settings) *runtime {
 	return &runtime{
 		sh: &shared{
 			settings: settings,
 			prof:     settings.Profile,
+			ctx:      ctx,
+			bud:      &budget{limits: settings.Limits},
 			memo:     newMemoCache(),
 			deps:     map[*plan.Subquery][]corrDep{},
 		},
@@ -277,7 +315,17 @@ func (rt *runtime) evalCall(e *plan.Call, row Row) (sqltypes.Value, error) {
 	}
 	out, err := sc.Eval(args)
 	if err != nil {
-		return sqltypes.Value{}, err
+		// Attach the call site's source position (when the binder
+		// recorded one) so hostile-input failures — bad casts, integer
+		// overflow — point at the offending expression.
+		pos := -1
+		if e.Pos > 0 {
+			pos = e.Pos - 1
+		}
+		return sqltypes.Value{}, &Error{
+			Code: CodeRuntime, Phase: PhaseExecute, Pos: pos,
+			Err: fmt.Errorf("in %s: %w", e.Name, err),
+		}
 	}
 	return out, nil
 }
@@ -394,11 +442,16 @@ func (rt *runtime) evalSubquery(sq *plan.Subquery, row Row) (sqltypes.Value, err
 		}
 		// Singleflight: workers that race on the same evaluation context
 		// wait for the one computing it — exactly one base scan per
-		// distinct context (the parallel "localized self-join").
+		// distinct context (the parallel "localized self-join"). The
+		// wait is context-aware, so a canceled query never blocks on an
+		// in-flight evaluation.
 		var hit bool
-		e, hit = rt.sh.memo.do(sq, key, func(e *memoEntry) {
+		e, hit, err = rt.sh.memo.do(rt.sh.ctx, sq, key, func(e *memoEntry) {
 			rt.computeSubquery(sq, row, e)
 		})
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
 		if hit {
 			rt.countHit(sq)
 		}
@@ -494,6 +547,12 @@ func (rt *runtime) countHit(sq *plan.Subquery) {
 }
 
 func (rt *runtime) runNested(sq *plan.Subquery, row Row) ([]Row, error) {
+	if err := rt.sh.bud.noteSubqueryEval(len(rt.outer) + 1); err != nil {
+		return nil, err
+	}
+	if err := failpoint(FailSubqueryEval); err != nil {
+		return nil, err
+	}
 	if s := rt.sh.settings.Stats; s != nil {
 		atomic.AddInt64(&s.SubqueryEvals, 1)
 	}

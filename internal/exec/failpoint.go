@@ -1,0 +1,72 @@
+package exec
+
+// Test-only fault injection. A FailPoint names a site in the executor
+// where tests can deterministically inject a fault: return an error,
+// sleep (a slow operator, to make mid-query cancellation reproducible),
+// or panic (to exercise the worker panic-recovery path). Production
+// queries pay one atomic load per site while no failpoint is armed.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FailPoint names an injection site.
+type FailPoint string
+
+const (
+	// FailWorkerStart fires in every parallel worker goroutine as it
+	// starts, before it claims any work.
+	FailWorkerStart FailPoint = "worker-start"
+	// FailOperator fires before every operator execution.
+	FailOperator FailPoint = "operator"
+	// FailSubqueryEval fires before every subquery plan execution.
+	FailSubqueryEval FailPoint = "subquery-eval"
+)
+
+var (
+	fpArmed atomic.Int32
+	fpMu    sync.Mutex
+	fpHooks = map[FailPoint]func() error{}
+)
+
+// SetFailPoint arms hook at site p. The hook may return an error (the
+// operator fails), sleep (the operator runs slowly), or panic (the
+// worker dies). Passing nil clears the site.
+func SetFailPoint(p FailPoint, hook func() error) {
+	fpMu.Lock()
+	defer fpMu.Unlock()
+	if hook == nil {
+		if _, ok := fpHooks[p]; ok {
+			delete(fpHooks, p)
+			fpArmed.Add(-1)
+		}
+		return
+	}
+	if _, ok := fpHooks[p]; !ok {
+		fpArmed.Add(1)
+	}
+	fpHooks[p] = hook
+}
+
+// ClearFailPoints disarms every failpoint.
+func ClearFailPoints() {
+	fpMu.Lock()
+	defer fpMu.Unlock()
+	fpHooks = map[FailPoint]func() error{}
+	fpArmed.Store(0)
+}
+
+// failpoint runs the hook armed at p, if any.
+func failpoint(p FailPoint) error {
+	if fpArmed.Load() == 0 {
+		return nil
+	}
+	fpMu.Lock()
+	hook := fpHooks[p]
+	fpMu.Unlock()
+	if hook == nil {
+		return nil
+	}
+	return hook()
+}

@@ -9,6 +9,8 @@ package exec
 // settings, stats, and the sharded singleflight memo cache below.
 
 import (
+	"context"
+	"errors"
 	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
@@ -124,7 +126,12 @@ func (rt *runtime) taskParallelism(nTasks, totalRows int, exprs ...plan.Expr) in
 }
 
 // runWorkers runs fn on `workers` goroutines, each with its own child
-// runtime. It returns the lowest-indexed worker's error, if any.
+// runtime. It always drains every worker (wg.Wait even on error or
+// cancellation — no goroutine outlives the call), recovers worker
+// panics into CodeRuntime errors, and returns the most informative
+// error: a real failure is preferred over cancellation noise, since
+// one worker's error cancels the statement and makes the other
+// workers' context errors secondary.
 func (rt *runtime) runWorkers(workers int, fn func(w *runtime, worker int) error) error {
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -133,16 +140,32 @@ func (rt *runtime) runWorkers(workers int, fn func(w *runtime, worker int) error
 		wg.Add(1)
 		go func(i int, w *runtime) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = PanicError(r, PhaseExecute)
+				}
+			}()
+			if err := failpoint(FailWorkerStart); err != nil {
+				errs[i] = err
+				return
+			}
 			errs[i] = fn(w, i)
 		}(i, w)
 	}
 	wg.Wait()
+	var first error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, CodeCanceled) && !errors.Is(err, CodeTimeout) {
 			return err
 		}
 	}
-	return nil
+	return first
 }
 
 // numChunks returns how many chunks of the given grain cover n rows.
@@ -229,6 +252,9 @@ func (rt *runtime) runFilterParallel(n *plan.Filter, in []Row, workers, grain in
 	keep := make([]bool, len(in))
 	err := rt.forEachChunk(len(in), workers, grain, func(w *runtime, _, _, lo, hi int) error {
 		for i := lo; i < hi; i++ {
+			if err := w.tick(); err != nil {
+				return err
+			}
 			v, err := w.eval(n.Pred, in[i])
 			if err != nil {
 				return err
@@ -255,6 +281,9 @@ func (rt *runtime) runProjectParallel(n *plan.Project, in []Row, workers, grain 
 	out := make([]Row, len(in))
 	err := rt.forEachChunk(len(in), workers, grain, func(w *runtime, _, _, lo, hi int) error {
 		for i := lo; i < hi; i++ {
+			if err := w.tick(); err != nil {
+				return err
+			}
 			proj, err := w.projectRow(n, in[i])
 			if err != nil {
 				return err
@@ -329,23 +358,39 @@ func memoShardIndex(ctx string) uint32 {
 	return hash32(ctx) % memoShardCount
 }
 
-// do returns the completed entry for (sq, ctx), running compute at most
+// do returns the completed entry for (sq, key), running compute at most
 // once across all goroutines. hit reports whether this caller was
 // served by the cache — either a finished entry or a wait on another
 // goroutine's in-flight computation — rather than computing itself.
-func (c *memoCache) do(sq *plan.Subquery, ctx string, compute func(*memoEntry)) (e *memoEntry, hit bool) {
-	s := &c.shards[memoShardIndex(ctx)]
-	k := memoCacheKey{sq: sq, ctx: ctx}
+// Waiters block with a context escape hatch, so cancellation never
+// deadlocks on an in-flight evaluation. If compute panics, the entry is
+// poisoned with the recovered error and closed (waking waiters) before
+// the panic is re-raised toward the worker's recover — a crashed
+// computation must not strand its waiters.
+func (c *memoCache) do(ctx context.Context, sq *plan.Subquery, key string, compute func(*memoEntry)) (e *memoEntry, hit bool, err error) {
+	s := &c.shards[memoShardIndex(key)]
+	k := memoCacheKey{sq: sq, ctx: key}
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
 		s.mu.Unlock()
-		<-e.done
-		return e, true
+		select {
+		case <-e.done:
+			return e, true, nil
+		case <-ctx.Done():
+			return nil, false, CtxError(ctx.Err())
+		}
 	}
 	e = &memoEntry{done: make(chan struct{})}
 	s.entries[k] = e
 	s.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			e.err = PanicError(r, PhaseExecute)
+			close(e.done)
+			panic(r)
+		}
+		close(e.done)
+	}()
 	compute(e)
-	close(e.done)
-	return e, false
+	return e, false, nil
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -192,10 +193,14 @@ func TestMemoSingleflightConcurrent(t *testing.T) {
 			for i := 0; i < iterations; i++ {
 				want := int64(i % contexts)
 				key := fmt.Sprintf("ctx-%d", want)
-				e, _ := cache.do(sq, key, func(e *memoEntry) {
+				e, _, err := cache.do(context.Background(), sq, key, func(e *memoEntry) {
 					atomic.AddInt64(&computes, 1)
 					e.scalar = sqltypes.NewInt(want)
 				})
+				if err != nil {
+					t.Errorf("context %s: %v", key, err)
+					return
+				}
 				if e.scalar.I != want {
 					t.Errorf("context %s: got %d, want %d", key, e.scalar.I, want)
 					return

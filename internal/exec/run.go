@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -12,25 +13,60 @@ import (
 
 // Run evaluates a plan and returns its rows.
 func Run(n plan.Node, settings *Settings) ([]Row, error) {
+	return RunContext(context.Background(), n, settings)
+}
+
+// RunContext evaluates a plan under ctx. Cancellation is cooperative:
+// operator loops poll the context every cancelCheckRows rows and return
+// a CodeCanceled/CodeTimeout *Error. When settings.Limits.Timeout is
+// set and ctx has no deadline of its own, the timeout is applied here.
+// Internal panics are recovered and surfaced as CodeRuntime errors.
+func RunContext(ctx context.Context, n plan.Node, settings *Settings) (rows []Row, err error) {
 	if settings == nil {
 		settings = DefaultSettings()
 	}
-	rt := newRuntime(settings)
+	if t := settings.Limits.Timeout; t > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, t)
+			defer cancel()
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			rows, err = nil, PanicError(r, PhaseExecute)
+		}
+		err = Wrap(err, CodeRuntime, PhaseExecute)
+	}()
+	rt := newRuntime(ctx, settings)
 	return rt.run(n)
 }
 
-// run executes one operator. When profiling is off (the common case)
-// this is a single nil check on top of runNode; when a Profile is
-// attached it records rows out and inclusive wall time per call.
+// run executes one operator. Besides dispatching to runNode it hosts
+// the two cross-cutting per-operator duties: the FailOperator fault-
+// injection site and the coarse resource accounting (every operator's
+// materialized output is charged to the query budget once, here). When
+// a Profile is attached it also records rows out and inclusive wall
+// time per call.
 func (rt *runtime) run(n plan.Node) ([]Row, error) {
+	if err := failpoint(FailOperator); err != nil {
+		return nil, err
+	}
 	p := rt.sh.prof
 	if p == nil {
-		return rt.runNode(n)
+		rows, err := rt.runNode(n)
+		if err == nil {
+			err = rt.sh.bud.noteRows(len(rows), rowsBytes(rows))
+		}
+		return rows, err
 	}
 	m := p.NodeMetrics(n)
 	start := time.Now()
 	rows, err := rt.runNode(n)
 	m.Record(len(rows), int64(time.Since(start)))
+	if err == nil {
+		err = rt.sh.bud.noteRows(len(rows), rowsBytes(rows))
+	}
 	return rows, err
 }
 
@@ -79,6 +115,9 @@ func (rt *runtime) runNode(n plan.Node) ([]Row, error) {
 		}
 		var out []Row
 		for _, row := range in {
+			if err := rt.tick(); err != nil {
+				return nil, err
+			}
 			v, err := rt.eval(n.Pred, row)
 			if err != nil {
 				return nil, err
@@ -100,6 +139,9 @@ func (rt *runtime) runNode(n plan.Node) ([]Row, error) {
 		}
 		out := make([]Row, len(in))
 		for i, row := range in {
+			if err := rt.tick(); err != nil {
+				return nil, err
+			}
 			proj, err := rt.projectRow(n, row)
 			if err != nil {
 				return nil, err
@@ -165,6 +207,9 @@ func (rt *runtime) runNode(n plan.Node) ([]Row, error) {
 		seen := map[string]bool{}
 		var out []Row
 		for _, row := range in {
+			if err := rt.tick(); err != nil {
+				return nil, err
+			}
 			k := sqltypes.RowKey(row)
 			if !seen[k] {
 				seen[k] = true
@@ -230,6 +275,9 @@ func (e *joinEnv) needRightMatched() bool {
 func evalJoinKeys(w *runtime, rows []Row, exprs []plan.Expr, keys []string, nulls []bool, lo, hi int) error {
 	kv := make([]sqltypes.Value, len(exprs))
 	for i := lo; i < hi; i++ {
+		if err := w.tick(); err != nil {
+			return err
+		}
 		hasNull := false
 		for k, e := range exprs {
 			v, err := w.eval(e, rows[i])
@@ -315,6 +363,9 @@ func (env *joinEnv) probeChunk(rt *runtime, left, right []Row, leftKeys []string
 	j := env.j
 	var out []Row
 	for li := lo; li < hi; li++ {
+		if err := rt.tick(); err != nil {
+			return nil, err
+		}
 		lrow := left[li]
 		found := false
 		if !leftNulls[li] {
@@ -442,6 +493,9 @@ func (rt *runtime) runNestedLoopJoin(env *joinEnv, left, right []Row) ([]Row, []
 	for _, lrow := range left {
 		found := false
 		for ri, rrow := range right {
+			if err := rt.tick(); err != nil {
+				return nil, nil, err
+			}
 			row := env.concat(lrow, rrow)
 			ok, err := env.residualOK(rt, row)
 			if err != nil {
@@ -476,6 +530,9 @@ func (rt *runtime) runNestedLoopJoin(env *joinEnv, left, right []Row) ([]Row, []
 func (rt *runtime) sortRows(rows []Row, items []plan.SortItem) ([]Row, error) {
 	keys := make([][]sqltypes.Value, len(rows))
 	for i, row := range rows {
+		if err := rt.tick(); err != nil {
+			return nil, err
+		}
 		k := make([]sqltypes.Value, len(items))
 		for j, item := range items {
 			v, err := rt.eval(item.Expr, row)
@@ -556,6 +613,9 @@ func (rt *runtime) runSetOp(n *plan.SetOp) ([]Row, error) {
 		seen := map[string]bool{}
 		var out []Row
 		for _, row := range all {
+			if err := rt.tick(); err != nil {
+				return nil, err
+			}
 			k := sqltypes.RowKey(row)
 			if !seen[k] {
 				seen[k] = true
@@ -571,6 +631,9 @@ func (rt *runtime) runSetOp(n *plan.SetOp) ([]Row, error) {
 		var out []Row
 		emitted := map[string]bool{}
 		for _, row := range left {
+			if err := rt.tick(); err != nil {
+				return nil, err
+			}
 			k := sqltypes.RowKey(row)
 			if counts[k] > 0 {
 				if n.All {
@@ -591,6 +654,9 @@ func (rt *runtime) runSetOp(n *plan.SetOp) ([]Row, error) {
 		var out []Row
 		emitted := map[string]bool{}
 		for _, row := range left {
+			if err := rt.tick(); err != nil {
+				return nil, err
+			}
 			k := sqltypes.RowKey(row)
 			if n.All {
 				if counts[k] > 0 {

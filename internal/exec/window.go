@@ -47,6 +47,9 @@ func (rt *runtime) windowFunc(n *plan.Window, wf plan.WindowFunc, in []Row) ([]s
 	evalKeys := func(w *runtime, lo, hi int) error {
 		keyVals := make([]sqltypes.Value, len(wf.PartitionBy))
 		for i := lo; i < hi; i++ {
+			if err := w.tick(); err != nil {
+				return err
+			}
 			for j, e := range wf.PartitionBy {
 				v, err := w.eval(e, in[i])
 				if err != nil {
@@ -113,6 +116,9 @@ func (rt *runtime) windowOnePartition(wf plan.WindowFunc, in []Row, idxs []int, 
 	}
 	sortKeys := make([][]sqltypes.Value, len(idxs))
 	for k, i := range idxs {
+		if err := rt.tick(); err != nil {
+			return err
+		}
 		sk := make([]sqltypes.Value, len(wf.OrderBy))
 		for j, item := range wf.OrderBy {
 			v, err := rt.eval(item.Expr, in[i])
@@ -196,11 +202,17 @@ func (rt *runtime) windowPartition(wf plan.WindowFunc, in []Row, idxs []int, sor
 		if err != nil {
 			return err
 		}
-		buckets := int(nv.I)
-		if buckets <= 0 {
+		if nv.Null || nv.I <= 0 {
 			return fmt.Errorf("NTILE bucket count must be positive")
 		}
 		n := len(idxs)
+		// More buckets than rows puts row k alone in bucket k+1, which is
+		// exactly what buckets=n computes — clamping is result-identical
+		// and keeps k*buckets inside int64 for hostile bucket counts.
+		buckets := n
+		if nv.I < int64(n) {
+			buckets = int(nv.I)
+		}
 		for k := range idxs {
 			out[idxs[k]] = sqltypes.NewInt(int64(k*buckets/n + 1))
 		}
@@ -269,6 +281,9 @@ func (rt *runtime) windowPartition(wf plan.WindowFunc, in []Row, idxs []int, sor
 		types[i] = a.Type()
 	}
 	addRow := func(state fn.AggState, i int) error {
+		if err := rt.tick(); err != nil {
+			return err
+		}
 		args := make([]sqltypes.Value, len(wf.Args))
 		for j, a := range wf.Args {
 			v, err := rt.eval(a, in[i])

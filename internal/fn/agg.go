@@ -97,10 +97,20 @@ type sumState struct {
 func (s *sumState) Add(args []sqltypes.Value) error {
 	s.any = true
 	if s.kind == sqltypes.KindInt {
-		s.intSum += args[0].I
-	} else {
-		s.fltSum += args[0].AsFloat()
+		return s.addInt(args[0].I)
 	}
+	s.fltSum += args[0].AsFloat()
+	return nil
+}
+
+// addInt accumulates with an overflow check: a hostile or runaway SUM
+// over INTEGER must error rather than silently wrap.
+func (s *sumState) addInt(v int64) error {
+	sum := s.intSum + v
+	if (s.intSum > 0 && v > 0 && sum < 0) || (s.intSum < 0 && v < 0 && sum >= 0) {
+		return fmt.Errorf("INTEGER overflow in SUM")
+	}
+	s.intSum = sum
 	return nil
 }
 
@@ -113,7 +123,11 @@ func (s *sumState) Merge(other AggState) error {
 		return nil
 	}
 	s.any = true
-	s.intSum += o.intSum
+	if s.kind == sqltypes.KindInt {
+		if err := s.addInt(o.intSum); err != nil {
+			return err
+		}
+	}
 	s.fltSum += o.fltSum
 	return nil
 }
@@ -351,7 +365,7 @@ func alwaysExact([]sqltypes.Type) bool { return true }
 func init() {
 	registerAgg(&Agg{
 		Name: "COUNT", MinArgs: 0, MaxArgs: 1, Star: true, SkipNulls: true,
-		Ret: func([]sqltypes.Type) (sqltypes.Type, error) { return sqltypes.Type{Kind: sqltypes.KindInt}, nil },
+		Ret:        func([]sqltypes.Type) (sqltypes.Type, error) { return sqltypes.Type{Kind: sqltypes.KindInt}, nil },
 		New:        func([]sqltypes.Type) AggState { return &countState{} },
 		ExactMerge: alwaysExact,
 	})

@@ -24,6 +24,9 @@ func registerNumericFuncs() {
 			v := args[0]
 			if v.K == sqltypes.KindInt {
 				if v.I < 0 {
+					if v.I == math.MinInt64 {
+						return sqltypes.Value{}, fmt.Errorf("INTEGER overflow in ABS(%d)", v.I)
+					}
 					return sqltypes.NewInt(-v.I), nil
 				}
 				return v, nil
@@ -185,11 +188,14 @@ func registerStringFuncs() {
 			}
 			end := len(runes)
 			if len(args) == 3 {
-				if e := start + int(args[2].I); e < end {
-					end = e
+				length := args[2].I
+				if length < 0 {
+					return sqltypes.Value{}, fmt.Errorf("SUBSTRING: negative length %d", length)
 				}
-				if end < start {
-					end = start
+				// Compare in int64: start + int(length) wraps for huge
+				// lengths and used to truncate the result to "".
+				if length < int64(end-start) {
+					end = start + int(length)
 				}
 			}
 			return sqltypes.NewString(string(runes[start:end])), nil

@@ -5,6 +5,8 @@
 package optimizer
 
 import (
+	"context"
+
 	"github.com/measures-sql/msql/internal/exec"
 	"github.com/measures-sql/msql/internal/plan"
 	"github.com/measures-sql/msql/internal/sqltypes"
@@ -70,12 +72,24 @@ func Optimize(n plan.Node, opts Options) plan.Node {
 
 // OptimizeWithReport rewrites the plan and reports which rules fired.
 func OptimizeWithReport(n plan.Node, opts Options) (plan.Node, Report) {
+	return OptimizeWithReportContext(context.Background(), n, opts)
+}
+
+// OptimizeWithReportContext is OptimizeWithReport with cooperative
+// cancellation: once ctx is done, remaining rules are skipped. Every
+// rewrite is optional — the unoptimized plan is equally correct — so
+// bailing between rules is sound, and the executor surfaces the
+// cancellation error immediately afterwards.
+func OptimizeWithReportContext(ctx context.Context, n plan.Node, opts Options) (plan.Node, Report) {
 	var rep Report
-	if opts.WinMagic {
+	if opts.WinMagic && ctx.Err() == nil {
 		n = winMagic(n, &rep)
 	}
-	if opts.PushDownFilters {
+	if opts.PushDownFilters && ctx.Err() == nil {
 		n = pushDown(n, &rep)
+	}
+	if ctx.Err() != nil {
+		return n, rep
 	}
 	if opts.FoldConstants {
 		n = plan.TransformNodeExprs(n, func(e plan.Expr, _ int) plan.Expr {

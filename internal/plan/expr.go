@@ -69,6 +69,10 @@ type Call struct {
 	Name string
 	Args []Expr
 	Typ  sqltypes.Type
+	// Pos locates the call in the statement text for runtime error
+	// reporting: source byte offset + 1, so 0 means unknown (synthesized
+	// calls from desugaring and measure expansion carry no position).
+	Pos int
 }
 
 // Type implements Expr.

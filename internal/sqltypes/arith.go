@@ -2,6 +2,7 @@ package sqltypes
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -59,11 +60,20 @@ func arith(a, b Value, op string) (Value, error) {
 	if kind == KindInt {
 		switch op {
 		case "+":
-			return NewInt(a.I + b.I), nil
+			if s, ok := addInt(a.I, b.I); ok {
+				return NewInt(s), nil
+			}
+			return Value{}, fmt.Errorf("INTEGER overflow in %d + %d", a.I, b.I)
 		case "-":
-			return NewInt(a.I - b.I), nil
+			if s, ok := subInt(a.I, b.I); ok {
+				return NewInt(s), nil
+			}
+			return Value{}, fmt.Errorf("INTEGER overflow in %d - %d", a.I, b.I)
 		case "*":
-			return NewInt(a.I * b.I), nil
+			if s, ok := mulInt(a.I, b.I); ok {
+				return NewInt(s), nil
+			}
+			return Value{}, fmt.Errorf("INTEGER overflow in %d * %d", a.I, b.I)
 		case "%":
 			if b.I == 0 {
 				return Null(KindInt), nil
@@ -83,9 +93,67 @@ func arith(a, b Value, op string) (Value, error) {
 		if y == 0 {
 			return Null(KindFloat), nil
 		}
-		return NewFloat(float64(int64(x) % int64(y))), nil
+		if !inInt64Range(x) || !inInt64Range(y) {
+			return Value{}, fmt.Errorf("MOD: operand out of INTEGER range")
+		}
+		// y != 0 does not imply int64(y) != 0 (e.g. MOD(1.0, 0.5)):
+		// guard the truncated divisor or the modulo below faults.
+		yi := int64(y)
+		if yi == 0 {
+			return Null(KindFloat), nil
+		}
+		return NewFloat(float64(int64(x) % yi)), nil
 	}
 	return Value{}, fmt.Errorf("unknown operator %s", op)
+}
+
+// addInt, subInt, mulInt are checked int64 arithmetic: ok is false on
+// two's-complement overflow, which the engine surfaces as ErrRuntime
+// instead of silently wrapping.
+func addInt(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func subInt(a, b int64) (int64, bool) {
+	d := a - b
+	if (b < 0 && d < a) || (b > 0 && d > a) {
+		return 0, false
+	}
+	return d, true
+}
+
+func mulInt(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	// MinInt64 has no positive counterpart, so the p/b != a probe below
+	// cannot detect MinInt64 * -1; handle the extreme explicitly.
+	if a == math.MinInt64 || b == math.MinInt64 {
+		if a == 1 {
+			return b, true
+		}
+		if b == 1 {
+			return a, true
+		}
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// inInt64Range reports whether f converts to int64 without leaving the
+// type's range (NaN and ±Inf are out of range).
+func inInt64Range(f float64) bool {
+	// 2^63 is exact in float64; MaxInt64 itself is not, so the upper
+	// bound is strict.
+	return f >= math.MinInt64 && f < math.MaxInt64
 }
 
 func dateArith(a, b Value, op string) (Value, error) {
@@ -122,6 +190,9 @@ func Neg(a Value) (Value, error) {
 		return a, nil
 	}
 	if a.K == KindInt {
+		if a.I == math.MinInt64 {
+			return Value{}, fmt.Errorf("INTEGER overflow in -(%d)", a.I)
+		}
 		return NewInt(-a.I), nil
 	}
 	return NewFloat(-a.F), nil
@@ -154,6 +225,9 @@ func Cast(v Value, kind Kind) (Value, error) {
 	case KindInt:
 		switch v.K {
 		case KindFloat:
+			if !inInt64Range(v.F) {
+				return Value{}, fmt.Errorf("cannot cast %v to INTEGER: out of range", v.F)
+			}
 			return NewInt(int64(v.F)), nil
 		case KindBool:
 			return NewInt(b2i(v.B)), nil

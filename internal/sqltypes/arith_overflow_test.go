@@ -1,0 +1,109 @@
+package sqltypes
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCheckedIntHelpers(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b int64
+		want int64
+		ok   bool
+	}{
+		{"+", 1, 2, 3, true},
+		{"+", math.MaxInt64, 1, 0, false},
+		{"+", math.MinInt64, -1, 0, false},
+		{"+", math.MaxInt64, math.MinInt64, -1, true},
+		{"-", 1, 2, -1, true},
+		{"-", math.MinInt64, 1, 0, false},
+		{"-", math.MaxInt64, -1, 0, false},
+		{"-", 0, math.MinInt64, 0, false},
+		{"*", 3, 4, 12, true},
+		{"*", math.MaxInt64, 2, 0, false},
+		{"*", math.MinInt64, -1, 0, false},
+		{"*", math.MinInt64, 1, math.MinInt64, true},
+		{"*", 1, math.MinInt64, math.MinInt64, true},
+		{"*", math.MinInt64, 2, 0, false},
+		{"*", -1, math.MinInt64, 0, false},
+		{"*", 0, math.MinInt64, 0, true},
+		{"*", math.MaxInt64, -1, -math.MaxInt64, true},
+	}
+	for _, tc := range cases {
+		var got int64
+		var ok bool
+		switch tc.op {
+		case "+":
+			got, ok = addInt(tc.a, tc.b)
+		case "-":
+			got, ok = subInt(tc.a, tc.b)
+		case "*":
+			got, ok = mulInt(tc.a, tc.b)
+		}
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("%d %s %d = (%d, %v), want (%d, %v)", tc.a, tc.op, tc.b, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestInInt64Range(t *testing.T) {
+	for _, f := range []float64{0, 1, -1, math.MinInt64, math.MaxInt64 - 1024} {
+		if !inInt64Range(f) {
+			t.Errorf("inInt64Range(%v) = false, want true", f)
+		}
+	}
+	for _, f := range []float64{math.MaxInt64, 1e300, -1e300, math.Inf(1), math.Inf(-1), math.NaN()} {
+		if inInt64Range(f) {
+			t.Errorf("inInt64Range(%v) = true, want false", f)
+		}
+	}
+}
+
+func TestArithOverflowErrors(t *testing.T) {
+	max := NewInt(math.MaxInt64)
+	min := NewInt(math.MinInt64)
+	one := NewInt(1)
+	for _, tc := range []struct {
+		name string
+		f    func() (Value, error)
+	}{
+		{"add", func() (Value, error) { return Add(max, one) }},
+		{"sub", func() (Value, error) { return Sub(min, one) }},
+		{"mul", func() (Value, error) { return Mul(max, NewInt(2)) }},
+		{"neg", func() (Value, error) { return Neg(min) }},
+	} {
+		if _, err := tc.f(); err == nil || !strings.Contains(err.Error(), "overflow") {
+			t.Errorf("%s: want overflow error, got %v", tc.name, err)
+		}
+	}
+	// NULL propagation is unchanged by the overflow checks.
+	if v, err := Add(Null(KindInt), max); err != nil || !v.Null {
+		t.Errorf("NULL + max = (%v, %v), want NULL", v, err)
+	}
+}
+
+func TestModEdgeCases(t *testing.T) {
+	if v, err := Mod(NewFloat(1.0), NewFloat(0.5)); err != nil || !v.Null {
+		t.Errorf("MOD(1.0, 0.5) = (%v, %v), want NULL (truncated divisor is zero)", v, err)
+	}
+	if v, err := Mod(NewInt(7), NewInt(0)); err != nil || !v.Null {
+		t.Errorf("MOD(7, 0) = (%v, %v), want NULL", v, err)
+	}
+	if _, err := Mod(NewFloat(1e300), NewFloat(7)); err == nil {
+		t.Error("MOD(1e300, 7) must error: operand out of INTEGER range")
+	}
+}
+
+func TestCastFloatToIntRange(t *testing.T) {
+	if _, err := Cast(NewFloat(1e300), KindInt); err == nil {
+		t.Error("CAST(1e300 AS INTEGER) must error")
+	}
+	if _, err := Cast(NewFloat(math.NaN()), KindInt); err == nil {
+		t.Error("CAST(NaN AS INTEGER) must error")
+	}
+	if v, err := Cast(NewFloat(-3.9), KindInt); err != nil || v.I != -3 {
+		t.Errorf("CAST(-3.9 AS INTEGER) = (%v, %v), want -3 (truncation)", v, err)
+	}
+}

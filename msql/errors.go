@@ -1,0 +1,42 @@
+package msql
+
+import "github.com/measures-sql/msql/internal/exec"
+
+// Error is the structured error returned by every entry point of this
+// package. Use errors.As to reach the fields:
+//
+//	var me *msql.Error
+//	if errors.As(err, &me) {
+//	    fmt.Println(me.Code, me.Phase, me.Hint)
+//	}
+//
+// or match on a code sentinel directly:
+//
+//	if errors.Is(err, msql.ErrCanceled) { ... }
+//
+// Cancellation and timeout errors additionally unwrap to
+// context.Canceled / context.DeadlineExceeded.
+type Error = exec.Error
+
+// ErrorCode classifies an Error; its constants are errors.Is sentinels.
+type ErrorCode = exec.Code
+
+const (
+	// ErrParse: the statement text failed to lex or parse.
+	ErrParse = exec.CodeParse
+	// ErrBind: name resolution or type checking failed.
+	ErrBind = exec.CodeBind
+	// ErrExpand: measure expansion (AT-context rewriting) failed.
+	ErrExpand = exec.CodeExpand
+	// ErrRuntime: execution failed — bad cast, arithmetic overflow, or a
+	// recovered internal panic.
+	ErrRuntime = exec.CodeRuntime
+	// ErrCanceled: the caller's context was canceled mid-statement.
+	ErrCanceled = exec.CodeCanceled
+	// ErrTimeout: the statement deadline (Limits.Timeout or a context
+	// deadline) expired.
+	ErrTimeout = exec.CodeTimeout
+	// ErrResourceExhausted: a resource governor limit tripped (MaxRows,
+	// MaxMemBytes, MaxSubqueryEvals, MaxExpansionDepth).
+	ErrResourceExhausted = exec.CodeResourceExhausted
+)

@@ -18,13 +18,16 @@
 package msql
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"github.com/measures-sql/msql/internal/ast"
 	"github.com/measures-sql/msql/internal/engine"
 	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/optimizer"
 	"github.com/measures-sql/msql/internal/parser"
 	"github.com/measures-sql/msql/internal/sqltypes"
 )
@@ -55,8 +58,17 @@ const (
 	StrategyNaive
 )
 
-// DB is an in-memory SQL database session. It is safe for sequential
-// use; wrap with your own synchronization for concurrent sessions.
+// DB is an in-memory SQL database session.
+//
+// Concurrency contract: a DB is intended for sequential use — one
+// statement at a time — and concurrent queries on one DB share the
+// catalog and metrics without further guarantees about LastStats.
+// Configuration is nonetheless mutation-safe: SetStrategy, SetWorkers,
+// and SetLimits take effect on the next statement, and every statement
+// snapshots its settings at start, so calling a setter while a query
+// runs on another goroutine degrades gracefully (the in-flight query
+// keeps its settings) instead of racing. Per-call options
+// (WithWorkers, WithLimits, WithTimeout) never touch shared state.
 type DB struct {
 	session *engine.Session
 }
@@ -66,37 +78,87 @@ func Open() *DB {
 	return &DB{session: engine.New()}
 }
 
-// SetStrategy switches the measure evaluation strategy.
+// SetStrategy switches the measure evaluation strategy for subsequent
+// statements.
 func (db *DB) SetStrategy(s Strategy) {
-	opt := db.session.OptOptions()
-	ex := db.session.ExecSettings()
+	db.session.Update(func(ex *exec.Settings, opt *optimizer.Options) {
+		switch s {
+		case StrategyMemo:
+			opt.InlineMeasures = false
+			opt.WinMagic = false
+			opt.MemoizeSubqueries = true
+			ex.MemoizeSubqueries = true
+		case StrategyNaive:
+			opt.InlineMeasures = false
+			opt.WinMagic = false
+			opt.MemoizeSubqueries = false
+			ex.MemoizeSubqueries = false
+		default:
+			opt.InlineMeasures = true
+			opt.WinMagic = true
+			opt.MemoizeSubqueries = true
+			ex.MemoizeSubqueries = true
+		}
+	})
 	switch s {
 	case StrategyMemo:
-		opt.InlineMeasures = false
-		opt.WinMagic = false
-		opt.MemoizeSubqueries = true
-		ex.MemoizeSubqueries = true
 		db.session.SetStrategyLabel("memo")
 	case StrategyNaive:
-		opt.InlineMeasures = false
-		opt.WinMagic = false
-		opt.MemoizeSubqueries = false
-		ex.MemoizeSubqueries = false
 		db.session.SetStrategyLabel("naive")
 	default:
-		opt.InlineMeasures = true
-		opt.WinMagic = true
-		opt.MemoizeSubqueries = true
-		ex.MemoizeSubqueries = true
 		db.session.SetStrategyLabel("default")
 	}
 }
 
-// SetWorkers sets the executor's worker-goroutine budget: 0 means one
-// worker per CPU, 1 runs the exact serial path. Results are identical
-// at every setting; only wall-clock time changes.
+// SetWorkers sets the executor's worker-goroutine budget for subsequent
+// statements: 0 means one worker per CPU, 1 runs the exact serial path.
+// Results are identical at every setting; only wall-clock time changes.
 func (db *DB) SetWorkers(n int) {
-	db.session.ExecSettings().Workers = n
+	db.session.Update(func(ex *exec.Settings, _ *optimizer.Options) {
+		ex.Workers = n
+	})
+}
+
+// Limits bounds one statement's resource consumption; see SetLimits and
+// WithLimits. The zero value means unlimited in every dimension.
+type Limits = exec.Limits
+
+// SetLimits installs session-wide resource limits applied to every
+// subsequent statement. Limit trips return ErrResourceExhausted (or
+// ErrTimeout for Limits.Timeout) and increment session metrics.
+func (db *DB) SetLimits(l Limits) {
+	db.session.Update(func(ex *exec.Settings, _ *optimizer.Options) {
+		ex.Limits = l
+	})
+}
+
+// Option adjusts a single Context call without touching session state.
+type Option func(*engine.Overrides)
+
+// WithWorkers overrides the worker budget for one call.
+func WithWorkers(n int) Option {
+	return func(ov *engine.Overrides) { ov.Workers = &n }
+}
+
+// WithLimits replaces the resource limits for one call.
+func WithLimits(l Limits) Option {
+	return func(ov *engine.Overrides) { ov.Limits = &l }
+}
+
+// WithTimeout overrides (only) the statement timeout for one call.
+func WithTimeout(d time.Duration) Option {
+	return func(ov *engine.Overrides) { ov.Timeout = &d }
+}
+
+func overrides(opts []Option) *engine.Overrides {
+	if len(opts) == 0 {
+		return nil
+	}
+	ov := &engine.Overrides{}
+	for _, o := range opts {
+		o(ov)
+	}
+	return ov
 }
 
 // Exec runs a script of one or more statements, discarding result rows.
@@ -105,10 +167,24 @@ func (db *DB) Exec(sql string) error {
 	return err
 }
 
+// ExecContext is Exec under a context: cancel the context (or exceed
+// its deadline / a WithTimeout option) and the running statement stops
+// cooperatively with ErrCanceled or ErrTimeout.
+func (db *DB) ExecContext(ctx context.Context, sql string, opts ...Option) error {
+	_, err := db.session.ExecuteContext(ctx, sql, overrides(opts))
+	return err
+}
+
 // Run executes a script and returns every statement's result (rows for
 // queries, a message for DDL/DML/EXPLAIN/EXPAND).
 func (db *DB) Run(sql string) ([]*Result, error) {
 	return db.session.Execute(sql)
+}
+
+// RunContext is Run under a context with per-call options; results of
+// the statements completed before an error are returned alongside it.
+func (db *DB) RunContext(ctx context.Context, sql string, opts ...Option) ([]*Result, error) {
+	return db.session.ExecuteContext(ctx, sql, overrides(opts))
 }
 
 // MustExec is Exec that panics on error, for setup code and examples.
@@ -121,6 +197,14 @@ func (db *DB) MustExec(sql string) {
 // Query runs a single statement and returns its rows.
 func (db *DB) Query(sql string) (*Result, error) {
 	return db.session.Query(sql)
+}
+
+// QueryContext is Query under a context: execution polls the context
+// cooperatively (including inside parallel workers and in-flight
+// measure-subquery evaluations), so cancellation returns ErrCanceled
+// promptly and leaves the session usable.
+func (db *DB) QueryContext(ctx context.Context, sql string, opts ...Option) (*Result, error) {
+	return db.session.QueryContext(ctx, sql, overrides(opts))
 }
 
 // MustQuery is Query that panics on error.

@@ -1,0 +1,244 @@
+package msql_test
+
+// Robustness tests: hostile inputs must surface structured errors (never
+// panics), resource limits must trip with the right code and session
+// metric, per-call options must not leak into session state, and a
+// worker panic must come back as ErrRuntime with the session usable
+// afterwards.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/sqltypes"
+	"github.com/measures-sql/msql/msql"
+)
+
+// TestHostileInputsReturnErrors runs expressions engineered to overflow,
+// wrap, or divide by zero in subtle ways. Every one must produce either
+// a clean result or a classified error — a panic fails the test run.
+func TestHostileInputsReturnErrors(t *testing.T) {
+	db := msql.Open()
+	cases := []struct {
+		name, sql string
+		wantErr   bool
+	}{
+		{"add overflow", `SELECT 9223372036854775807 + 1`, true},
+		{"sub overflow", `SELECT -9223372036854775807 - 2`, true},
+		{"mul overflow", `SELECT 9223372036854775807 * 2`, true},
+		{"abs minint", `SELECT ABS(-9223372036854775807 - 1)`, true},
+		{"neg minint", `SELECT -(-9223372036854775807 - 1)`, true},
+		{"cast huge float", `SELECT CAST(1e300 AS INTEGER)`, true},
+		{"cast nan-ish", `SELECT CAST(1e300 * 1e300 AS INTEGER)`, true},
+		{"substring negative length", `SELECT SUBSTRING('hello', 1, -1)`, true},
+		{"int div zero is null", `SELECT 1 / 0`, false},
+		{"mod zero is null", `SELECT MOD(1, 0)`, false},
+		{"mod fractional divisor", `SELECT MOD(1.0, 0.5)`, false},
+		{"mod huge float operand", `SELECT MOD(1e300, 7.0)`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := db.Query(tc.sql)
+			if tc.wantErr {
+				if !errors.Is(err, msql.ErrRuntime) {
+					t.Fatalf("%s: want ErrRuntime, got %v", tc.sql, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("%s: unexpected error %v", tc.sql, err)
+			}
+		})
+	}
+}
+
+// TestSubstringHugeLength is the regression for the int-wrap bug where
+// SUBSTRING('hello', 2, MaxInt64) returned "" instead of "ello".
+func TestSubstringHugeLength(t *testing.T) {
+	db := msql.Open()
+	res, err := db.Query(`SELECT SUBSTRING('hello', 2, 9223372036854775807)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].S; got != "ello" {
+		t.Fatalf("got %q, want %q", got, "ello")
+	}
+}
+
+// TestSumOverflow checks the aggregate accumulator path, not just the
+// scalar operators.
+func TestSumOverflow(t *testing.T) {
+	db := msql.Open()
+	db.MustExec(`CREATE TABLE B (x INTEGER)`)
+	db.MustExec(`INSERT INTO B VALUES (9223372036854775807), (1)`)
+	_, err := db.Query(`SELECT SUM(x) FROM B`)
+	if !errors.Is(err, msql.ErrRuntime) {
+		t.Fatalf("want ErrRuntime, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "SUM") {
+		t.Fatalf("error should name SUM: %v", err)
+	}
+}
+
+func TestErrorTaxonomy(t *testing.T) {
+	db := open(t)
+	t.Run("parse", func(t *testing.T) {
+		_, err := db.Query(`SELEC 1`)
+		if !errors.Is(err, msql.ErrParse) {
+			t.Fatalf("want ErrParse, got %v", err)
+		}
+		var me *msql.Error
+		if !errors.As(err, &me) {
+			t.Fatalf("want *msql.Error, got %T", err)
+		}
+		if me.Query == "" {
+			t.Fatal("Error.Query must carry the statement text")
+		}
+	})
+	t.Run("bind", func(t *testing.T) {
+		_, err := db.Query(`SELECT nosuchcolumn FROM Orders`)
+		if !errors.Is(err, msql.ErrBind) {
+			t.Fatalf("want ErrBind, got %v", err)
+		}
+	})
+	t.Run("runtime has position", func(t *testing.T) {
+		_, err := db.Query(`SELECT ABS(-9223372036854775807 - 1) FROM Orders`)
+		var me *msql.Error
+		if !errors.As(err, &me) {
+			t.Fatalf("want *msql.Error, got %v", err)
+		}
+		if me.Code != msql.ErrRuntime {
+			t.Fatalf("Code = %v, want ErrRuntime", me.Code)
+		}
+		if me.Pos < 0 {
+			t.Fatalf("runtime error from a function call should carry a position, got %d", me.Pos)
+		}
+	})
+	t.Run("codes are distinct sentinels", func(t *testing.T) {
+		_, err := db.Query(`SELEC 1`)
+		for _, code := range []msql.ErrorCode{msql.ErrBind, msql.ErrExpand,
+			msql.ErrRuntime, msql.ErrCanceled, msql.ErrTimeout, msql.ErrResourceExhausted} {
+			if errors.Is(err, code) {
+				t.Fatalf("parse error must not match %v", code)
+			}
+		}
+	})
+}
+
+// bigDB opens a database with a 20k-row table, large enough for limit
+// and cancellation tests.
+func bigDB(t testing.TB) *msql.DB {
+	t.Helper()
+	db := msql.Open()
+	db.MustExec(`CREATE TABLE big (a INTEGER, b INTEGER)`)
+	rows := make([][]msql.Value, 20000)
+	for i := range rows {
+		rows[i] = []msql.Value{sqltypes.NewInt(int64(i)), sqltypes.NewInt(int64(i % 97))}
+	}
+	if err := db.InsertRows("big", rows); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSessionLimitsMaxRows(t *testing.T) {
+	db := bigDB(t)
+	db.SetLimits(msql.Limits{MaxRows: 100})
+	_, err := db.Query(`SELECT a FROM big WHERE b < 40`)
+	if !errors.Is(err, msql.ErrResourceExhausted) {
+		t.Fatalf("want ErrResourceExhausted, got %v", err)
+	}
+	if got := db.Metrics().LimitTrips; got != 1 {
+		t.Fatalf("LimitTrips = %d, want 1", got)
+	}
+	// Lifting the limits restores the session.
+	db.SetLimits(msql.Limits{})
+	if _, err := db.Query(`SELECT COUNT(*) FROM big`); err != nil {
+		t.Fatalf("session must be usable after a limit trip: %v", err)
+	}
+}
+
+func TestStatementTimeout(t *testing.T) {
+	db := bigDB(t)
+	exec.SetFailPoint(exec.FailOperator, func() error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	defer exec.ClearFailPoints()
+	_, err := db.QueryContext(context.Background(),
+		`SELECT a FROM big WHERE b < 40`, msql.WithTimeout(time.Millisecond))
+	if !errors.Is(err, msql.ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout must unwrap to context.DeadlineExceeded, got %v", err)
+	}
+	if got := db.Metrics().Timeouts; got != 1 {
+		t.Fatalf("Timeouts metric = %d, want 1", got)
+	}
+	exec.ClearFailPoints()
+	if _, err := db.Query(`SELECT COUNT(*) FROM big`); err != nil {
+		t.Fatalf("session must be usable after a timeout: %v", err)
+	}
+}
+
+// TestPerCallOptionsDoNotLeak checks WithLimits/WithWorkers scope to one
+// call: the session's own settings stay untouched.
+func TestPerCallOptionsDoNotLeak(t *testing.T) {
+	db := bigDB(t)
+	_, err := db.QueryContext(context.Background(),
+		`SELECT a FROM big WHERE b < 40`,
+		msql.WithLimits(msql.Limits{MaxRows: 10}), msql.WithWorkers(2))
+	if !errors.Is(err, msql.ErrResourceExhausted) {
+		t.Fatalf("want ErrResourceExhausted, got %v", err)
+	}
+	// The next plain call runs without any limit.
+	res, err := db.Query(`SELECT COUNT(*) FROM big`)
+	if err != nil {
+		t.Fatalf("per-call limits leaked into the session: %v", err)
+	}
+	if res.Rows[0][0].I != 20000 {
+		t.Fatalf("count = %d, want 20000", res.Rows[0][0].I)
+	}
+}
+
+// TestSubqueryEvalLimit bounds the naive strategy's correlated-subquery
+// blow-up with MaxSubqueryEvals.
+func TestSubqueryEvalLimit(t *testing.T) {
+	db := open(t)
+	db.SetStrategy(msql.StrategyNaive)
+	db.SetLimits(msql.Limits{MaxSubqueryEvals: 1})
+	_, err := db.Query(`SELECT prodName, AGGREGATE(sumRevenue) FROM OrdersWithRevenue GROUP BY prodName`)
+	if !errors.Is(err, msql.ErrResourceExhausted) {
+		t.Fatalf("want ErrResourceExhausted, got %v", err)
+	}
+	var me *msql.Error
+	if !errors.As(err, &me) || me.Hint == "" {
+		t.Fatalf("limit errors must carry a hint, got %v", err)
+	}
+}
+
+// TestWorkerPanicBecomesError injects a panic into every parallel worker
+// and checks the public API returns ErrRuntime — and that the session
+// survives.
+func TestWorkerPanicBecomesError(t *testing.T) {
+	db := bigDB(t)
+	db.SetWorkers(4)
+	exec.SetFailPoint(exec.FailWorkerStart, func() error { panic("injected worker panic") })
+	_, err := db.Query(`SELECT a FROM big WHERE b < 40`)
+	exec.ClearFailPoints()
+	if !errors.Is(err, msql.ErrRuntime) {
+		t.Fatalf("want ErrRuntime from recovered worker panic, got %v", err)
+	}
+	res, err := db.Query(`SELECT COUNT(*) FROM big`)
+	if err != nil {
+		t.Fatalf("session must be usable after a worker panic: %v", err)
+	}
+	if res.Rows[0][0].I != 20000 {
+		t.Fatalf("count = %d, want 20000", res.Rows[0][0].I)
+	}
+}
