@@ -20,9 +20,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -66,8 +68,14 @@ func main() {
 	}
 }
 
+// runScript runs a script under a SIGINT-cancelable context: the first
+// Ctrl-C cancels the in-flight statement cooperatively (ErrCanceled);
+// a second Ctrl-C falls back to the default handler and kills the
+// process.
 func runScript(db *msql.DB, sql string) error {
-	results, err := db.Run(sql)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := db.RunContext(ctx, sql)
 	for _, res := range results {
 		if res.Rows != nil || len(res.Columns) > 0 {
 			fmt.Print(msql.Format(res))
@@ -79,12 +87,24 @@ func runScript(db *msql.DB, sql string) error {
 }
 
 func repl(db *msql.DB) {
-	fmt.Println("msql — SQL with measures (type \\q to quit, \\d for objects)")
+	fmt.Println("msql — SQL with measures (type \\q to quit, \\d for objects; Ctrl-C cancels a running statement)")
+	// SIGINT cancels the in-flight statement instead of killing the
+	// shell: the channel stays subscribed for the whole session and
+	// execute wires it to each statement's context.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+	defer signal.Stop(sigCh)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	prompt := "msql> "
 	for {
+		// Drop any Ctrl-C pressed at the prompt so it cannot cancel the
+		// next statement retroactively.
+		select {
+		case <-sigCh:
+		default:
+		}
 		fmt.Print(prompt)
 		if !scanner.Scan() {
 			fmt.Println()
@@ -107,12 +127,27 @@ func repl(db *msql.DB) {
 		prompt = "msql> "
 		sql := buf.String()
 		buf.Reset()
-		execute(db, sql)
+		execute(db, sigCh, sql)
 	}
 }
 
-func execute(db *msql.DB, sql string) {
-	results, err := db.Run(sql)
+// execute runs one statement under a context canceled by Ctrl-C, so an
+// interrupt stops the statement (ErrCanceled) and returns to the
+// prompt instead of killing the process.
+func execute(db *msql.DB, sigCh <-chan os.Signal, sql string) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sigCh:
+			fmt.Println("^C — canceling statement")
+			cancel()
+		case <-done:
+		}
+	}()
+	results, err := db.RunContext(ctx, sql)
+	close(done)
+	cancel()
 	for _, res := range results {
 		if res.Rows != nil || len(res.Columns) > 0 {
 			fmt.Print(msql.Format(res))

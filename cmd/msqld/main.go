@@ -1,0 +1,122 @@
+// Command msqld serves a measures-enabled SQL database over HTTP with
+// fleet-grade robustness: bounded admission, overload shedding
+// (429 + Retry-After), per-request deadline clamping, panic isolation,
+// health endpoints, Prometheus metrics, and graceful drain on
+// SIGINT/SIGTERM.
+//
+//	msqld -paper                       # serve the paper's dataset
+//	msqld -f schema.sql -addr :7433    # serve a custom schema
+//
+// Endpoints:
+//
+//	POST /query          {"sql": "...", "timeout_ms": 1000}
+//	POST /query.ndjson   newline-delimited response stream
+//	GET  /healthz        liveness
+//	GET  /readyz         readiness (503 while draining)
+//	GET  /metrics        Prometheus text (engine + server counters)
+//	GET  /metrics.json   the same snapshot as JSON
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/measures-sql/msql/internal/paperdata"
+	"github.com/measures-sql/msql/internal/server"
+	"github.com/measures-sql/msql/msql"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7433", "listen address")
+		paper        = flag.Bool("paper", false, "preload the paper's example data")
+		file         = flag.String("f", "", "run a SQL script before serving (schema/data setup)")
+		strategy     = flag.String("strategy", "default", "measure strategy: default | memo | naive")
+		workers      = flag.Int("workers", 0, "executor workers per query (0 = one per CPU)")
+		maxInflight  = flag.Int("max-inflight", 8, "max concurrently executing statements")
+		maxQueue     = flag.Int("max-queue", 0, "max queued statements (0 = 2×max-inflight)")
+		queueWait    = flag.Duration("queue-wait", time.Second, "max time a request waits for an execution slot")
+		timeout      = flag.Duration("timeout", 10*time.Second, "default per-statement timeout (0 = none)")
+		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "clamp for client-supplied timeouts")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain budget before canceling stragglers")
+		maxRows      = flag.Int64("max-rows", 0, "per-statement materialized-row budget (0 = unlimited)")
+	)
+	flag.Parse()
+	log.SetPrefix("msqld: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	db := msql.Open()
+	switch *strategy {
+	case "default":
+		db.SetStrategy(msql.StrategyDefault)
+	case "memo":
+		db.SetStrategy(msql.StrategyMemo)
+	case "naive":
+		db.SetStrategy(msql.StrategyNaive)
+	default:
+		log.Fatalf("unknown -strategy %q (want default, memo, or naive)", *strategy)
+	}
+	db.SetWorkers(*workers)
+	db.SetLimits(msql.Limits{Timeout: *timeout, MaxRows: *maxRows})
+	if *paper {
+		db.MustExec(paperdata.All)
+		log.Printf("loaded paper tables (Customers, Orders) and views")
+	}
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatalf("reading -f script: %v", err)
+		}
+		if err := db.Exec(string(data)); err != nil {
+			log.Fatalf("running -f script: %v", err)
+		}
+		log.Printf("ran setup script %s", *file)
+	}
+
+	srv := server.New(db, server.Config{
+		MaxInflight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+		QueueWait:    *queueWait,
+		MaxTimeout:   *maxTimeout,
+		DrainTimeout: *drainTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	effQueue := *maxQueue
+	if effQueue <= 0 {
+		effQueue = 2 * *maxInflight
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on http://%s (max-inflight %d, queue %d)", *addr, *maxInflight, effQueue)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %s; draining (budget %v)", sig, *drainTimeout)
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	}
+
+	start := time.Now()
+	srv.Drain(context.Background())
+	c := srv.Counters()
+	log.Printf("drained in %v (completed %d, canceled %d)", time.Since(start).Round(time.Millisecond), c.Drained, c.DrainKilled)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "msqld: bye")
+}

@@ -33,6 +33,35 @@ type Metrics struct {
 
 	mu         sync.Mutex
 	byStrategy map[string]*stratCounters
+	// serverFn, when set, supplies a point-in-time copy of the serving
+	// layer's counters (the msqld front end registers itself here) so
+	// one Metrics snapshot covers both engine and server.
+	serverFn func() ServerCounters
+}
+
+// ServerCounters is the serving layer's slice of a metrics snapshot:
+// admission-control and drain counters published by a query server
+// sitting in front of the session. Inflight and Queued are gauges; the
+// rest are cumulative counters.
+type ServerCounters struct {
+	Inflight    int64 `json:"inflight"`
+	Queued      int64 `json:"queued"`
+	Accepted    int64 `json:"accepted"`
+	Admitted    int64 `json:"admitted"`
+	Shed        int64 `json:"shed"`
+	Rejected    int64 `json:"rejected_draining"`
+	Drained     int64 `json:"drained"`
+	DrainKilled int64 `json:"drain_killed"`
+	Panics      int64 `json:"panics"`
+	DrainNs     int64 `json:"drain_ns"`
+}
+
+// SetServerSource registers (or with nil removes) the serving layer's
+// counter source; Snapshot calls it to fill the Server section.
+func (m *Metrics) SetServerSource(fn func() ServerCounters) {
+	m.mu.Lock()
+	m.serverFn = fn
+	m.mu.Unlock()
 }
 
 // stratCounters is the per-strategy slice of the registry.
@@ -102,6 +131,9 @@ type MetricsSnapshot struct {
 	PlanNs          int64                    `json:"plan_ns"`
 	ExecNs          int64                    `json:"exec_ns"`
 	ByStrategy      map[string]stratCounters `json:"by_strategy"`
+	// Server carries the serving layer's counters when a query server
+	// has registered itself (SetServerSource); nil otherwise.
+	Server *ServerCounters `json:"server,omitempty"`
 }
 
 // Snapshot returns a consistent copy of the counters.
@@ -128,7 +160,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	for k, v := range m.byStrategy {
 		s.ByStrategy[k] = *v
 	}
+	serverFn := m.serverFn
 	m.mu.Unlock()
+	if serverFn != nil {
+		sc := serverFn()
+		s.Server = &sc
+	}
 	return s
 }
 
@@ -177,6 +214,21 @@ func (s MetricsSnapshot) Prometheus() string {
 	sb.WriteString("# HELP msql_exec_seconds_total Time spent executing, per strategy.\n# TYPE msql_exec_seconds_total counter\n")
 	for _, k := range strategies {
 		fmt.Fprintf(&sb, "msql_exec_seconds_total{strategy=%q} %g\n", k, float64(s.ByStrategy[k].ExecNs)/1e9)
+	}
+	if sv := s.Server; sv != nil {
+		gauge := func(name, help string, v int64) {
+			fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		}
+		gauge("msql_server_inflight", "Queries executing right now.", sv.Inflight)
+		gauge("msql_server_queued", "Requests waiting for an execution slot.", sv.Queued)
+		counter("msql_server_requests_total", "Query requests received.", sv.Accepted)
+		counter("msql_server_admitted_total", "Requests admitted to execution.", sv.Admitted)
+		counter("msql_server_shed_total", "Requests shed by overload control (HTTP 429).", sv.Shed)
+		counter("msql_server_rejected_draining_total", "Requests rejected while draining (HTTP 503).", sv.Rejected)
+		counter("msql_server_drained_total", "Inflight queries completed during graceful drain.", sv.Drained)
+		counter("msql_server_drain_killed_total", "Inflight queries canceled at the drain deadline.", sv.DrainKilled)
+		counter("msql_server_panics_total", "Request handler panics recovered.", sv.Panics)
+		fmt.Fprintf(&sb, "# HELP msql_server_drain_seconds Time the last graceful drain took.\n# TYPE msql_server_drain_seconds gauge\nmsql_server_drain_seconds %g\n", float64(sv.DrainNs)/1e9)
 	}
 	return sb.String()
 }

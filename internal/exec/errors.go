@@ -66,6 +66,18 @@ func (c Code) String() string {
 // Error implements error so Codes work as errors.Is sentinels.
 func (c Code) Error() string { return c.String() }
 
+// CodeFromName is the inverse of Code.String: it returns the Code whose
+// stable name matches (case-insensitively), or CodeUnknown. The wire
+// protocol uses it to reconstruct structured errors client-side.
+func CodeFromName(name string) Code {
+	for c, n := range codeNames {
+		if strings.EqualFold(n, name) {
+			return c
+		}
+	}
+	return CodeUnknown
+}
+
 // Lifecycle phase names used in Error.Phase and trace spans.
 const (
 	PhaseParse    = "parse"

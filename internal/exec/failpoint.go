@@ -7,6 +7,8 @@ package exec
 // queries pay one atomic load per site while no failpoint is armed.
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 )
@@ -22,6 +24,10 @@ const (
 	FailOperator FailPoint = "operator"
 	// FailSubqueryEval fires before every subquery plan execution.
 	FailSubqueryEval FailPoint = "subquery-eval"
+	// FailServerAccept fires in the query server's admission path,
+	// before a request is considered for admission; the server maps a
+	// firing to an overload rejection (shed).
+	FailServerAccept FailPoint = "server-accept"
 )
 
 var (
@@ -48,6 +54,43 @@ func SetFailPoint(p FailPoint, hook func() error) {
 	}
 	fpHooks[p] = hook
 }
+
+// SetFailPointRate arms site p with a probabilistic hook that fails a
+// `ratio` fraction of firings (0 clears, 1 always fails). The decision
+// sequence is drawn from a private PRNG seeded with seed, so a given
+// (ratio, seed) pair yields the same fail/pass sequence on every run —
+// chaos tests stay reproducible. The injected error is a structured
+// CodeRuntime *Error tagged with the site name.
+func SetFailPointRate(p FailPoint, ratio float64, seed int64) {
+	if ratio <= 0 {
+		SetFailPoint(p, nil)
+		return
+	}
+	var (
+		mu  sync.Mutex
+		rng = rand.New(rand.NewSource(seed))
+	)
+	SetFailPoint(p, func() error {
+		mu.Lock()
+		fire := ratio >= 1 || rng.Float64() < ratio
+		mu.Unlock()
+		if !fire {
+			return nil
+		}
+		return &Error{
+			Code:  CodeRuntime,
+			Phase: PhaseExecute,
+			Pos:   -1,
+			Hint:  "injected fault (test failpoint)",
+			Err:   fmt.Errorf("failpoint %s fired", p),
+		}
+	})
+}
+
+// Fire runs the hook armed at p, if any. It exists so packages layered
+// above the executor (the query server) can host their own injection
+// sites through the same registry.
+func Fire(p FailPoint) error { return failpoint(p) }
 
 // ClearFailPoints disarms every failpoint.
 func ClearFailPoints() {

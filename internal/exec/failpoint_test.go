@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+)
+
+// Rate-mode failpoints must be deterministic in the seed: the same
+// (ratio, seed) pair yields the same fail/pass sequence, so chaos runs
+// reproduce.
+func TestFailPointRateDeterministic(t *testing.T) {
+	defer ClearFailPoints()
+	sequence := func(ratio float64, seed int64, n int) []bool {
+		SetFailPointRate(FailServerAccept, ratio, seed)
+		defer SetFailPoint(FailServerAccept, nil)
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = Fire(FailServerAccept) != nil
+		}
+		return out
+	}
+	a := sequence(0.3, 42, 200)
+	b := sequence(0.3, 42, 200)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence diverged at firing %d with identical seed", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("ratio 0.3 produced %d/%d failures; expected a mix", fails, len(a))
+	}
+	c := sequence(0.3, 43, 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical 200-firing sequences")
+	}
+}
+
+func TestFailPointRateEdgeRatios(t *testing.T) {
+	defer ClearFailPoints()
+	SetFailPointRate(FailServerAccept, 1.0, 1)
+	if err := Fire(FailServerAccept); err == nil {
+		t.Fatalf("ratio 1.0 did not fire")
+	} else if !errors.Is(err, CodeRuntime) {
+		t.Fatalf("injected error is not CodeRuntime: %v", err)
+	}
+	SetFailPointRate(FailServerAccept, 0, 1) // clears the site
+	if err := Fire(FailServerAccept); err != nil {
+		t.Fatalf("ratio 0 still fired: %v", err)
+	}
+	if err := Fire(FailPoint("never-armed")); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+}

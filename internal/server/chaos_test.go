@@ -1,0 +1,306 @@
+package server_test
+
+// The chaos soak: N concurrent clients replay paper-listing queries
+// across all three strategies while rate-based failpoints fire,
+// requests are randomly canceled, per-request timeouts are tightened,
+// and session limits flip between tight and generous — all against a
+// server with max-inflight 4. Invariants held throughout, under -race:
+//
+//   - the server sheds (429) instead of queueing unboundedly;
+//   - /healthz answers 200 the whole time, including during drain;
+//   - every request terminates in exactly one taxonomy code (the
+//     outcome ledger equals accepted requests);
+//   - after drain, no goroutines leak and the gauges read zero.
+//
+// MSQL_CHAOS_SECONDS overrides the soak duration (default 2s; CI runs
+// a short budget, a nightly soak can run minutes).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/server"
+	"github.com/measures-sql/msql/msql"
+	"github.com/measures-sql/msql/msql/client"
+)
+
+// chaosQueries replay the paper's workload shapes: plain AGGREGATE
+// grouping (Listing 3), context transforms (ALL / SET / VISIBLE /
+// WHERE), joins through measure views, and the big-table measure view.
+var chaosQueries = []string{
+	`SELECT prodName, AGGREGATE(profitMargin) AS profitMargin FROM EnhancedOrders GROUP BY prodName`,
+	`SELECT prodName, AGGREGATE(sumRevenue) AS r,
+	        sumRevenue / sumRevenue AT (ALL prodName) AS frac
+	 FROM OrdersWithRevenue GROUP BY prodName`,
+	`SELECT prodName, sumRevenue AT (VISIBLE) AS viz FROM OrdersWithRevenue GROUP BY prodName`,
+	`SELECT prodName, sumRevenue AT (WHERE revenue > 3) AS bigOnly FROM OrdersWithRevenue GROUP BY prodName`,
+	`SELECT YEAR(orderDate) AS y, AGGREGATE(profitMargin) AS m FROM EnhancedOrders GROUP BY YEAR(orderDate) ORDER BY y`,
+	`SELECT b, AGGREGATE(sumA) FROM bigM GROUP BY b ORDER BY b`,
+}
+
+var knownCodes = []msql.ErrorCode{
+	msql.ErrParse, msql.ErrBind, msql.ErrExpand, msql.ErrRuntime,
+	msql.ErrCanceled, msql.ErrTimeout, msql.ErrResourceExhausted,
+}
+
+func chaosDuration() time.Duration {
+	if s := os.Getenv("MSQL_CHAOS_SECONDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return 2 * time.Second
+}
+
+func TestChaosSoak(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+
+	db := testDB(t)
+	strategies := []msql.Strategy{msql.StrategyDefault, msql.StrategyMemo, msql.StrategyNaive}
+
+	srv := server.New(db, server.Config{
+		MaxInflight: 4,
+		MaxQueue:    8,
+		QueueWait:   25 * time.Millisecond,
+		MaxTimeout:  2 * time.Second,
+		// Clients are stopped before drain, so inflight work fits the
+		// budget; the drain-deadline path has its own test.
+		DrainTimeout: 2 * time.Second,
+	})
+	ts := httptest.NewServer(srv.Handler())
+
+	// Rate-based fault injection at 1–5%, deterministic per seed.
+	exec.SetFailPointRate(exec.FailOperator, 0.01, 101)
+	exec.SetFailPointRate(exec.FailSubqueryEval, 0.03, 102)
+	exec.SetFailPointRate(exec.FailWorkerStart, 0.01, 103)
+	exec.SetFailPointRate(exec.FailServerAccept, 0.05, 104)
+	defer exec.ClearFailPoints()
+
+	stop := make(chan struct{})
+	healthStop := make(chan struct{})
+	var healthFailures atomic.Int64
+
+	// Liveness poller: /healthz must answer 200 for the entire soak,
+	// including while overloaded and while draining.
+	var pollWg sync.WaitGroup
+	pollWg.Add(1)
+	go func() {
+		defer pollWg.Done()
+		hc := &http.Client{Timeout: time.Second}
+		for {
+			select {
+			case <-healthStop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			resp, err := hc.Get(ts.URL + "/healthz")
+			if err != nil {
+				healthFailures.Add(1)
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				healthFailures.Add(1)
+			}
+			resp.Body.Close()
+		}
+	}()
+
+	// Config chaos: strategy flips and limits tightening mid-soak. The
+	// per-statement settings snapshot makes this safe by contract.
+	var chaosWg sync.WaitGroup
+	chaosWg.Add(1)
+	go func() {
+		defer chaosWg.Done()
+		rng := rand.New(rand.NewSource(7))
+		tight := false
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				db.SetLimits(msql.Limits{})
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			db.SetStrategy(strategies[rng.Intn(len(strategies))])
+			if tight {
+				db.SetLimits(msql.Limits{MaxRows: 5000, MaxSubqueryEvals: 60})
+			} else {
+				db.SetLimits(msql.Limits{})
+			}
+			tight = !tight
+		}
+	}()
+
+	// Observed-bounds sampler: the queue gauge must respect MaxQueue.
+	var maxQueuedSeen atomic.Int64
+	chaosWg.Add(1)
+	go func() {
+		defer chaosWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			c := srv.Counters()
+			for {
+				seen := maxQueuedSeen.Load()
+				if c.Queued <= seen || maxQueuedSeen.CompareAndSwap(seen, c.Queued) {
+					break
+				}
+			}
+		}
+	}()
+
+	const clients = 32
+	var (
+		wg             sync.WaitGroup
+		successes      atomic.Int64
+		taxonomyErrs   atomic.Int64
+		clientCanceled atomic.Int64
+		requests       atomic.Int64
+	)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + i)))
+			c := client.New(ts.URL, client.WithBackoff(client.Backoff{
+				Attempts: 3, Base: 2 * time.Millisecond, Max: 15 * time.Millisecond, Seed: int64(i + 1),
+			}))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				requests.Add(1)
+				sql := chaosQueries[rng.Intn(len(chaosQueries))]
+				ctx, cancel := context.WithCancel(context.Background())
+				var opts []client.QueryOption
+				if rng.Float64() < 0.25 {
+					opts = append(opts, client.WithTimeout(time.Duration(1+rng.Intn(50))*time.Millisecond))
+				}
+				if rng.Float64() < 0.10 {
+					delay := time.Duration(rng.Intn(20)) * time.Millisecond
+					time.AfterFunc(delay, cancel)
+				}
+				_, err := c.Query(ctx, sql, opts...)
+				cancel()
+				switch {
+				case err == nil:
+					successes.Add(1)
+				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+					// Client-side cancellation (possibly mid-request or
+					// mid-backoff); also matches round-tripped
+					// CANCELED/TIMEOUT taxonomy errors, which is fine —
+					// both are legal terminal states.
+					clientCanceled.Add(1)
+				default:
+					var me *msql.Error
+					if !errors.As(err, &me) {
+						t.Errorf("client %d: non-taxonomy error: %T %v", i, err, err)
+						continue
+					}
+					found := false
+					for _, code := range knownCodes {
+						if me.Code == code {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Errorf("client %d: unknown taxonomy code %v", i, me.Code)
+					}
+					taxonomyErrs.Add(1)
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(chaosDuration())
+	close(stop)
+	wg.Wait()
+	chaosWg.Wait()
+	exec.ClearFailPoints()
+
+	// Graceful drain with the health poller still watching.
+	srv.Drain(context.Background())
+	time.Sleep(20 * time.Millisecond) // a few health polls against the drained server
+	close(healthStop)
+	pollWg.Wait()
+
+	cs := srv.Counters()
+	t.Logf("soak: %v, %d clients: requests=%d successes=%d taxonomy-errors=%d client-canceled=%d",
+		chaosDuration(), clients, requests.Load(), successes.Load(), taxonomyErrs.Load(), clientCanceled.Load())
+	t.Logf("server: accepted=%d admitted=%d shed=%d rejected=%d drained=%d killed=%d panics=%d maxQueuedSeen=%d",
+		cs.Accepted, cs.Admitted, cs.Shed, cs.Rejected, cs.Drained, cs.DrainKilled, cs.Panics, maxQueuedSeen.Load())
+
+	if healthFailures.Load() != 0 {
+		t.Fatalf("/healthz failed %d times during the soak", healthFailures.Load())
+	}
+	if successes.Load() == 0 {
+		t.Fatalf("no request succeeded during the soak")
+	}
+	if cs.Shed == 0 {
+		t.Fatalf("32 clients against max-inflight 4 never shed; admission control did not engage")
+	}
+	if q := maxQueuedSeen.Load(); q > 8 {
+		t.Fatalf("queue gauge reached %d, above MaxQueue=8 — unbounded queueing", q)
+	}
+	// Exactly one taxonomy outcome per accepted request.
+	var outcomes int64
+	for code := 0; code < 8; code++ {
+		outcomes += srv.OutcomeCount(msql.ErrorCode(code))
+	}
+	if outcomes != cs.Accepted {
+		t.Fatalf("outcome ledger %d != accepted %d: some request ended in zero or two codes", outcomes, cs.Accepted)
+	}
+	if cs.Inflight != 0 || cs.Queued != 0 {
+		t.Fatalf("gauges nonzero after drain: %+v", cs)
+	}
+
+	// Zero goroutine leaks once the HTTP plumbing is torn down.
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	waitGoroutinesChaos(t, baseGoroutines)
+
+	// The session is still healthy after everything.
+	res, err := db.Query(listing3)
+	if err != nil || len(res.Rows) != 3 {
+		t.Fatalf("post-soak query: rows=%v err=%v", res, err)
+	}
+}
+
+// waitGoroutinesChaos waits for the goroutine count to drain back to at
+// most base+slack (workers and HTTP conns need a beat to unwind).
+func waitGoroutinesChaos(t *testing.T, base int) {
+	t.Helper()
+	const slack = 4
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after drain: %d running, started with %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debug scaffolding edits

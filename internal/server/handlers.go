@@ -1,0 +1,248 @@
+package server
+
+// The HTTP surface of msqld:
+//
+//	POST /query         JSON in, one JSON object out
+//	POST /query.ndjson  JSON in, newline-delimited stream out
+//	                    (header, row lines, trailer)
+//	GET  /healthz       liveness — 200 as long as the process serves
+//	GET  /readyz        readiness — 503 once draining
+//	GET  /metrics       Prometheus text (engine + server counters)
+//	GET  /metrics.json  the same snapshot as expvar-style JSON
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/wire"
+	"github.com/measures-sql/msql/msql"
+)
+
+// maxRequestBytes bounds a request body; a hostile client cannot make
+// the server buffer an unbounded statement.
+const maxRequestBytes = 1 << 20
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		s.serveQuery(w, r, false)
+	})
+	mux.HandleFunc("/query.ndjson", func(w http.ResponseWriter, r *http.Request) {
+		s.serveQuery(w, r, true)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		io.WriteString(w, s.db.Metrics().Prometheus())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, s.db.Metrics().JSON())
+	})
+	return mux
+}
+
+// writeError sends one wire error with its HTTP status; 429 and 503
+// carry a Retry-After hint.
+func (s *Server) writeError(w http.ResponseWriter, we *wire.Error, status int) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		secs := int(s.cfg.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(wire.QueryResponse{Error: we})
+}
+
+// shedError is the wire form of an overload rejection: a structured
+// RESOURCE_EXHAUSTED so shed requests land in the same taxonomy as
+// engine-side limit trips.
+func shedError(msg, hint string) *wire.Error {
+	return wire.FromError(&exec.Error{
+		Code:  exec.CodeResourceExhausted,
+		Phase: "admission",
+		Pos:   -1,
+		Hint:  hint,
+		Err:   errors.New(msg),
+	})
+}
+
+// serveQuery handles POST /query and /query.ndjson: admission control,
+// deadline policy, execution, and response framing — with the panic
+// isolation and exactly-one-taxonomy-code bookkeeping the package
+// contract promises.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, ndjson bool) {
+	wrote := false
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.counters.panics.Add(1)
+			s.outcome(exec.CodeRuntime)
+			if !wrote {
+				s.writeError(w, wire.FromError(exec.PanicError(rec, exec.PhaseExecute)), http.StatusInternalServerError)
+			}
+		}
+	}()
+
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.counters.accepted.Add(1)
+
+	var req wire.QueryRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes))
+	if err == nil {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil || req.SQL == "" {
+		if err == nil {
+			err = errors.New("request carries no sql")
+		}
+		s.outcome(exec.CodeParse)
+		s.writeError(w, &wire.Error{
+			Code:    exec.CodeParse.String(),
+			Phase:   "request",
+			Offset:  -1,
+			Hint:    `POST a JSON body like {"sql": "SELECT ..."}`,
+			Message: fmt.Sprintf("bad request: %v", err),
+		}, http.StatusBadRequest)
+		return
+	}
+
+	// Chaos hook: the server-accept failpoint simulates admission-path
+	// faults; a firing is shed exactly like real overload.
+	if err := exec.Fire(exec.FailServerAccept); err != nil {
+		s.counters.shed.Add(1)
+		s.outcome(exec.CodeResourceExhausted)
+		s.writeError(w, shedError("admission failpoint fired", "retry with backoff"),
+			http.StatusTooManyRequests)
+		return
+	}
+
+	switch s.admit(r.Context()) {
+	case admitted:
+		// fall through below
+	case shedQueueFull:
+		s.outcome(exec.CodeResourceExhausted)
+		s.writeError(w, shedError(
+			fmt.Sprintf("server overloaded: %d executing, %d queued", s.cfg.MaxInflight, s.cfg.MaxQueue),
+			"retry with backoff"), http.StatusTooManyRequests)
+		return
+	case shedQueueWait:
+		s.outcome(exec.CodeResourceExhausted)
+		s.writeError(w, shedError(
+			fmt.Sprintf("no execution slot freed within %v", s.cfg.QueueWait),
+			"retry with backoff"), http.StatusTooManyRequests)
+		return
+	case rejectedDraining:
+		s.outcome(exec.CodeResourceExhausted)
+		s.writeError(w, shedError("server is draining", "retry against another replica"),
+			http.StatusServiceUnavailable)
+		return
+	case abandonedByClient:
+		s.outcome(exec.CodeCanceled)
+		// The client is (probably) gone; still send a structured body in
+		// case the cancel raced with delivery — every response a client
+		// manages to read carries a taxonomy code.
+		s.writeError(w, wire.FromError(exec.CtxError(context.Canceled)),
+			wire.StatusClientClosedRequest)
+		return
+	}
+	defer s.release()
+
+	// The statement context: canceled when the client goes away or the
+	// drain deadline kills stragglers.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopKill := context.AfterFunc(s.killCtx, cancel)
+	defer stopKill()
+
+	// Deadline policy: a client-supplied timeout is clamped to
+	// MaxTimeout; absent one, the session's exec.Limits.Timeout applies
+	// inside the engine.
+	var opts []msql.Option
+	if req.TimeoutMillis > 0 {
+		d := time.Duration(req.TimeoutMillis) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		opts = append(opts, msql.WithTimeout(d))
+	}
+
+	results, err := s.db.RunContext(ctx, req.SQL, opts...)
+	if err != nil {
+		code := exec.CodeRuntime
+		var ee *exec.Error
+		if errors.As(err, &ee) {
+			code = ee.Code
+		}
+		killed := code == exec.CodeCanceled && s.killCtx.Err() != nil
+		s.finishAdmitted(code, killed)
+		we := wire.FromError(err)
+		status := we.HTTPStatus()
+		if killed || (code == exec.CodeCanceled && s.draining.Load()) {
+			status = http.StatusServiceUnavailable
+		}
+		s.writeError(w, we, status)
+		return
+	}
+	s.finishAdmitted(0, false)
+
+	// Respond with the last result: rows for queries, a message for
+	// DDL/DML scripts.
+	resp := wire.QueryResponse{}
+	if len(results) > 0 {
+		last := results[len(results)-1]
+		if last.Rows != nil || len(last.Columns) > 0 {
+			resp.Columns = last.Columns
+			resp.Types = make([]string, len(last.Types))
+			for i, t := range last.Types {
+				resp.Types[i] = t.String()
+			}
+			resp.Rows = wire.EncodeRows(last.Rows)
+		} else {
+			resp.Message = last.Message
+		}
+	} else {
+		resp.Message = "ok"
+	}
+
+	if !ndjson {
+		w.Header().Set("Content-Type", "application/json")
+		wrote = true
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	wrote = true
+	enc := json.NewEncoder(w)
+	enc.Encode(wire.Header{Columns: resp.Columns, Types: resp.Types})
+	for _, row := range resp.Rows {
+		enc.Encode(wire.RowLine{Row: row})
+	}
+	enc.Encode(wire.Trailer{Done: true, Rows: len(resp.Rows)})
+}

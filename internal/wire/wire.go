@@ -1,0 +1,200 @@
+// Package wire defines the query server's wire protocol: the JSON
+// request/response shapes shared by internal/server (the msqld front
+// end) and msql/client, plus the faithful round-trip of the structured
+// msql error taxonomy and of SQL values over JSON.
+//
+// Two framings share these types: a single-object JSON body (POST
+// /query) and a newline-delimited stream (POST /query.ndjson) whose
+// lines are a Header, zero or more RowLine objects, and a Trailer.
+package wire
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// QueryRequest is the body of POST /query and /query.ndjson.
+type QueryRequest struct {
+	// SQL is a statement or script to execute.
+	SQL string `json:"sql"`
+	// TimeoutMillis, when > 0, requests a per-statement deadline. The
+	// server clamps it to its configured maximum; 0 inherits the
+	// server's session default (exec.Limits.Timeout).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse is the body of a POST /query reply, success or failure.
+type QueryResponse struct {
+	// Columns/Types/Rows carry the last row-producing result.
+	Columns []string `json:"columns,omitempty"`
+	Types   []string `json:"types,omitempty"`
+	Rows    [][]any  `json:"rows,omitempty"`
+	// Message carries a non-query statement's outcome ("created view …").
+	Message string `json:"message,omitempty"`
+	// Error is set instead of the above when the request failed.
+	Error *Error `json:"error,omitempty"`
+}
+
+// Header is the first line of an NDJSON response stream.
+type Header struct {
+	Columns []string `json:"columns"`
+	Types   []string `json:"types"`
+}
+
+// RowLine is one data line of an NDJSON response stream.
+type RowLine struct {
+	Row []any `json:"row"`
+}
+
+// Trailer ends an NDJSON response stream.
+type Trailer struct {
+	Done bool `json:"done"`
+	Rows int  `json:"rows"`
+}
+
+// Error is the wire form of *exec.Error: every field a client needs to
+// reconstruct the structured error, minus the query text (the client
+// already has it and re-attaches it).
+type Error struct {
+	Code    string `json:"code"`
+	Phase   string `json:"phase,omitempty"`
+	Offset  int    `json:"offset"`
+	Hint    string `json:"hint,omitempty"`
+	Message string `json:"message"`
+}
+
+// FromError converts any engine error into its wire form. Non-taxonomy
+// errors (there should be none escaping the engine) map to RUNTIME.
+func FromError(err error) *Error {
+	var e *exec.Error
+	if !errors.As(err, &e) {
+		return &Error{Code: exec.CodeRuntime.String(), Phase: exec.PhaseExecute, Offset: -1, Message: err.Error()}
+	}
+	msg := ""
+	if e.Err != nil {
+		msg = e.Err.Error()
+	}
+	return &Error{
+		Code:    e.Code.String(),
+		Phase:   e.Phase,
+		Offset:  e.Pos,
+		Hint:    e.Hint,
+		Message: msg,
+	}
+}
+
+// cause preserves the server-side message verbatim while still
+// unwrapping to the context sentinel, so client-side
+// errors.Is(err, context.Canceled) keeps working after a round trip.
+type cause struct {
+	msg   string
+	under error
+}
+
+func (c *cause) Error() string { return c.msg }
+func (c *cause) Unwrap() error { return c.under }
+
+// ToError reconstructs the structured *exec.Error, attaching the query
+// text the client sent.
+func (w *Error) ToError(query string) *exec.Error {
+	code := exec.CodeFromName(w.Code)
+	var under error = &cause{msg: w.Message}
+	switch code {
+	case exec.CodeCanceled:
+		under = &cause{msg: w.Message, under: context.Canceled}
+	case exec.CodeTimeout:
+		under = &cause{msg: w.Message, under: context.DeadlineExceeded}
+	}
+	return &exec.Error{
+		Code:  code,
+		Phase: w.Phase,
+		Query: query,
+		Pos:   w.Offset,
+		Hint:  w.Hint,
+		Err:   under,
+	}
+}
+
+// HTTPStatus maps a taxonomy code to the status the server responds
+// with. RESOURCE_EXHAUSTED is the overload-shed signal (429, paired
+// with Retry-After); 503 is reserved for the draining server, which
+// sets it explicitly.
+func (w *Error) HTTPStatus() int {
+	switch exec.CodeFromName(w.Code) {
+	case exec.CodeParse, exec.CodeBind, exec.CodeExpand:
+		return http.StatusBadRequest
+	case exec.CodeCanceled:
+		return StatusClientClosedRequest
+	case exec.CodeTimeout:
+		return http.StatusGatewayTimeout
+	case exec.CodeResourceExhausted:
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// StatusClientClosedRequest reports that the client went away before
+// the statement finished (nginx's 499 convention; net/http has no name
+// for it).
+const StatusClientClosedRequest = 499
+
+// Retryable reports whether a response status invites a retry: only
+// overload (429) and draining/unavailable (503). Every other status is
+// deterministic — retrying would repeat the same failure.
+func Retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// RetryAfterSeconds parses a Retry-After header in its seconds form,
+// returning 0 when absent or malformed.
+func RetryAfterSeconds(h http.Header) int {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// EncodeRows converts result rows to their JSON-native wire form.
+func EncodeRows(rows [][]sqltypes.Value) [][]any {
+	out := make([][]any, len(rows))
+	for i, row := range rows {
+		enc := make([]any, len(row))
+		for j, v := range row {
+			enc[j] = EncodeValue(v)
+		}
+		out[i] = enc
+	}
+	return out
+}
+
+// EncodeValue maps a SQL value onto JSON-native types: NULL → null,
+// BOOLEAN → bool, INTEGER → number, DOUBLE → number, VARCHAR → string,
+// DATE → "YYYY-MM-DD" string.
+func EncodeValue(v sqltypes.Value) any {
+	if v.Null {
+		return nil
+	}
+	switch v.K {
+	case sqltypes.KindBool:
+		return v.B
+	case sqltypes.KindInt:
+		return v.I
+	case sqltypes.KindFloat:
+		return v.F
+	case sqltypes.KindDate:
+		return v.Time().Format("2006-01-02")
+	default:
+		return v.S
+	}
+}

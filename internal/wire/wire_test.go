@@ -1,0 +1,128 @@
+package wire
+
+// Fidelity of the error taxonomy and of SQL values across the wire.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+func TestErrorRoundTripPreservesEverything(t *testing.T) {
+	for _, code := range []exec.Code{
+		exec.CodeParse, exec.CodeBind, exec.CodeExpand, exec.CodeRuntime,
+		exec.CodeCanceled, exec.CodeTimeout, exec.CodeResourceExhausted,
+	} {
+		orig := &exec.Error{
+			Code:  code,
+			Phase: "execute",
+			Query: "SELECT 1",
+			Pos:   7,
+			Hint:  "try harder",
+			Err:   errors.New("boom"),
+		}
+		got := FromError(orig).ToError("SELECT 1")
+		if got.Code != code || got.Phase != "execute" || got.Pos != 7 || got.Hint != "try harder" {
+			t.Fatalf("%v: round trip lost fields: %+v", code, got)
+		}
+		if got.Query != "SELECT 1" {
+			t.Fatalf("%v: query not re-attached: %q", code, got.Query)
+		}
+		if !errors.Is(got, code) {
+			t.Fatalf("%v: errors.Is against the code sentinel broke", code)
+		}
+		if got.Err.Error() != "boom" {
+			t.Fatalf("%v: cause message %q, want boom", code, got.Err.Error())
+		}
+	}
+}
+
+func TestContextSentinelsSurviveTheWire(t *testing.T) {
+	canceled := FromError(exec.CtxError(context.Canceled)).ToError("q")
+	if !errors.Is(canceled, context.Canceled) {
+		t.Fatal("CANCELED must unwrap to context.Canceled after a round trip")
+	}
+	timeout := FromError(exec.CtxError(context.DeadlineExceeded)).ToError("q")
+	if !errors.Is(timeout, context.DeadlineExceeded) {
+		t.Fatal("TIMEOUT must unwrap to context.DeadlineExceeded after a round trip")
+	}
+	if errors.Is(canceled, context.DeadlineExceeded) || errors.Is(timeout, context.Canceled) {
+		t.Fatal("sentinels crossed")
+	}
+}
+
+func TestNonTaxonomyErrorMapsToRuntime(t *testing.T) {
+	w := FromError(errors.New("stray"))
+	if w.Code != "RUNTIME" || w.Offset != -1 || w.Message != "stray" {
+		t.Fatalf("stray error mapped to %+v", w)
+	}
+}
+
+func TestHTTPStatusMapping(t *testing.T) {
+	cases := map[string]int{
+		"PARSE":              http.StatusBadRequest,
+		"BIND":               http.StatusBadRequest,
+		"EXPAND":             http.StatusBadRequest,
+		"RUNTIME":            http.StatusInternalServerError,
+		"CANCELED":           StatusClientClosedRequest,
+		"TIMEOUT":            http.StatusGatewayTimeout,
+		"RESOURCE_EXHAUSTED": http.StatusTooManyRequests,
+		"UNKNOWN":            http.StatusInternalServerError,
+	}
+	for code, want := range cases {
+		if got := (&Error{Code: code}).HTTPStatus(); got != want {
+			t.Errorf("%s → %d, want %d", code, got, want)
+		}
+	}
+}
+
+func TestRetryableIsExactly429And503(t *testing.T) {
+	for status := 100; status < 600; status++ {
+		want := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+		if Retryable(status) != want {
+			t.Errorf("Retryable(%d) = %v, want %v", status, !want, want)
+		}
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	h := http.Header{}
+	if got := RetryAfterSeconds(h); got != 0 {
+		t.Fatalf("absent header → %d, want 0", got)
+	}
+	h.Set("Retry-After", "7")
+	if got := RetryAfterSeconds(h); got != 7 {
+		t.Fatalf("got %d, want 7", got)
+	}
+	h.Set("Retry-After", "Wed, 21 Oct 2015 07:28:00 GMT")
+	if got := RetryAfterSeconds(h); got != 0 {
+		t.Fatalf("HTTP-date form should fall back to 0, got %d", got)
+	}
+	h.Set("Retry-After", "-3")
+	if got := RetryAfterSeconds(h); got != 0 {
+		t.Fatalf("negative should fall back to 0, got %d", got)
+	}
+}
+
+func TestEncodeValue(t *testing.T) {
+	null := sqltypes.Value{Null: true}
+	if EncodeValue(null) != nil {
+		t.Fatal("NULL must encode as nil")
+	}
+	if got := EncodeValue(sqltypes.NewInt(42)); got != int64(42) {
+		t.Fatalf("int → %#v", got)
+	}
+	if got := EncodeValue(sqltypes.NewFloat(1.5)); got != 1.5 {
+		t.Fatalf("float → %#v", got)
+	}
+	if got := EncodeValue(sqltypes.NewBool(true)); got != true {
+		t.Fatalf("bool → %#v", got)
+	}
+	if got := EncodeValue(sqltypes.NewString("hi")); got != "hi" {
+		t.Fatalf("string → %#v", got)
+	}
+}

@@ -1,0 +1,333 @@
+// Package client is the Go client for msqld, the msql query server.
+// It speaks the JSON wire protocol, reconstructs the server's
+// structured msql.Error taxonomy (codes, phases, byte offsets, hints —
+// errors.Is(err, msql.ErrTimeout) works across the wire), and retries
+// overload responses with capped exponential backoff plus jitter.
+//
+// The retry contract mirrors the server's shedding contract: only
+// HTTP 429 (overload shed) and 503 (draining / unavailable) are
+// retried, because only those are transient by construction. Every
+// deterministic failure — parse, bind, expand, runtime, timeout — is
+// surfaced on the first attempt.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/measures-sql/msql/internal/wire"
+)
+
+// Backoff tunes the retry schedule for 429/503 responses.
+type Backoff struct {
+	// Attempts is the total number of tries, first included (default 4).
+	Attempts int
+	// Base is the pre-jitter delay before the first retry; it doubles
+	// per retry (default 50ms).
+	Base time.Duration
+	// Max caps every delay, after jitter and Retry-After (default 2s).
+	Max time.Duration
+	// Seed makes the jitter sequence reproducible; 0 seeds from the
+	// global source.
+	Seed int64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Attempts <= 0 {
+		b.Attempts = 4
+	}
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	return b
+}
+
+// Client is a msqld client; safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	backoff Backoff
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithBackoff replaces the retry policy.
+func WithBackoff(b Backoff) Option { return func(c *Client) { c.backoff = b } }
+
+// New creates a client for the server at baseURL (e.g.
+// "http://127.0.0.1:7433").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   &http.Client{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.backoff = c.backoff.withDefaults()
+	seed := c.backoff.Seed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	c.rng = rand.New(rand.NewSource(seed))
+	return c
+}
+
+// Result is one statement's rows as they came off the wire. Values are
+// JSON-native: nil, bool, json.Number-free float64/int64 depending on
+// decoding, and strings; Types names the SQL type of each column.
+type Result struct {
+	Columns []string
+	Types   []string
+	Rows    [][]any
+	// Message is set instead of rows when the final statement was
+	// DDL/DML ("created view …").
+	Message string
+}
+
+// QueryOption adjusts one request.
+type QueryOption func(*wire.QueryRequest)
+
+// WithTimeout asks the server for a per-statement deadline; the server
+// clamps it to its configured maximum.
+func WithTimeout(d time.Duration) QueryOption {
+	return func(r *wire.QueryRequest) { r.TimeoutMillis = int64(d / time.Millisecond) }
+}
+
+// Query executes sql on the server, retrying overload responses
+// (HTTP 429/503) under the backoff policy. The returned error is the
+// reconstructed *msql.Error when the server produced one.
+func (c *Client) Query(ctx context.Context, sql string, opts ...QueryOption) (*Result, error) {
+	req := wire.QueryRequest{SQL: sql}
+	for _, o := range opts {
+		o(&req)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < c.backoff.Attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.delay(attempt, lastRetryAfter(lastErr))):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		res, err := c.do(ctx, "/query", body, sql)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		var re *retryableError
+		if !errors.As(err, &re) {
+			return nil, err
+		}
+	}
+	return nil, unwrapRetryable(lastErr)
+}
+
+// QueryStream executes sql over the newline-delimited endpoint, calling
+// fn once per row as rows arrive. It applies the same retry policy as
+// Query (the stream has not started when an overload response arrives).
+func (c *Client) QueryStream(ctx context.Context, sql string, fn func(row []any) error) (*Result, error) {
+	body, err := json.Marshal(wire.QueryRequest{SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.backoff.Attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.delay(attempt, lastRetryAfter(lastErr))):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		res, err := c.doStream(ctx, body, sql, fn)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		var re *retryableError
+		if !errors.As(err, &re) {
+			return nil, err
+		}
+	}
+	return nil, unwrapRetryable(lastErr)
+}
+
+// Healthz probes liveness.
+func (c *Client) Healthz(ctx context.Context) error { return c.probe(ctx, "/healthz") }
+
+// Readyz probes readiness (fails with a non-2xx error while draining).
+func (c *Client) Readyz(ctx context.Context) error { return c.probe(ctx, "/readyz") }
+
+func (c *Client) probe(ctx context.Context, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return nil
+}
+
+// retryableError marks an error whose HTTP status invites a retry; the
+// wrapped error is what surfaces when attempts run out.
+type retryableError struct {
+	err        error
+	retryAfter int // seconds, 0 when absent
+}
+
+func (r *retryableError) Error() string { return r.err.Error() }
+func (r *retryableError) Unwrap() error { return r.err }
+
+func unwrapRetryable(err error) error {
+	var re *retryableError
+	if errors.As(err, &re) {
+		return re.err
+	}
+	return err
+}
+
+func lastRetryAfter(err error) int {
+	var re *retryableError
+	if errors.As(err, &re) {
+		return re.retryAfter
+	}
+	return 0
+}
+
+// delay computes the capped, jittered backoff before retry `attempt`
+// (1-based), honoring the server's Retry-After hint up to Max: the
+// schedule is uniformly drawn from [d/2, d) where d doubles per retry.
+func (c *Client) delay(attempt int, retryAfterSecs int) time.Duration {
+	d := c.backoff.Base << (attempt - 1)
+	if d > c.backoff.Max || d <= 0 {
+		d = c.backoff.Max
+	}
+	c.mu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	if ra := time.Duration(retryAfterSecs) * time.Second; ra > jittered {
+		jittered = ra
+	}
+	if jittered > c.backoff.Max {
+		jittered = c.backoff.Max
+	}
+	return jittered
+}
+
+func (c *Client) do(ctx context.Context, path string, body []byte, sql string) (*Result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var qr wire.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return nil, fmt.Errorf("decoding response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	if qr.Error != nil {
+		rerr := qr.Error.ToError(sql)
+		if wire.Retryable(resp.StatusCode) {
+			return nil, &retryableError{err: rerr, retryAfter: wire.RetryAfterSeconds(resp.Header)}
+		}
+		return nil, rerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("HTTP %d without a structured error", resp.StatusCode)
+		if wire.Retryable(resp.StatusCode) {
+			return nil, &retryableError{err: err, retryAfter: wire.RetryAfterSeconds(resp.Header)}
+		}
+		return nil, err
+	}
+	return &Result{Columns: qr.Columns, Types: qr.Types, Rows: qr.Rows, Message: qr.Message}, nil
+}
+
+func (c *Client) doStream(ctx context.Context, body []byte, sql string, fn func(row []any) error) (*Result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query.ndjson", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		var qr wire.QueryResponse
+		if err := dec.Decode(&qr); err == nil && qr.Error != nil {
+			rerr := qr.Error.ToError(sql)
+			if wire.Retryable(resp.StatusCode) {
+				return nil, &retryableError{err: rerr, retryAfter: wire.RetryAfterSeconds(resp.Header)}
+			}
+			return nil, rerr
+		}
+		err := fmt.Errorf("HTTP %d without a structured error", resp.StatusCode)
+		if wire.Retryable(resp.StatusCode) {
+			return nil, &retryableError{err: err, retryAfter: wire.RetryAfterSeconds(resp.Header)}
+		}
+		return nil, err
+	}
+	var hdr wire.Header
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("decoding stream header: %w", err)
+	}
+	res := &Result{Columns: hdr.Columns, Types: hdr.Types}
+	for {
+		var line struct {
+			Row  []any `json:"row"`
+			Done bool  `json:"done"`
+			Rows int   `json:"rows"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			return nil, fmt.Errorf("decoding stream: %w", err)
+		}
+		if line.Done {
+			return res, nil
+		}
+		res.Rows = append(res.Rows, line.Row)
+		if fn != nil {
+			if err := fn(line.Row); err != nil {
+				return nil, err
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package client
+
+// The retry contract, tested against fake servers: only 429 and 503
+// invite another attempt; every deterministic failure surfaces on the
+// first try; delays are capped, jittered, deterministic under a seed,
+// and honor Retry-After up to the cap.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/measures-sql/msql/internal/wire"
+	"github.com/measures-sql/msql/msql"
+)
+
+// fakeServer answers /query with each status in sequence, then 200 with
+// a one-row result; it counts attempts.
+func fakeServer(t *testing.T, statuses ...int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		if int(n) <= len(statuses) {
+			status := statuses[n-1]
+			if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(wire.QueryResponse{Error: &wire.Error{
+				Code: statusCode(status), Phase: "test", Offset: -1, Message: "injected",
+			}})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(wire.QueryResponse{
+			Columns: []string{"x"}, Types: []string{"INTEGER"}, Rows: [][]any{{float64(1)}},
+		})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &attempts
+}
+
+func statusCode(status int) string {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return "RESOURCE_EXHAUSTED"
+	case http.StatusBadRequest:
+		return "PARSE"
+	default:
+		return "RUNTIME"
+	}
+}
+
+func fastPolicy(seed int64) Backoff {
+	return Backoff{Attempts: 4, Base: time.Millisecond, Max: 5 * time.Millisecond, Seed: seed}
+}
+
+func TestRetriesOvercomeTransientOverload(t *testing.T) {
+	ts, attempts := fakeServer(t, http.StatusTooManyRequests, http.StatusServiceUnavailable)
+	c := New(ts.URL, WithBackoff(fastPolicy(1)))
+	res, err := c.Query(context.Background(), "SELECT 1 AS x")
+	if err != nil {
+		t.Fatalf("query should succeed on attempt 3: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (429, 503, 200)", got)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestNonRetryableSurfacesFirstAttempt(t *testing.T) {
+	ts, attempts := fakeServer(t, http.StatusBadRequest)
+	c := New(ts.URL, WithBackoff(fastPolicy(1)))
+	_, err := c.Query(context.Background(), "SELEC")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 — a 400 must never be retried", got)
+	}
+	if !errors.Is(err, msql.ErrParse) {
+		t.Fatalf("want ErrParse across the wire, got %v", err)
+	}
+}
+
+func TestExhaustedRetriesSurfaceStructuredError(t *testing.T) {
+	ts, attempts := fakeServer(t,
+		http.StatusTooManyRequests, http.StatusTooManyRequests,
+		http.StatusTooManyRequests, http.StatusTooManyRequests)
+	c := New(ts.URL, WithBackoff(fastPolicy(1)))
+	_, err := c.Query(context.Background(), "SELECT 1 AS x")
+	if err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Fatalf("attempts = %d, want exactly Backoff.Attempts = 4", got)
+	}
+	if !errors.Is(err, msql.ErrResourceExhausted) {
+		t.Fatalf("exhausted retries must surface the server's taxonomy error, got %v", err)
+	}
+	var re *retryableError
+	if errors.As(err, &re) {
+		t.Fatalf("the retryable wrapper must not escape Query: %v", err)
+	}
+}
+
+func TestStreamRetriesToo(t *testing.T) {
+	ts, attempts := fakeServer(t, http.StatusServiceUnavailable)
+	c := New(ts.URL, WithBackoff(fastPolicy(1)))
+	// The fake serves plain JSON, not NDJSON; only check the retry path
+	// by letting the success decode fail after the retry happened.
+	c.QueryStream(context.Background(), "SELECT 1 AS x", nil)
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("stream attempts = %d, want 2 (503 then retry)", got)
+	}
+}
+
+func TestCancelDuringBackoffReturnsPromptly(t *testing.T) {
+	ts, _ := fakeServer(t, http.StatusTooManyRequests, http.StatusTooManyRequests)
+	c := New(ts.URL, WithBackoff(Backoff{Attempts: 3, Base: time.Hour, Max: time.Hour, Seed: 1}))
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(20*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := c.Query(ctx, "SELECT 1 AS x")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("cancel during an hour-long backoff took %v to surface", el)
+	}
+}
+
+// TestDelayBoundsAndDeterminism pins the backoff schedule: attempt k
+// draws uniformly from [d/2, d] where d = Base<<(k-1) capped at Max;
+// the same seed yields the same schedule; Retry-After acts as a floor
+// but never exceeds Max.
+func TestDelayBoundsAndDeterminism(t *testing.T) {
+	mk := func(seed int64) *Client {
+		return New("http://unused", WithBackoff(Backoff{
+			Attempts: 6, Base: 100 * time.Millisecond, Max: time.Second, Seed: seed,
+		}))
+	}
+	a, b := mk(42), mk(42)
+	for attempt := 1; attempt <= 5; attempt++ {
+		da := a.delay(attempt, 0)
+		db := b.delay(attempt, 0)
+		if da != db {
+			t.Fatalf("attempt %d: same seed, different delays: %v vs %v", attempt, da, db)
+		}
+		d := 100 * time.Millisecond << (attempt - 1)
+		if d > time.Second || d <= 0 {
+			d = time.Second
+		}
+		if da < d/2 || da > d {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, da, d/2, d)
+		}
+	}
+	if c := mk(43); c.delay(1, 0) == mk(42).delay(1, 0) {
+		// Not impossible, but with a 50ms jitter range a collision across
+		// seeds is ~1/50e6; treat it as a busted PRNG wiring.
+		t.Fatalf("different seeds produced identical first delays")
+	}
+
+	// Retry-After is a floor…
+	if d := mk(42).delay(1, 1); d != time.Second {
+		// 1s Retry-After > any jittered first delay, and equals Max.
+		t.Fatalf("Retry-After 1s should lift the delay to 1s, got %v", d)
+	}
+	// …but the cap always wins.
+	if d := mk(42).delay(1, 30); d != time.Second {
+		t.Fatalf("Retry-After 30s must be capped at Max=1s, got %v", d)
+	}
+}

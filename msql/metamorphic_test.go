@@ -1,0 +1,172 @@
+package msql_test
+
+// Metamorphic identities over AT-context transforms, checked across all
+// three execution strategies × Workers ∈ {1, 4}:
+//
+//	(1) m AT (m1 m2)  ≡  (m AT (m2)) AT (m1)
+//	    A modifier list applies left-to-right to the evaluation context,
+//	    so the chained form nests the LAST list element innermost
+//	    (established for ALL+SET in measures_test.go; here it is checked
+//	    for every ordered pair of modifier kinds).
+//	(2) AGGREGATE(m)  ≡  m AT (VISIBLE)        (paper §3.5)
+//
+// These are metamorphic relations: we never assert absolute values, only
+// that syntactically different forms of the same context transform
+// agree — on every strategy and worker count.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/measures-sql/msql/msql"
+)
+
+// metaConfig is one execution configuration under test.
+type metaConfig struct {
+	name     string
+	strategy msql.Strategy
+	workers  int
+}
+
+func metaConfigs() []metaConfig {
+	var cfgs []metaConfig
+	for _, s := range []struct {
+		name string
+		s    msql.Strategy
+	}{
+		{"default", msql.StrategyDefault},
+		{"memo", msql.StrategyMemo},
+		{"naive", msql.StrategyNaive},
+	} {
+		for _, w := range []int{1, 4} {
+			cfgs = append(cfgs, metaConfig{
+				name:     fmt.Sprintf("%s/workers=%d", s.name, w),
+				strategy: s.s,
+				workers:  w,
+			})
+		}
+	}
+	return cfgs
+}
+
+func metaDBs(t *testing.T) map[string]*msql.DB {
+	t.Helper()
+	dbs := make(map[string]*msql.DB)
+	for _, cfg := range metaConfigs() {
+		db := buildRandomDB(t, 77, cfg.strategy)
+		db.SetWorkers(cfg.workers)
+		dbs[cfg.name] = db
+	}
+	return dbs
+}
+
+func metaRows(t *testing.T, db *msql.DB, q string) [][]string {
+	t.Helper()
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("query failed: %v\nSQL: %s", err, q)
+	}
+	return rowsAsStrings(res)
+}
+
+func metaSame(t *testing.T, label, qa, qb string, a, b [][]string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: row count %d vs %d\nLHS: %s\nRHS: %s", label, len(a), len(b), qa, qb)
+	}
+	for r := range a {
+		if strings.Join(a[r], "|") != strings.Join(b[r], "|") {
+			t.Fatalf("%s: row %d differs:\n%v\n%v\nLHS: %s\nRHS: %s", label, r, a[r], b[r], qa, qb)
+		}
+	}
+}
+
+// TestMetamorphicAtListVsChain checks identity (1) for every ordered
+// pair of distinct modifiers, on every strategy × worker configuration.
+// All configurations must also agree with each other, so this doubles as
+// a strategy/parallelism oracle for composed context transforms.
+func TestMetamorphicAtListVsChain(t *testing.T) {
+	mods := []struct{ name, text string }{
+		{"allProd", "ALL prodName"},
+		{"allCust", "ALL custName"},
+		{"all", "ALL"},
+		{"setCust", "SET custName = 'cust0003'"},
+		{"setYear", "SET orderYear = CURRENT orderYear - 1"},
+		{"where", "WHERE revenue > 50"},
+		{"visible", "VISIBLE"},
+	}
+	dbs := metaDBs(t)
+	cfgs := metaConfigs()
+
+	for i, m1 := range mods {
+		for j, m2 := range mods {
+			if i == j {
+				continue
+			}
+			label := m1.name + "+" + m2.name
+			lhs := fmt.Sprintf(
+				`SELECT prodName, rev AT (%s %s) AS v FROM EO GROUP BY prodName ORDER BY 1 NULLS FIRST`,
+				m1.text, m2.text)
+			rhs := fmt.Sprintf(
+				`SELECT prodName, rev AT (%s) AT (%s) AS v FROM EO GROUP BY prodName ORDER BY 1 NULLS FIRST`,
+				m2.text, m1.text)
+
+			var ref [][]string
+			for _, cfg := range cfgs {
+				db := dbs[cfg.name]
+				a := metaRows(t, db, lhs)
+				b := metaRows(t, db, rhs)
+				metaSame(t, label+" list-vs-chain ["+cfg.name+"]", lhs, rhs, a, b)
+				if ref == nil {
+					ref = a
+				} else {
+					metaSame(t, label+" vs reference config ["+cfg.name+"]", lhs, lhs, ref, a)
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicAggregateVsVisible checks identity (2) on several query
+// shapes — plain grouping, an outer WHERE (so VISIBLE must pick up the
+// filter), two grouping keys, and a measure used inside arithmetic — on
+// every strategy × worker configuration.
+func TestMetamorphicAggregateVsVisible(t *testing.T) {
+	shapes := []struct{ name, tmpl string }{
+		{"plain",
+			`SELECT prodName, %s AS v FROM EO GROUP BY prodName ORDER BY 1 NULLS FIRST`},
+		{"filtered",
+			`SELECT prodName, %s AS v FROM EO WHERE revenue > 20 GROUP BY prodName ORDER BY 1 NULLS FIRST`},
+		{"twoKeys",
+			`SELECT prodName, orderYear, %s AS v FROM EO GROUP BY prodName, orderYear ORDER BY 1 NULLS FIRST, 2`},
+		{"arith",
+			`SELECT custName, %s + 0 AS v FROM EO GROUP BY custName ORDER BY 1`},
+	}
+	measures := []struct{ agg, viz string }{
+		{"AGGREGATE(rev)", "rev AT (VISIBLE)"},
+		{"AGGREGATE(cnt)", "cnt AT (VISIBLE)"},
+	}
+	dbs := metaDBs(t)
+	cfgs := metaConfigs()
+
+	for _, shape := range shapes {
+		for _, m := range measures {
+			lhs := fmt.Sprintf(shape.tmpl, m.agg)
+			rhs := fmt.Sprintf(shape.tmpl, m.viz)
+			label := shape.name + "/" + m.agg
+			var ref [][]string
+			for _, cfg := range cfgs {
+				db := dbs[cfg.name]
+				a := metaRows(t, db, lhs)
+				b := metaRows(t, db, rhs)
+				metaSame(t, label+" aggregate-vs-visible ["+cfg.name+"]", lhs, rhs, a, b)
+				if ref == nil {
+					ref = a
+				} else {
+					metaSame(t, label+" vs reference config ["+cfg.name+"]", lhs, lhs, ref, a)
+				}
+			}
+		}
+	}
+}

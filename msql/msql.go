@@ -297,8 +297,23 @@ func NewJSONTracer(w io.Writer) TraceHook { return &exec.JSONTracer{W: w} }
 type MetricsSnapshot = engine.MetricsSnapshot
 
 // Metrics returns cumulative session metrics: queries, rows, subquery
-// cache hit ratio, and per-strategy plan/exec timings.
+// cache hit ratio, and per-strategy plan/exec timings. When a query
+// server has registered itself (RegisterServerMetrics), the snapshot
+// additionally carries its admission/drain counters.
 func (db *DB) Metrics() MetricsSnapshot { return db.session.Metrics().Snapshot() }
+
+// ServerCounters is the serving layer's slice of a metrics snapshot:
+// admission-control and drain counters published by a query server
+// (msqld) sitting in front of this DB.
+type ServerCounters = engine.ServerCounters
+
+// RegisterServerMetrics installs (or with nil removes) a source of
+// serving-layer counters; Metrics() calls it so the server's inflight/
+// queued/shed/drain counters appear in the same JSON and Prometheus
+// output as the engine's.
+func (db *DB) RegisterServerMetrics(fn func() ServerCounters) {
+	db.session.Metrics().SetServerSource(fn)
+}
 
 // Tables lists base tables and views, for tooling.
 func (db *DB) Tables() (tables, views []string) {
