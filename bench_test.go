@@ -406,3 +406,41 @@ func BenchmarkParallelMemo(b *testing.B) {
 	}
 	db.SetWorkers(0)
 }
+
+// vectorizedScanQuery is the E25 workload: a selective scan-filter-
+// aggregate over the synthetic Orders table, the shape where columnar
+// batch kernels pay off most (every expression is kernel-eligible).
+const vectorizedScanQuery = `
+	SELECT prodName, COUNT(*) AS cnt, SUM(revenue) AS rev,
+	       SUM(revenue - cost) AS profit
+	FROM Orders
+	WHERE revenue > 20 AND cost < 60
+	GROUP BY prodName`
+
+// BenchmarkRowScanFilterAgg (E25 baseline): the workload on the
+// row-at-a-time engine, single core.
+func BenchmarkRowScanFilterAgg(b *testing.B) {
+	db := loadDB(b, 50000, 20)
+	db.SetWorkers(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(vectorizedScanQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVectorizedScanFilterAgg (E25): the same workload with
+// columnar batch execution, single core. The differential harness
+// (msql/differential_test.go) guarantees the answers are identical.
+func BenchmarkVectorizedScanFilterAgg(b *testing.B) {
+	db := loadDB(b, 50000, 20)
+	db.SetWorkers(1)
+	db.SetVectorized(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(vectorizedScanQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

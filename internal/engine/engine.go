@@ -59,6 +59,8 @@ type Overrides struct {
 	Limits *exec.Limits
 	// Timeout overrides (only) the statement timeout, after Limits.
 	Timeout *time.Duration
+	// Vectorized overrides the columnar-execution toggle.
+	Vectorized *bool
 }
 
 // stmtConfig is the per-statement snapshot of session configuration:
@@ -90,6 +92,9 @@ func (s *Session) statementConfig(ov *Overrides) stmtConfig {
 		}
 		if ov.Timeout != nil {
 			cfg.exec.Limits.Timeout = *ov.Timeout
+		}
+		if ov.Vectorized != nil {
+			cfg.exec.Vectorized = *ov.Vectorized
 		}
 	}
 	return cfg
@@ -389,14 +394,20 @@ func (s *Session) execPlan(env *stmtEnv, node plan.Node, planNs int64, withProfi
 		return nil, nil, err
 	}
 	st := s.lastStats.Snapshot()
-	s.metrics.recordQuery(env.cfg.strategy, len(rows), st.RowsScanned, st.SubqueryEvals,
-		st.SubqueryCacheHits, st.ParallelFanouts, planNs, execNs)
-	s.span(exec.Span{Phase: "execute", Name: "query", DurNs: execNs, Attrs: map[string]string{
+	s.metrics.recordQuery(env.cfg.strategy, len(rows), st, planNs, execNs)
+	attrs := map[string]string{
 		"rows":    fmt.Sprintf("%d", len(rows)),
 		"scanned": fmt.Sprintf("%d", st.RowsScanned),
 		"evals":   fmt.Sprintf("%d", st.SubqueryEvals),
 		"hits":    fmt.Sprintf("%d", st.SubqueryCacheHits),
-	}})
+	}
+	if settings.Vectorized {
+		attrs["vectorized"] = "true"
+		attrs["batches"] = fmt.Sprintf("%d", st.VecBatches)
+		attrs["kernel_rows"] = fmt.Sprintf("%d", st.VecKernelRows)
+		attrs["fallback_rows"] = fmt.Sprintf("%d", st.VecFallbackRows)
+	}
+	s.span(exec.Span{Phase: "execute", Name: "query", DurNs: execNs, Attrs: attrs})
 	if prof != nil && s.tracer != nil {
 		exec.PlanSpans(node, prof, s.tracer)
 	}
@@ -439,9 +450,13 @@ func (s *Session) explainAnalyze(env *stmtEnv, q *ast.Query) (*Result, error) {
 		return nil, err
 	}
 	st := s.lastStats.Snapshot()
-	msg := plan.ExplainAnalyzeTree(node, prof) + fmt.Sprintf(
-		"Totals: rows=%d scanned=%d evals=%d hits=%d fanouts=%d\n",
+	totals := fmt.Sprintf("Totals: rows=%d scanned=%d evals=%d hits=%d fanouts=%d",
 		len(rows), st.RowsScanned, st.SubqueryEvals, st.SubqueryCacheHits, st.ParallelFanouts)
+	if st.VecBatches > 0 {
+		totals += fmt.Sprintf(" batches=%d kernel=%d fallback=%d",
+			st.VecBatches, st.VecKernelRows, st.VecFallbackRows)
+	}
+	msg := plan.ExplainAnalyzeTree(node, prof) + totals + "\n"
 	return &Result{Message: msg}, nil
 }
 

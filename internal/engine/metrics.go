@@ -28,6 +28,9 @@ type Metrics struct {
 	subqueryEvals   int64
 	cacheHits       int64
 	parallelFanouts int64
+	vecBatches      int64
+	vecKernelRows   int64
+	vecFallbackRows int64
 	planNs          int64
 	execNs          int64
 
@@ -75,14 +78,18 @@ func newMetrics() *Metrics {
 	return &Metrics{byStrategy: map[string]*stratCounters{}}
 }
 
-// recordQuery folds one finished query into the registry.
-func (m *Metrics) recordQuery(strategy string, rows int, scanned, evals, hits, fanouts, planNs, execNs int64) {
+// recordQuery folds one finished query's executor counters into the
+// registry.
+func (m *Metrics) recordQuery(strategy string, rows int, st exec.Stats, planNs, execNs int64) {
 	atomic.AddInt64(&m.queries, 1)
 	atomic.AddInt64(&m.rowsReturned, int64(rows))
-	atomic.AddInt64(&m.rowsScanned, scanned)
-	atomic.AddInt64(&m.subqueryEvals, evals)
-	atomic.AddInt64(&m.cacheHits, hits)
-	atomic.AddInt64(&m.parallelFanouts, fanouts)
+	atomic.AddInt64(&m.rowsScanned, st.RowsScanned)
+	atomic.AddInt64(&m.subqueryEvals, st.SubqueryEvals)
+	atomic.AddInt64(&m.cacheHits, st.SubqueryCacheHits)
+	atomic.AddInt64(&m.parallelFanouts, st.ParallelFanouts)
+	atomic.AddInt64(&m.vecBatches, st.VecBatches)
+	atomic.AddInt64(&m.vecKernelRows, st.VecKernelRows)
+	atomic.AddInt64(&m.vecFallbackRows, st.VecFallbackRows)
 	atomic.AddInt64(&m.planNs, planNs)
 	atomic.AddInt64(&m.execNs, execNs)
 	m.mu.Lock()
@@ -128,6 +135,9 @@ type MetricsSnapshot struct {
 	CacheHits       int64                    `json:"cache_hits"`
 	CacheHitRatio   float64                  `json:"cache_hit_ratio"`
 	ParallelFanouts int64                    `json:"parallel_fanouts"`
+	VecBatches      int64                    `json:"vec_batches"`
+	VecKernelRows   int64                    `json:"vec_kernel_rows"`
+	VecFallbackRows int64                    `json:"vec_fallback_rows"`
 	PlanNs          int64                    `json:"plan_ns"`
 	ExecNs          int64                    `json:"exec_ns"`
 	ByStrategy      map[string]stratCounters `json:"by_strategy"`
@@ -149,6 +159,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		SubqueryEvals:   atomic.LoadInt64(&m.subqueryEvals),
 		CacheHits:       atomic.LoadInt64(&m.cacheHits),
 		ParallelFanouts: atomic.LoadInt64(&m.parallelFanouts),
+		VecBatches:      atomic.LoadInt64(&m.vecBatches),
+		VecKernelRows:   atomic.LoadInt64(&m.vecKernelRows),
+		VecFallbackRows: atomic.LoadInt64(&m.vecFallbackRows),
 		PlanNs:          atomic.LoadInt64(&m.planNs),
 		ExecNs:          atomic.LoadInt64(&m.execNs),
 		ByStrategy:      map[string]stratCounters{},
@@ -196,6 +209,9 @@ func (s MetricsSnapshot) Prometheus() string {
 	counter("msql_subquery_evals_total", "Actual subquery plan executions.", s.SubqueryEvals)
 	counter("msql_subquery_cache_hits_total", "Subquery evaluations served from the memo cache.", s.CacheHits)
 	counter("msql_parallel_fanouts_total", "Operator executions that fanned out to multiple workers.", s.ParallelFanouts)
+	counter("msql_vec_batches_total", "Columnar batches processed by the vectorized engine.", s.VecBatches)
+	counter("msql_vec_kernel_rows_total", "Expression evaluations done by batch kernels.", s.VecKernelRows)
+	counter("msql_vec_fallback_rows_total", "Rows the vectorized engine handed back to the row evaluator.", s.VecFallbackRows)
 	fmt.Fprintf(&sb, "# HELP msql_cache_hit_ratio Fraction of subquery evaluations served from cache.\n# TYPE msql_cache_hit_ratio gauge\nmsql_cache_hit_ratio %g\n", s.CacheHitRatio)
 
 	strategies := make([]string, 0, len(s.ByStrategy))

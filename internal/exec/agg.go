@@ -129,6 +129,10 @@ type setTable struct {
 	groups map[string]*groupAcc
 }
 
+// accumulateFn folds in[lo:hi] into tables on the given runtime; it is
+// either the row-at-a-time accumulateRows or the vectorized variant.
+type accumulateFn func(w *runtime, env *aggEnv, tables []setTable, in []Row, lo, hi int) error
+
 func newSetTables(n int) []setTable {
 	tables := make([]setTable, n)
 	for i := range tables {
@@ -154,17 +158,30 @@ func (rt *runtime) runAggregate(n *plan.Aggregate) ([]Row, error) {
 		return nil, err
 	}
 
+	// The vectorized accumulate shares the groupAcc machinery, so it
+	// slots into both the serial and the chunk-merge parallel paths. The
+	// group-partitioned path (order-sensitive aggregates with spare
+	// workers) stays row-at-a-time: each worker skips most rows, which
+	// defeats batching.
+	accum := (*runtime).accumulateRows
+	if rt.vecUsable(env.exprs()...) && env.vecAggOK() {
+		vea := compileVecAgg(env, n.Input.Schema())
+		accum = func(w *runtime, env *aggEnv, tables []setTable, in []Row, lo, hi int) error {
+			return w.accumulateRowsVec(env, vea, tables, in, lo, hi)
+		}
+	}
+
 	var tables []setTable
 	if workers, grain := rt.rowParallelism(len(in), env.exprs()...); workers > 1 {
 		rt.noteFanout(n, workers)
 		if env.chunkMergeable() {
-			tables, err = rt.aggChunkMerge(env, in, workers, grain)
+			tables, err = rt.aggChunkMerge(env, in, workers, grain, accum)
 		} else {
 			tables, err = rt.aggGroupPartitioned(env, in, workers, grain)
 		}
 	} else {
 		tables = newSetTables(len(n.Sets))
-		err = rt.accumulateRows(env, tables, in, 0, len(in))
+		err = accum(rt, env, tables, in, 0, len(in))
 	}
 	if err != nil {
 		return nil, err
@@ -214,11 +231,11 @@ func (rt *runtime) accumulateRows(env *aggEnv, tables []setTable, in []Row, lo, 
 // private partial tables over its contiguous row range, then partials
 // are merged left-to-right in chunk order. Restricted to exact-merge
 // aggregates, so the result is bit-identical to one serial pass.
-func (rt *runtime) aggChunkMerge(env *aggEnv, in []Row, workers, grain int) ([]setTable, error) {
+func (rt *runtime) aggChunkMerge(env *aggEnv, in []Row, workers, grain int, accum accumulateFn) ([]setTable, error) {
 	chunkTables := make([][]setTable, numChunks(len(in), grain))
 	err := rt.forEachChunk(len(in), workers, grain, func(w *runtime, _, chunk, lo, hi int) error {
 		t := newSetTables(len(env.n.Sets))
-		if err := w.accumulateRows(env, t, in, lo, hi); err != nil {
+		if err := accum(w, env, t, in, lo, hi); err != nil {
 			return err
 		}
 		chunkTables[chunk] = t

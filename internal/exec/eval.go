@@ -36,6 +36,16 @@ type Stats struct {
 	// ParallelFanouts counts operator executions that fanned out to more
 	// than one worker goroutine.
 	ParallelFanouts int64
+	// VecBatches counts columnar batches processed by the vectorized
+	// operators (zero when Settings.Vectorized is off or nothing
+	// vectorized).
+	VecBatches int64
+	// VecKernelRows counts expression-node evaluations done by batch
+	// kernels and columnar operators; VecFallbackRows counts the rows a
+	// vectorized operator handed back to the row-at-a-time evaluator
+	// (subqueries, CASE, anything without a kernel).
+	VecKernelRows   int64
+	VecFallbackRows int64
 }
 
 // Reset zeroes the counters with atomic stores, so a session may reuse
@@ -46,6 +56,9 @@ func (s *Stats) Reset() {
 	atomic.StoreInt64(&s.SubqueryCacheHits, 0)
 	atomic.StoreInt64(&s.RowsScanned, 0)
 	atomic.StoreInt64(&s.ParallelFanouts, 0)
+	atomic.StoreInt64(&s.VecBatches, 0)
+	atomic.StoreInt64(&s.VecKernelRows, 0)
+	atomic.StoreInt64(&s.VecFallbackRows, 0)
 }
 
 // Snapshot returns a copy taken with atomic loads, safe against
@@ -56,6 +69,9 @@ func (s *Stats) Snapshot() Stats {
 		SubqueryCacheHits: atomic.LoadInt64(&s.SubqueryCacheHits),
 		RowsScanned:       atomic.LoadInt64(&s.RowsScanned),
 		ParallelFanouts:   atomic.LoadInt64(&s.ParallelFanouts),
+		VecBatches:        atomic.LoadInt64(&s.VecBatches),
+		VecKernelRows:     atomic.LoadInt64(&s.VecKernelRows),
+		VecFallbackRows:   atomic.LoadInt64(&s.VecFallbackRows),
 	}
 }
 
@@ -70,6 +86,12 @@ type Settings struct {
 	// calling goroutine (the exact serial path). Results are identical
 	// for any value.
 	Workers int
+	// Vectorized routes filter, project, and hash-aggregate through the
+	// columnar batch engine (internal/vec) where every expression either
+	// runs as a typed batch kernel or falls back per-expression to the
+	// row evaluator. Results are bit-identical to the row engine for any
+	// setting; the differential harness enforces it.
+	Vectorized bool
 	// Stats, when non-nil, accumulates executor counters.
 	Stats *Stats
 	// Profile, when non-nil, collects per-operator metrics for EXPLAIN

@@ -109,6 +109,9 @@ func (rt *runtime) runNode(n plan.Node) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		if rt.vecUsable(n.Pred) {
+			return rt.runFilterVec(n, in)
+		}
 		if w, g := rt.rowParallelism(len(in), n.Pred); w > 1 {
 			rt.noteFanout(n, w)
 			return rt.runFilterParallel(n, in, w, g)
@@ -132,6 +135,9 @@ func (rt *runtime) runNode(n plan.Node) ([]Row, error) {
 		in, err := rt.run(n.Input)
 		if err != nil {
 			return nil, err
+		}
+		if rt.vecUsable(projectExprs(n)...) {
+			return rt.runProjectVec(n, in)
 		}
 		if w, g := rt.rowParallelism(len(in), projectExprs(n)...); w > 1 {
 			rt.noteFanout(n, w)

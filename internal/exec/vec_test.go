@@ -1,0 +1,375 @@
+package exec
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// nullScan builds a Scan over n rows with a nullable column:
+// a: 0..n-1, n: NULL when a%3==0, otherwise a.
+func nullScan(n int) *plan.Scan {
+	src := &testSource{
+		name:  "tn",
+		cols:  []string{"a", "n"},
+		types: []sqltypes.Type{intT(), intT()},
+	}
+	for i := 0; i < n; i++ {
+		nv := sqltypes.NewInt(int64(i))
+		if i%3 == 0 {
+			nv = sqltypes.Null(sqltypes.KindInt)
+		}
+		src.rows = append(src.rows, Row{sqltypes.NewInt(int64(i)), nv})
+	}
+	sch := &plan.Schema{}
+	for i, c := range src.cols {
+		sch.Cols = append(sch.Cols, plan.Col{Name: c, Typ: src.types[i]})
+	}
+	return &plan.Scan{Source: src, Sch: sch}
+}
+
+func intLit(v int64) *plan.Lit { return &plan.Lit{Val: sqltypes.NewInt(v)} }
+
+func cmp(op string, l, r plan.Expr) *plan.Call {
+	return &plan.Call{Name: op, Typ: boolT(), Args: []plan.Expr{l, r}}
+}
+
+// runRowVsVec executes node with the row engine and the vectorized
+// engine (same worker count) and requires bit-identical results. It
+// returns the vectorized run's Stats.
+func runRowVsVec(t *testing.T, node plan.Node, workers int) ([]Row, Stats) {
+	t.Helper()
+	rowSettings := DefaultSettings()
+	rowSettings.Workers = workers
+	var rowStats Stats
+	rowSettings.Stats = &rowStats
+	want, err := Run(node, rowSettings)
+	if err != nil {
+		t.Fatalf("row run: %v", err)
+	}
+	if rowStats.VecBatches != 0 {
+		t.Fatalf("row run recorded %d batches; vectorization must be opt-in", rowStats.VecBatches)
+	}
+
+	vecSettings := DefaultSettings()
+	vecSettings.Workers = workers
+	vecSettings.Vectorized = true
+	var vecStats Stats
+	vecSettings.Stats = &vecStats
+	got, err := Run(node, vecSettings)
+	if err != nil {
+		t.Fatalf("vectorized run: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("vectorized result differs from row engine\nrow: %v\nvec: %v", want, got)
+	}
+	return got, vecStats
+}
+
+// TestVectorizedExplainAnalyzeGolden pins the EXPLAIN ANALYZE rendering
+// of a vectorized plan: a kernel-only filter and a mixed
+// kernel/fallback projection must report exact batch and evaluation
+// counts.
+func TestVectorizedExplainAnalyzeGolden(t *testing.T) {
+	// 2500 rows -> 3 batches (1024+1024+452). The filter predicate is one
+	// comparison kernel (2500 kernel rows); the projection evaluates a+b
+	// with a kernel and a CASE via the row fallback over the 1250
+	// surviving rows (2 batches).
+	filter := &plan.Filter{
+		Input: bigScan(2500),
+		Pred:  cmp("<", col(0, "a"), intLit(1250)),
+	}
+	caseExpr := &plan.Case{
+		Whens: []plan.CaseWhen{{Cond: cmp("<", col(1, "b"), intLit(50)), Then: intLit(1)}},
+		Else:  intLit(0),
+		Typ:   intT(),
+	}
+	node := &plan.Project{
+		Input: filter,
+		Exprs: []plan.NamedExpr{
+			{Expr: &plan.Call{Name: "+", Typ: intT(), Args: []plan.Expr{col(0, "a"), col(1, "b")}},
+				Col: plan.Col{Name: "s", Typ: intT()}},
+			{Expr: caseExpr, Col: plan.Col{Name: "c", Typ: intT()}},
+		},
+		Sch: &plan.Schema{Cols: []plan.Col{{Name: "s", Typ: intT()}, {Name: "c", Typ: intT()}}},
+	}
+
+	settings := DefaultSettings()
+	settings.Workers = 1
+	settings.Vectorized = true
+	var stats Stats
+	settings.Stats = &stats
+	prof := NewProfile(node)
+	settings.Profile = prof
+	rows, err := Run(node, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1250 {
+		t.Fatalf("got %d rows, want 1250", len(rows))
+	}
+
+	txt := plan.ExplainAnalyzeTree(node, prof)
+	// Filter: 3 input batches, one "<" kernel over all 2500 rows.
+	if want := "(rows=1250 batches=3 kernel=2500 fallback=0"; !strings.Contains(txt, want) {
+		t.Errorf("filter annotation %q missing:\n%s", want, txt)
+	}
+	// Project: 2 batches of survivors; "+" kernel on 1250 rows, CASE and
+	// its operands fall back on the same 1250.
+	if want := "(rows=1250 batches=2 kernel=1250 fallback=1250"; !strings.Contains(txt, want) {
+		t.Errorf("project annotation %q missing:\n%s", want, txt)
+	}
+	// Tree totals agree with the executor's counters.
+	if stats.VecBatches != 5 || stats.VecKernelRows != 3750 || stats.VecFallbackRows != 1250 {
+		t.Errorf("stats batches=%d kernel=%d fallback=%d, want 5/3750/1250",
+			stats.VecBatches, stats.VecKernelRows, stats.VecFallbackRows)
+	}
+}
+
+// TestVectorizedBatchBoundaries runs a filter+project+aggregate plan at
+// the batch-size boundaries (1023, 1024, 1025 rows) and at 0 rows,
+// serial and parallel, requiring bit-identical results and the expected
+// batch counts.
+func TestVectorizedBatchBoundaries(t *testing.T) {
+	mk := func(n int) plan.Node {
+		filter := &plan.Filter{
+			Input: bigScan(n),
+			Pred:  cmp("<", col(1, "b"), intLit(90)),
+		}
+		return &plan.Aggregate{
+			Input:      filter,
+			GroupExprs: []plan.Expr{col(1, "b")},
+			Sets:       [][]int{{0}},
+			Aggs: []plan.AggCall{
+				{Name: "COUNT", Star: true, KeyIndex: -1, Typ: intT()},
+				{Name: "SUM", Args: []plan.Expr{col(0, "a")}, KeyIndex: -1, Typ: intT()},
+				{Name: "SUM", Args: []plan.Expr{&plan.ColRef{Index: 2, Name: "f", Typ: floatT()}}, KeyIndex: -1, Typ: floatT()},
+			},
+			Sch: &plan.Schema{Cols: []plan.Col{
+				{Name: "b", Typ: intT()},
+				{Name: "cnt", Typ: intT()},
+				{Name: "sa", Typ: intT()},
+				{Name: "sf", Typ: floatT()},
+			}},
+		}
+	}
+	for _, n := range []int{0, 1023, 1024, 1025} {
+		for _, workers := range []int{1, 4} {
+			rows, st := runRowVsVec(t, mk(n), workers)
+			if n == 0 {
+				if len(rows) != 0 {
+					t.Fatalf("n=0: got %d rows", len(rows))
+				}
+				continue
+			}
+			if st.VecBatches == 0 {
+				t.Fatalf("n=%d workers=%d: no batches recorded", n, workers)
+			}
+			if workers == 1 {
+				// Serial: filter sees ceil(n/1024) batches, the aggregate
+				// re-batches the survivors.
+				wantFilter := int64((n + 1023) / 1024)
+				if st.VecBatches < wantFilter+1 {
+					t.Fatalf("n=%d: %d batches, want at least %d", n, st.VecBatches, wantFilter+1)
+				}
+			}
+		}
+	}
+}
+
+// TestVecAndShortCircuit: the right operand of AND overflows on every
+// row the left operand excludes. The row engine never evaluates those
+// rows; the vectorized engine must not either.
+func TestVecAndShortCircuit(t *testing.T) {
+	overflowing := cmp(">",
+		&plan.Call{Name: "+", Typ: intT(), Args: []plan.Expr{intLit(math.MaxInt64), col(0, "a")}},
+		intLit(0))
+	node := &plan.Filter{
+		Input: bigScan(10),
+		Pred:  &plan.And{L: cmp("=", col(0, "a"), intLit(0)), R: overflowing},
+	}
+	rows, st := runRowVsVec(t, node, 1)
+	if len(rows) != 1 || rows[0][0].I != 0 {
+		t.Fatalf("want the single a=0 row, got %v", rows)
+	}
+	if st.VecBatches == 0 {
+		t.Fatal("filter did not run vectorized")
+	}
+}
+
+// TestVecOrShortCircuit is the OR mirror: left is TRUE everywhere, so
+// the overflowing right side must never run.
+func TestVecOrShortCircuit(t *testing.T) {
+	overflowing := cmp(">",
+		&plan.Call{Name: "+", Typ: intT(), Args: []plan.Expr{intLit(math.MaxInt64), col(0, "a")}},
+		intLit(0))
+	node := &plan.Filter{
+		Input: bigScan(10),
+		Pred:  &plan.Or{L: cmp(">=", col(0, "a"), intLit(0)), R: overflowing},
+	}
+	rows, _ := runRowVsVec(t, node, 1)
+	if len(rows) != 10 {
+		t.Fatalf("want all 10 rows, got %d", len(rows))
+	}
+}
+
+// TestVecAndErrorAgreement: when the row engine does hit the overflow
+// (left side TRUE on an overflowing row), the vectorized engine must
+// error too.
+func TestVecAndErrorAgreement(t *testing.T) {
+	overflowing := cmp(">",
+		&plan.Call{Name: "+", Typ: intT(), Args: []plan.Expr{intLit(math.MaxInt64), col(0, "a")}},
+		intLit(0))
+	mk := func() plan.Node {
+		return &plan.Filter{
+			Input: bigScan(10),
+			Pred:  &plan.And{L: cmp(">=", col(0, "a"), intLit(0)), R: overflowing},
+		}
+	}
+	rowSettings := DefaultSettings()
+	if _, err := Run(mk(), rowSettings); err == nil {
+		t.Fatal("row engine: expected overflow error")
+	}
+	vecSettings := DefaultSettings()
+	vecSettings.Vectorized = true
+	if _, err := Run(mk(), vecSettings); err == nil {
+		t.Fatal("vectorized engine: expected overflow error")
+	}
+}
+
+// TestVecNullThreeValuedLogic: a NULL left operand does not short-
+// circuit — the right side must still be evaluated and combined with
+// SQL three-valued logic, identically in both engines.
+func TestVecNullThreeValuedLogic(t *testing.T) {
+	// n is NULL when a%3==0. (n < 5) OR (a = 0):
+	//   a=0: NULL OR TRUE  = TRUE   -> kept
+	//   a=3: NULL OR FALSE = NULL   -> dropped
+	//   a in {1,2,4}: n<5 is TRUE   -> kept
+	node := &plan.Filter{
+		Input: nullScan(6),
+		Pred: &plan.Or{
+			L: cmp("<", col(1, "n"), intLit(5)),
+			R: cmp("=", col(0, "a"), intLit(0)),
+		},
+	}
+	rows, st := runRowVsVec(t, node, 1)
+	var got []int64
+	for _, r := range rows {
+		got = append(got, r[0].I)
+	}
+	if want := []int64{0, 1, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("kept rows %v, want %v", got, want)
+	}
+	if st.VecBatches == 0 {
+		t.Fatal("filter did not run vectorized")
+	}
+
+	// AND mirror with NOT: NOT(n < 5) AND-composed via De Morgan shape.
+	node2 := &plan.Filter{
+		Input: nullScan(6),
+		Pred: &plan.And{
+			L: &plan.Not{X: cmp("<", col(1, "n"), intLit(99))}, // FALSE or NULL
+			R: cmp(">=", col(0, "a"), intLit(0)),               // TRUE
+		},
+	}
+	rows2, _ := runRowVsVec(t, node2, 1)
+	if len(rows2) != 0 {
+		t.Fatalf("FALSE/NULL AND TRUE kept %d rows, want 0", len(rows2))
+	}
+}
+
+// TestVecMixedKernelFallbackProjection: one projection mixing kernel
+// expressions with fallback-only ones (CASE, IN) must agree with the
+// row engine and record both kernel and fallback work.
+func TestVecMixedKernelFallbackProjection(t *testing.T) {
+	inList := &plan.InList{X: col(1, "b"), List: []plan.Expr{intLit(1), intLit(2), intLit(96)}}
+	caseExpr := &plan.Case{
+		Whens: []plan.CaseWhen{{Cond: inList, Then: col(0, "a")}},
+		Typ:   intT(), // ELSE NULL
+	}
+	node := &plan.Project{
+		Input: bigScan(2000),
+		Exprs: []plan.NamedExpr{
+			{Expr: &plan.Call{Name: "*", Typ: intT(), Args: []plan.Expr{col(0, "a"), intLit(3)}},
+				Col: plan.Col{Name: "m", Typ: intT()}},
+			{Expr: caseExpr, Col: plan.Col{Name: "c", Typ: intT()}},
+			{Expr: &plan.Call{Name: "/", Typ: floatT(),
+				Args: []plan.Expr{&plan.ColRef{Index: 2, Name: "f", Typ: floatT()}, intLit(0)}},
+				Col: plan.Col{Name: "d", Typ: floatT()}}, // x/0 -> NULL, no error
+		},
+		Sch: &plan.Schema{Cols: []plan.Col{
+			{Name: "m", Typ: intT()}, {Name: "c", Typ: intT()}, {Name: "d", Typ: floatT()},
+		}},
+	}
+	rows, st := runRowVsVec(t, node, 1)
+	if len(rows) != 2000 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if st.VecKernelRows == 0 || st.VecFallbackRows == 0 {
+		t.Fatalf("mixed projection must use both paths: kernel=%d fallback=%d",
+			st.VecKernelRows, st.VecFallbackRows)
+	}
+}
+
+// TestVecAggregateDistinctAndFilter: DISTINCT aggregates and FILTER
+// clauses go through the vectorized accumulator and must agree with the
+// row engine, including FILTER-gated argument evaluation.
+func TestVecAggregateDistinctAndFilter(t *testing.T) {
+	node := &plan.Aggregate{
+		Input:      bigScan(1500),
+		GroupExprs: []plan.Expr{&plan.Call{Name: "%", Typ: intT(), Args: []plan.Expr{col(0, "a"), intLit(7)}}},
+		Sets:       [][]int{{0}},
+		Aggs: []plan.AggCall{
+			{Name: "COUNT", Args: []plan.Expr{col(1, "b")}, Distinct: true, KeyIndex: -1, Typ: intT()},
+			{Name: "SUM", Args: []plan.Expr{col(0, "a")},
+				Filter: cmp("<", col(1, "b"), intLit(10)), KeyIndex: -1, Typ: intT()},
+			{Name: "COUNT", Star: true, KeyIndex: -1, Typ: intT()},
+		},
+		Sch: &plan.Schema{Cols: []plan.Col{
+			{Name: "g", Typ: intT()},
+			{Name: "cd", Typ: intT()},
+			{Name: "sf", Typ: intT()},
+			{Name: "cnt", Typ: intT()},
+		}},
+	}
+	for _, workers := range []int{1, 4} {
+		rows, st := runRowVsVec(t, node, workers)
+		if len(rows) != 7 {
+			t.Fatalf("workers=%d: got %d groups, want 7", workers, len(rows))
+		}
+		if workers == 1 && st.VecBatches == 0 {
+			t.Fatal("aggregate did not run vectorized")
+		}
+	}
+}
+
+// TestVecVolatileFallsBackToRows: plans containing volatile functions
+// must bypass the vectorized path entirely (column-major evaluation
+// would reorder the calls) yet still succeed.
+func TestVecVolatileFallsBackToRows(t *testing.T) {
+	node := &plan.Project{
+		Input: bigScan(100),
+		Exprs: []plan.NamedExpr{
+			{Expr: &plan.Call{Name: "RANDOM", Typ: floatT()}, Col: plan.Col{Name: "r", Typ: floatT()}},
+		},
+		Sch: &plan.Schema{Cols: []plan.Col{{Name: "r", Typ: floatT()}}},
+	}
+	settings := DefaultSettings()
+	settings.Vectorized = true
+	var stats Stats
+	settings.Stats = &stats
+	rows, err := Run(node, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 100 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if stats.VecBatches != 0 {
+		t.Fatalf("volatile projection must not vectorize; got %d batches", stats.VecBatches)
+	}
+}

@@ -39,6 +39,14 @@ type OpMetrics struct {
 	// CacheHits counts evaluations served from the measure-context memo
 	// cache (Subquery only).
 	CacheHits int64
+	// Batches counts columnar batches the operator processed on the
+	// vectorized path (0 on the row path — rendering keys off it).
+	Batches int64
+	// KernelEvals counts expression-node evaluations done by batch
+	// kernels; FallbackEvals counts rows handed back to the row-at-a-time
+	// evaluator for expressions without a kernel.
+	KernelEvals   int64
+	FallbackEvals int64
 }
 
 // Record adds one execution producing rows in ns nanoseconds.
@@ -61,6 +69,14 @@ func (m *OpMetrics) NoteWorkers(w int) {
 	}
 }
 
+// AddBatch records one vectorized batch with its kernel/fallback
+// expression-evaluation row counts.
+func (m *OpMetrics) AddBatch(kernelEvals, fallbackEvals int64) {
+	atomic.AddInt64(&m.Batches, 1)
+	atomic.AddInt64(&m.KernelEvals, kernelEvals)
+	atomic.AddInt64(&m.FallbackEvals, fallbackEvals)
+}
+
 // AddEval counts one actual subquery evaluation.
 func (m *OpMetrics) AddEval() { atomic.AddInt64(&m.Evals, 1) }
 
@@ -75,8 +91,11 @@ func (m *OpMetrics) Load() OpMetrics {
 		RowsOut:    atomic.LoadInt64(&m.RowsOut),
 		WallNs:     atomic.LoadInt64(&m.WallNs),
 		MaxWorkers: atomic.LoadInt64(&m.MaxWorkers),
-		Evals:      atomic.LoadInt64(&m.Evals),
-		CacheHits:  atomic.LoadInt64(&m.CacheHits),
+		Evals:         atomic.LoadInt64(&m.Evals),
+		CacheHits:     atomic.LoadInt64(&m.CacheHits),
+		Batches:       atomic.LoadInt64(&m.Batches),
+		KernelEvals:   atomic.LoadInt64(&m.KernelEvals),
+		FallbackEvals: atomic.LoadInt64(&m.FallbackEvals),
 	}
 }
 
@@ -106,6 +125,12 @@ func annotateNode(m *OpMetrics) string {
 	}
 	if s.MaxWorkers > 1 {
 		fmt.Fprintf(&sb, " workers=%d", s.MaxWorkers)
+	}
+	if s.Batches > 0 {
+		// Average rows per batch follows from rows= and batches=; the
+		// kernel/fallback split shows how much of the expression work
+		// actually ran columnarly.
+		fmt.Fprintf(&sb, " batches=%d kernel=%d fallback=%d", s.Batches, s.KernelEvals, s.FallbackEvals)
 	}
 	fmt.Fprintf(&sb, " time=%s)", time.Duration(s.WallNs))
 	return sb.String()

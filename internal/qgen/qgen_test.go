@@ -1,0 +1,61 @@
+package qgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDeterministic: the same seed must yield the same query stream —
+// that is what makes harness failures reproducible.
+func TestDeterministic(t *testing.T) {
+	a := New(7, DefaultCatalog())
+	b := New(7, DefaultCatalog())
+	c := New(8, DefaultCatalog())
+	var streamA, streamC strings.Builder
+	for i := 0; i < 200; i++ {
+		qa, qb := a.Query(), b.Query()
+		if qa != qb {
+			t.Fatalf("query %d diverged:\n%s\n%s", i, qa, qb)
+		}
+		streamA.WriteString(qa + "\n")
+		streamC.WriteString(c.Query() + "\n")
+	}
+	if streamA.String() == streamC.String() {
+		t.Fatal("different seeds produced an identical stream")
+	}
+}
+
+// TestCoverage: over a modest corpus the generator must exercise every
+// AT modifier, ROLLUP, AGGREGATE/EVAL wrappers, and the scalar operator
+// set — otherwise the differential harness quietly loses coverage.
+func TestCoverage(t *testing.T) {
+	g := New(42, DefaultCatalog())
+	var all strings.Builder
+	measures, scalars := 0, 0
+	for i := 0; i < 400; i++ {
+		q := g.Query()
+		if strings.Contains(q, "FROM EO") {
+			measures++
+		} else {
+			scalars++
+		}
+		all.WriteString(q + "\n")
+	}
+	corpus := all.String()
+	for _, want := range []string{
+		"AT (ALL)", "ALL prodName", "SET ", "AT (VISIBLE",
+		"WHERE", "AGGREGATE(", "EVAL(", "ROLLUP(",
+		"GROUP BY", "ORDER BY", "NULLS FIRST",
+		"IS NULL", "IS NOT NULL", " IN (", "CASE WHEN", "CAST(",
+		" + ", " - ", " * ", " / ", " % ",
+		" = ", " <> ", " < ", " <= ", " > ", " >= ",
+		" AND ", " OR ", "NOT ",
+	} {
+		if !strings.Contains(corpus, want) {
+			t.Errorf("400-query corpus never produced %q", want)
+		}
+	}
+	if measures == 0 || scalars == 0 {
+		t.Fatalf("corpus must mix families: %d measure, %d scalar", measures, scalars)
+	}
+}

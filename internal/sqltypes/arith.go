@@ -148,6 +148,21 @@ func mulInt(a, b int64) (int64, bool) {
 	return p, true
 }
 
+// AddInt64, SubInt64, MulInt64 expose the checked int64 arithmetic to the
+// vectorized kernels, which must reproduce the scalar operators' overflow
+// behavior exactly.
+func AddInt64(a, b int64) (int64, bool) { return addInt(a, b) }
+
+// SubInt64 is checked int64 subtraction; see AddInt64.
+func SubInt64(a, b int64) (int64, bool) { return subInt(a, b) }
+
+// MulInt64 is checked int64 multiplication; see AddInt64.
+func MulInt64(a, b int64) (int64, bool) { return mulInt(a, b) }
+
+// InInt64Range reports whether f truncates to an in-range int64; the
+// vectorized MOD kernel shares it with the scalar operator.
+func InInt64Range(f float64) bool { return inInt64Range(f) }
+
 // inInt64Range reports whether f converts to int64 without leaving the
 // type's range (NaN and ±Inf are out of range).
 func inInt64Range(f float64) bool {

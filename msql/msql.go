@@ -119,6 +119,17 @@ func (db *DB) SetWorkers(n int) {
 	})
 }
 
+// SetVectorized toggles columnar batch execution for subsequent
+// statements: filter, project, and hash aggregation run ~1024 rows at a
+// time through typed kernels, falling back per-expression to the row
+// evaluator for anything without a kernel (subqueries, CASE, volatile
+// functions). Results are bit-identical to the row engine either way.
+func (db *DB) SetVectorized(on bool) {
+	db.session.Update(func(ex *exec.Settings, _ *optimizer.Options) {
+		ex.Vectorized = on
+	})
+}
+
 // Limits bounds one statement's resource consumption; see SetLimits and
 // WithLimits. The zero value means unlimited in every dimension.
 type Limits = exec.Limits
@@ -143,6 +154,12 @@ func WithWorkers(n int) Option {
 // WithLimits replaces the resource limits for one call.
 func WithLimits(l Limits) Option {
 	return func(ov *engine.Overrides) { ov.Limits = &l }
+}
+
+// WithVectorized overrides the columnar-execution toggle for one call;
+// see SetVectorized.
+func WithVectorized(on bool) Option {
+	return func(ov *engine.Overrides) { ov.Vectorized = &on }
 }
 
 // WithTimeout overrides (only) the statement timeout for one call.
