@@ -11,6 +11,8 @@
 //
 //	POST /query          {"sql": "...", "timeout_ms": 1000}
 //	POST /query.ndjson   newline-delimited response stream
+//	POST /prepare        {"name": "q", "sql": "SELECT ... WHERE a > $1"}
+//	POST /execute        {"name": "q", "params": [{"type":"INTEGER","value":3}]}
 //	GET  /healthz        liveness
 //	GET  /readyz         readiness (503 while draining)
 //	GET  /metrics        Prometheus text (engine + server counters)
@@ -48,6 +50,7 @@ func main() {
 		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "clamp for client-supplied timeouts")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain budget before canceling stragglers")
 		maxRows      = flag.Int64("max-rows", 0, "per-statement materialized-row budget (0 = unlimited)")
+		planCache    = flag.Int("plan-cache-size", 128, "prepared-statement plan cache entries (0 = disable)")
 	)
 	flag.Parse()
 	log.SetPrefix("msqld: ")
@@ -66,6 +69,7 @@ func main() {
 	}
 	db.SetWorkers(*workers)
 	db.SetLimits(msql.Limits{Timeout: *timeout, MaxRows: *maxRows})
+	db.SetPlanCacheSize(*planCache)
 	if *paper {
 		db.MustExec(paperdata.All)
 		log.Printf("loaded paper tables (Customers, Orders) and views")

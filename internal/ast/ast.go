@@ -59,9 +59,12 @@ type Drop struct {
 
 // Explain is EXPLAIN query: prints the logical plan. With Analyze set
 // (EXPLAIN ANALYZE) the query is executed and the plan is annotated with
-// per-operator runtime metrics.
+// per-operator runtime metrics. Execute is set instead of Query for
+// EXPLAIN [ANALYZE] EXECUTE name (...), which reports whether the plan
+// came from the plan cache.
 type Explain struct {
 	Query   *Query
+	Execute *ExecuteStmt
 	Analyze bool
 }
 
@@ -76,6 +79,30 @@ type QueryStmt struct {
 	Query *Query
 }
 
+// Prepare is PREPARE name [(type, ...)] AS query. Types, when present,
+// declare the parameter types; otherwise parameter types are inferred
+// from the EXECUTE arguments. NParams is the highest parameter index
+// referenced by the query ($n and ? placeholders share one numbering).
+type Prepare struct {
+	Name    string
+	Types   []string
+	Query   *Query
+	NParams int
+}
+
+// ExecuteStmt is EXECUTE name [(expr, ...)]. Arguments must be
+// constant-evaluable expressions.
+type ExecuteStmt struct {
+	Name string
+	Args []Expr
+}
+
+// Deallocate is DEALLOCATE name or DEALLOCATE ALL.
+type Deallocate struct {
+	Name string
+	All  bool
+}
+
 func (*CreateTable) node() {}
 func (*CreateView) node()  {}
 func (*Insert) node()      {}
@@ -83,6 +110,9 @@ func (*Drop) node()        {}
 func (*Explain) node()     {}
 func (*Expand) node()      {}
 func (*QueryStmt) node()   {}
+func (*Prepare) node()     {}
+func (*ExecuteStmt) node() {}
+func (*Deallocate) node()  {}
 
 func (*CreateTable) stmt() {}
 func (*CreateView) stmt()  {}
@@ -91,6 +121,9 @@ func (*Drop) stmt()        {}
 func (*Explain) stmt()     {}
 func (*Expand) stmt()      {}
 func (*QueryStmt) stmt()   {}
+func (*Prepare) stmt()     {}
+func (*ExecuteStmt) stmt() {}
+func (*Deallocate) stmt()  {}
 
 // ---------------------------------------------------------------------------
 // Queries
@@ -482,6 +515,13 @@ type Current struct {
 	Dim Expr
 }
 
+// Param is a parameter placeholder in a prepared statement: $n, or a
+// bare ? auto-numbered left to right. Index is 1-based.
+type Param struct {
+	Index int
+	Pos   int
+}
+
 // Placeholder is an internal marker node used by rewrite passes (e.g.
 // the EXPAND statement's measure rewriter) to thread intermediate state
 // through TransformExpr. It never appears in parsed SQL and the printer
@@ -509,6 +549,7 @@ func (*Case) node()           {}
 func (*Cast) node()           {}
 func (*FuncCall) node()       {}
 func (*At) node()             {}
+func (*Param) node()          {}
 func (*Placeholder) node()    {}
 func (*AtAll) node()          {}
 func (*AtSet) node()          {}
@@ -536,6 +577,7 @@ func (*Cast) expr()           {}
 func (*FuncCall) expr()       {}
 func (*At) expr()             {}
 func (*Current) expr()        {}
+func (*Param) expr()          {}
 func (*Placeholder) expr()    {}
 
 func (*AtAll) atMod()     {}

@@ -94,6 +94,14 @@ func (p *printer) statement(s Statement) {
 		p.wf("DROP %s %s", s.Kind, quoteIdent(s.Name))
 	case *Explain:
 		p.ws("EXPLAIN")
+		if s.Analyze {
+			p.ws(" ANALYZE")
+		}
+		if s.Execute != nil {
+			p.ws(" ")
+			p.statement(s.Execute)
+			return
+		}
 		p.nl()
 		p.query(s.Query)
 	case *Expand:
@@ -102,6 +110,34 @@ func (p *printer) statement(s Statement) {
 		p.query(s.Query)
 	case *QueryStmt:
 		p.query(s.Query)
+	case *Prepare:
+		p.wf("PREPARE %s", quoteIdent(s.Name))
+		if len(s.Types) > 0 {
+			p.ws(" (")
+			for i, t := range s.Types {
+				if i > 0 {
+					p.ws(", ")
+				}
+				p.ws(t)
+			}
+			p.ws(")")
+		}
+		p.ws(" AS")
+		p.nl()
+		p.query(s.Query)
+	case *ExecuteStmt:
+		p.wf("EXECUTE %s", quoteIdent(s.Name))
+		if len(s.Args) > 0 {
+			p.ws(" (")
+			p.exprList(s.Args)
+			p.ws(")")
+		}
+	case *Deallocate:
+		if s.All {
+			p.ws("DEALLOCATE ALL")
+		} else {
+			p.wf("DEALLOCATE %s", quoteIdent(s.Name))
+		}
 	default:
 		p.wf("/* unknown statement %T */", s)
 	}
@@ -496,6 +532,11 @@ func (p *printer) expr(e Expr, min int) {
 	case *Current:
 		p.ws("CURRENT ")
 		p.expr(e.Dim, precPostfix)
+	case *Param:
+		// Canonical $n form: ? placeholders print with their assigned
+		// index, so equivalent texts normalize identically for the plan
+		// cache key.
+		p.wf("$%d", e.Index)
 	default:
 		p.wf("/* unknown expr %T */", e)
 	}

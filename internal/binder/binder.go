@@ -26,6 +26,9 @@ type Binder struct {
 	// inlined records the measures the §6.4 fast path replaced with plain
 	// aggregate calls during the last bind, for lifecycle tracing.
 	inlined []string
+	// params holds the declared kinds of prepared-statement parameters;
+	// $n binds to params[n-1]. Nil means parameters are rejected.
+	params []sqltypes.Kind
 }
 
 type cteDef struct {
@@ -51,6 +54,14 @@ func (b *Binder) WithInline(on bool) *Binder {
 // InlinedMeasures returns the names of measures inlined into plain
 // aggregates during binding, in the order the rewrite fired.
 func (b *Binder) InlinedMeasures() []string { return b.inlined }
+
+// WithParams declares the types of the prepared-statement parameters the
+// query may reference: $n binds with kind kinds[n-1]. Without it, any
+// parameter reference is a bind error.
+func (b *Binder) WithParams(kinds []sqltypes.Kind) *Binder {
+	b.params = kinds
+	return b
+}
 
 // Rel is one relation visible in a scope frame. If Exprs is non-nil the
 // relation is virtual (e.g. a measure's dimension frame) and resolving

@@ -87,6 +87,15 @@ func (eb *exprBinder) bind(e ast.Expr) (plan.Expr, error) {
 		}
 		return &plan.Lit{Val: v}, nil
 
+	case *ast.Param:
+		if eb.b.params == nil {
+			return nil, fmt.Errorf("parameter $%d outside a prepared statement", e.Index)
+		}
+		if e.Index < 1 || e.Index > len(eb.b.params) {
+			return nil, fmt.Errorf("parameter $%d out of range (statement has %d parameters)", e.Index, len(eb.b.params))
+		}
+		return &plan.Param{Index: e.Index - 1, Typ: sqltypes.Type{Kind: eb.b.params[e.Index-1]}}, nil
+
 	case *ast.Ident:
 		return eb.bindIdent(e)
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/measures-sql/msql/internal/ast"
 	"github.com/measures-sql/msql/internal/sqltypes"
@@ -42,6 +43,10 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*BaseTable
 	views  map[string]*View
+	// version counts catalog-visible data and schema changes: DDL bumps
+	// it here; the engine bumps it after INSERTs. Cached plans embed the
+	// version they were built against, so any bump invalidates them.
+	version atomic.Int64
 }
 
 // New returns an empty catalog.
@@ -53,6 +58,14 @@ func New() *Catalog {
 }
 
 func key(name string) string { return strings.ToLower(name) }
+
+// Version returns the current catalog version.
+func (c *Catalog) Version() int64 { return c.version.Load() }
+
+// BumpVersion records a data change (e.g. an INSERT) that invalidates
+// plans built against earlier versions. DDL entry points bump
+// internally; this is for mutations the catalog does not see.
+func (c *Catalog) BumpVersion() { c.version.Add(1) }
 
 // CreateTable registers a new base table.
 func (c *Catalog) CreateTable(name string, cols []string, types []sqltypes.Type, orReplace bool) (*BaseTable, error) {
@@ -70,6 +83,7 @@ func (c *Catalog) CreateTable(name string, cols []string, types []sqltypes.Type,
 	delete(c.views, k)
 	t := &BaseTable{Data: storage.NewTable(name, cols, types)}
 	c.tables[k] = t
+	c.version.Add(1)
 	return t, nil
 }
 
@@ -88,6 +102,7 @@ func (c *Catalog) CreateView(name string, q *ast.Query, orReplace bool) error {
 	}
 	delete(c.tables, k)
 	c.views[k] = &View{ViewName: name, Query: q}
+	c.version.Add(1)
 	return nil
 }
 
@@ -110,6 +125,7 @@ func (c *Catalog) Drop(kind, name string) error {
 	default:
 		return fmt.Errorf("unknown object kind %s", kind)
 	}
+	c.version.Add(1)
 	return nil
 }
 

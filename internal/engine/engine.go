@@ -48,6 +48,12 @@ type Session struct {
 	// strategy labels the per-strategy metrics buckets; SetStrategy in
 	// the public API keeps it in sync with the options it sets.
 	strategy string
+	// prepared is the named prepared-statement registry (SQL
+	// PREPARE/EXECUTE and the wire protocol share it).
+	prepared *preparedRegistry
+	// plans is the session plan cache; every prepared execution routes
+	// through it.
+	plans *planCache
 }
 
 // Overrides carries per-statement setting overrides for the Context
@@ -75,6 +81,9 @@ type stmtConfig struct {
 type stmtEnv struct {
 	ctx context.Context
 	cfg stmtConfig
+	// execAttrs, when non-nil, is merged into the execute span's
+	// attributes (prepared executions report cached= / cache_key=).
+	execAttrs map[string]string
 }
 
 // statementConfig snapshots the session settings under the lock and
@@ -129,13 +138,17 @@ func (s *Session) SetStrategyLabel(label string) {
 
 // New creates an empty session with default settings.
 func New() *Session {
-	return &Session{
+	s := &Session{
 		cat:      catalog.New(),
 		exec:     exec.DefaultSettings(),
 		opt:      optimizer.DefaultOptions(),
 		metrics:  newMetrics(),
 		strategy: "default",
+		prepared: newPreparedRegistry(),
+		plans:    newPlanCache(DefaultPlanCacheSize),
 	}
+	s.metrics.SetPlanCacheSource(s.plans.counters)
+	return s
 }
 
 // Catalog exposes the session catalog (for tooling like the CLI's \d).
@@ -155,17 +168,37 @@ func (s *Session) span(sp exec.Span) {
 	}
 }
 
-// parseStatements parses a script, emitting a parse span.
-func (s *Session) parseStatements(sql string) ([]ast.Statement, error) {
+// parseSpanned runs one parse callback, emitting the parse lifecycle
+// span and classifying any failure into the error taxonomy (wrapped
+// with the statement text and folded into the session metrics). Every
+// parse in the engine — scripts, single statements, and prepared
+// queries — funnels through here so span and error handling cannot
+// drift between entry points.
+func (s *Session) parseSpanned(sql string, parse func() (int, error)) error {
 	start := time.Now()
-	stmts, err := parser.ParseStatements(sql)
+	n, err := parse()
 	sp := exec.Span{Phase: "parse", Name: "parse", DurNs: int64(time.Since(start))}
 	if err == nil {
-		sp.Attrs = map[string]string{"statements": fmt.Sprintf("%d", len(stmts))}
+		sp.Attrs = map[string]string{"statements": fmt.Sprintf("%d", n)}
 	} else {
 		sp.Attrs = map[string]string{"error": err.Error()}
 	}
 	s.span(sp)
+	if err != nil {
+		err = exec.WithQuery(exec.Wrap(err, exec.CodeParse, exec.PhaseParse), sql)
+		s.metrics.recordOutcome(err)
+	}
+	return err
+}
+
+// parseStatements parses a script, emitting a parse span.
+func (s *Session) parseStatements(sql string) ([]ast.Statement, error) {
+	var stmts []ast.Statement
+	err := s.parseSpanned(sql, func() (int, error) {
+		var err error
+		stmts, err = parser.ParseStatements(sql)
+		return len(stmts), err
+	})
 	return stmts, err
 }
 
@@ -180,8 +213,6 @@ func (s *Session) Execute(sql string) ([]*Result, error) {
 func (s *Session) ExecuteContext(ctx context.Context, sql string, ov *Overrides) ([]*Result, error) {
 	stmts, err := s.parseStatements(sql)
 	if err != nil {
-		err = exec.WithQuery(exec.Wrap(err, exec.CodeParse, exec.PhaseParse), sql)
-		s.metrics.recordOutcome(err)
 		return nil, err
 	}
 	results := make([]*Result, 0, len(stmts))
@@ -203,18 +234,13 @@ func (s *Session) Query(sql string) (*Result, error) {
 // QueryContext runs a single row-producing statement under ctx with
 // per-call overrides (nil keeps the session settings).
 func (s *Session) QueryContext(ctx context.Context, sql string, ov *Overrides) (*Result, error) {
-	start := time.Now()
-	stmt, err := parser.ParseStatement(sql)
-	sp := exec.Span{Phase: "parse", Name: "parse", DurNs: int64(time.Since(start))}
-	if err == nil {
-		sp.Attrs = map[string]string{"statements": "1"}
-	} else {
-		sp.Attrs = map[string]string{"error": err.Error()}
-	}
-	s.span(sp)
+	var stmt ast.Statement
+	err := s.parseSpanned(sql, func() (int, error) {
+		var err error
+		stmt, err = parser.ParseStatement(sql)
+		return 1, err
+	})
 	if err != nil {
-		err = exec.WithQuery(exec.Wrap(err, exec.CodeParse, exec.PhaseParse), sql)
-		s.metrics.recordOutcome(err)
 		return nil, err
 	}
 	r, err := s.ExecStatementContext(ctx, stmt, ov)
@@ -238,7 +264,17 @@ func (s *Session) ExecStatement(stmt ast.Statement) (*Result, error) {
 // panics are recovered into CodeRuntime errors, every escaping error is
 // classified into the taxonomy, and the outcome is folded into the
 // session metrics.
-func (s *Session) ExecStatementContext(ctx context.Context, stmt ast.Statement, ov *Overrides) (res *Result, err error) {
+func (s *Session) ExecStatementContext(ctx context.Context, stmt ast.Statement, ov *Overrides) (*Result, error) {
+	return s.withStmtEnv(ctx, ov, func(env *stmtEnv) (*Result, error) {
+		return s.execStatement(env, stmt)
+	})
+}
+
+// withStmtEnv wraps one statement-shaped unit of work in the engine
+// guard rail: settings snapshot, statement timeout, panic recovery,
+// error classification, and metrics. Prepared-statement execution
+// shares it with ExecStatementContext.
+func (s *Session) withStmtEnv(ctx context.Context, ov *Overrides, fn func(env *stmtEnv) (*Result, error)) (res *Result, err error) {
 	env := &stmtEnv{ctx: ctx, cfg: s.statementConfig(ov)}
 	if t := env.cfg.exec.Limits.Timeout; t > 0 {
 		if _, has := ctx.Deadline(); !has {
@@ -259,7 +295,7 @@ func (s *Session) ExecStatementContext(ctx context.Context, stmt ast.Statement, 
 	if err := env.ctx.Err(); err != nil {
 		return nil, exec.CtxError(err)
 	}
-	return s.execStatement(env, stmt)
+	return fn(env)
 }
 
 func (s *Session) execStatement(env *stmtEnv, stmt ast.Statement) (*Result, error) {
@@ -277,7 +313,16 @@ func (s *Session) execStatement(env *stmtEnv, stmt ast.Statement) (*Result, erro
 		return &Result{Message: fmt.Sprintf("dropped %s %s", strings.ToLower(stmt.Kind), stmt.Name)}, nil
 	case *ast.QueryStmt:
 		return s.runQuery(env, stmt.Query)
+	case *ast.Prepare:
+		return s.execPrepareStmt(stmt)
+	case *ast.ExecuteStmt:
+		return s.execExecuteStmt(env, stmt)
+	case *ast.Deallocate:
+		return s.execDeallocate(stmt)
 	case *ast.Explain:
+		if stmt.Execute != nil {
+			return s.explainExecute(env, stmt.Execute, stmt.Analyze)
+		}
 		if stmt.Analyze {
 			return s.explainAnalyze(env, stmt.Query)
 		}
@@ -307,7 +352,16 @@ func (s *Session) Plan(q *ast.Query) (plan.Node, error) {
 // planQuery binds and optimizes q, emitting bind / expand / optimize
 // lifecycle spans and returning the total planning time.
 func (s *Session) planQuery(env *stmtEnv, q *ast.Query) (plan.Node, int64, error) {
+	return s.planQueryParams(env, q, nil)
+}
+
+// planQueryParams is planQuery for parameterized queries: kinds types
+// the statement's placeholders (nil rejects parameters entirely).
+func (s *Session) planQueryParams(env *stmtEnv, q *ast.Query, kinds []sqltypes.Kind) (plan.Node, int64, error) {
 	b := binder.New(s.cat).WithInline(env.cfg.opt.InlineMeasures)
+	if kinds != nil {
+		b = b.WithParams(kinds)
+	}
 	start := time.Now()
 	bound, err := b.BindQuery(q)
 	bindNs := int64(time.Since(start))
@@ -406,6 +460,9 @@ func (s *Session) execPlan(env *stmtEnv, node plan.Node, planNs int64, withProfi
 		attrs["batches"] = fmt.Sprintf("%d", st.VecBatches)
 		attrs["kernel_rows"] = fmt.Sprintf("%d", st.VecKernelRows)
 		attrs["fallback_rows"] = fmt.Sprintf("%d", st.VecFallbackRows)
+	}
+	for k, v := range env.execAttrs {
+		attrs[k] = v
 	}
 	s.span(exec.Span{Phase: "execute", Name: "query", DurNs: execNs, Attrs: attrs})
 	if prof != nil && s.tracer != nil {
@@ -565,6 +622,8 @@ func (s *Session) execInsert(env *stmtEnv, stmt *ast.Insert) (*Result, error) {
 	if err := table.Data.Insert(rows); err != nil {
 		return nil, err
 	}
+	// Data changed: invalidate cached plans built against the old rows.
+	s.cat.BumpVersion()
 	return &Result{Message: fmt.Sprintf("inserted %d rows", len(rows))}, nil
 }
 
@@ -575,7 +634,11 @@ func (s *Session) InsertRows(table string, rows [][]sqltypes.Value) error {
 	if !ok {
 		return fmt.Errorf("table %s does not exist", table)
 	}
-	return t.Data.Insert(rows)
+	if err := t.Data.Insert(rows); err != nil {
+		return err
+	}
+	s.cat.BumpVersion()
+	return nil
 }
 
 // evalConstExpr evaluates a constant literal expression for INSERT VALUES

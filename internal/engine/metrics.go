@@ -40,6 +40,9 @@ type Metrics struct {
 	// layer's counters (the msqld front end registers itself here) so
 	// one Metrics snapshot covers both engine and server.
 	serverFn func() ServerCounters
+	// planFn supplies the session plan cache's counters (registered by
+	// engine.New) so snapshots cover prepared-statement caching too.
+	planFn func() PlanCacheCounters
 }
 
 // ServerCounters is the serving layer's slice of a metrics snapshot:
@@ -64,6 +67,14 @@ type ServerCounters struct {
 func (m *Metrics) SetServerSource(fn func() ServerCounters) {
 	m.mu.Lock()
 	m.serverFn = fn
+	m.mu.Unlock()
+}
+
+// SetPlanCacheSource registers (or with nil removes) the plan cache's
+// counter source; Snapshot calls it to fill the PlanCache section.
+func (m *Metrics) SetPlanCacheSource(fn func() PlanCacheCounters) {
+	m.mu.Lock()
+	m.planFn = fn
 	m.mu.Unlock()
 }
 
@@ -141,6 +152,8 @@ type MetricsSnapshot struct {
 	PlanNs          int64                    `json:"plan_ns"`
 	ExecNs          int64                    `json:"exec_ns"`
 	ByStrategy      map[string]stratCounters `json:"by_strategy"`
+	// PlanCache carries the prepared-statement plan cache's counters.
+	PlanCache *PlanCacheCounters `json:"plan_cache,omitempty"`
 	// Server carries the serving layer's counters when a query server
 	// has registered itself (SetServerSource); nil otherwise.
 	Server *ServerCounters `json:"server,omitempty"`
@@ -173,8 +186,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	for k, v := range m.byStrategy {
 		s.ByStrategy[k] = *v
 	}
-	serverFn := m.serverFn
+	serverFn, planFn := m.serverFn, m.planFn
 	m.mu.Unlock()
+	if planFn != nil {
+		pc := planFn()
+		s.PlanCache = &pc
+	}
 	if serverFn != nil {
 		sc := serverFn()
 		s.Server = &sc
@@ -213,6 +230,15 @@ func (s MetricsSnapshot) Prometheus() string {
 	counter("msql_vec_kernel_rows_total", "Expression evaluations done by batch kernels.", s.VecKernelRows)
 	counter("msql_vec_fallback_rows_total", "Rows the vectorized engine handed back to the row evaluator.", s.VecFallbackRows)
 	fmt.Fprintf(&sb, "# HELP msql_cache_hit_ratio Fraction of subquery evaluations served from cache.\n# TYPE msql_cache_hit_ratio gauge\nmsql_cache_hit_ratio %g\n", s.CacheHitRatio)
+	if pc := s.PlanCache; pc != nil {
+		counter("msql_plan_cache_hits_total", "Prepared executions served from the plan cache.", pc.Hits)
+		counter("msql_plan_cache_misses_total", "Prepared executions that had to plan.", pc.Misses)
+		counter("msql_plan_cache_evictions_total", "Plan-cache entries evicted by the LRU cap.", pc.Evictions)
+		counter("msql_plan_cache_invalidations_total", "Plan-cache entries dropped after DDL or data changes.", pc.Invalidations)
+		counter("msql_plan_cache_bypasses_total", "Prepared executions that skipped the plan cache (volatile or disabled).", pc.Bypasses)
+		counter("msql_plan_cache_memo_hits_total", "Prepared executions answered from an entry's identical-binding result memo.", pc.MemoHits)
+		fmt.Fprintf(&sb, "# HELP msql_plan_cache_entries Plans currently cached.\n# TYPE msql_plan_cache_entries gauge\nmsql_plan_cache_entries %d\n", pc.Entries)
+	}
 
 	strategies := make([]string, 0, len(s.ByStrategy))
 	for k := range s.ByStrategy {

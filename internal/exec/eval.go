@@ -103,6 +103,16 @@ type Settings struct {
 	// Limits bounds the statement's resource consumption; the zero
 	// value is unlimited. See Limits for the dimensions.
 	Limits Limits
+	// Params holds prepared-statement parameter values: a plan.Param
+	// with Index i evaluates to Params[i]. Values are constant for the
+	// duration of one execution.
+	Params []sqltypes.Value
+	// Pipeline, when non-nil, carries compiled vectorized expression
+	// trees and pooled batch scratch reused across executions of a
+	// cached plan. It must only be set for executions of the exact
+	// plan.Node the pipeline was built for (compiled trees are keyed by
+	// node identity).
+	Pipeline *Pipeline
 }
 
 // DefaultSettings returns the production configuration.
@@ -221,6 +231,13 @@ func (rt *runtime) eval(e plan.Expr, row Row) (sqltypes.Value, error) {
 
 	case *plan.Lit:
 		return e.Val, nil
+
+	case *plan.Param:
+		ps := rt.sh.settings.Params
+		if e.Index < 0 || e.Index >= len(ps) {
+			return sqltypes.Value{}, fmt.Errorf("parameter $%d not bound (%d provided)", e.Index+1, len(ps))
+		}
+		return ps[e.Index], nil
 
 	case *plan.Call:
 		return rt.evalCall(e, row)

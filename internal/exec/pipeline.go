@@ -1,0 +1,273 @@
+package exec
+
+import (
+	"sync"
+
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+	"github.com/measures-sql/msql/internal/vec"
+)
+
+// Pipeline carries the reusable compiled artifacts of one cached plan:
+// vectorized expression trees keyed by plan-node identity (node pointers
+// are stable for a plan held in a plan cache) plus pooled batch and
+// aggregate scratch. Compiled vecExpr trees are stateless and shared
+// across worker goroutines, so a single Pipeline may serve concurrent
+// executions of its plan; the maps are filled lazily under a lock on
+// first execution and read-mostly afterwards.
+type Pipeline struct {
+	mu       sync.RWMutex
+	filters  map[*plan.Filter]vecExpr
+	projects map[*plan.Project][]vecExpr
+	aggs     map[*plan.Aggregate]*vecAggExprs
+	shares   map[plan.Node]*colShare
+
+	batches sync.Pool // *vecBatch
+	scratch sync.Pool // *aggScratch
+}
+
+// NewPipeline returns an empty pipeline for one plan.
+func NewPipeline() *Pipeline {
+	return &Pipeline{
+		filters:  map[*plan.Filter]vecExpr{},
+		projects: map[*plan.Project][]vecExpr{},
+		aggs:     map[*plan.Aggregate]*vecAggExprs{},
+		shares:   map[plan.Node]*colShare{},
+	}
+}
+
+// colShare caches columnarized base-table batches across executions of
+// a cached plan. An operator reading directly from a Scan sees the same
+// rows at the same offsets every execution — the plan cache drops the
+// entry (and this share with it) on any catalog-version bump — so the
+// row→column conversion, the dominant per-batch cost, can be done once.
+// Cached columns are read-only by the same contract that lets compiled
+// vecExpr trees be shared across worker goroutines.
+type colShare struct {
+	mu   sync.Mutex
+	cols map[colKey]*vec.Col
+}
+
+// colKey addresses one cached column: the batch's row offset within the
+// scan output plus the column index.
+type colKey struct{ off, idx int }
+
+func (s *colShare) get(off, idx, n int) *vec.Col {
+	s.mu.Lock()
+	c := s.cols[colKey{off, idx}]
+	s.mu.Unlock()
+	if c != nil && c.Len() == n {
+		return c
+	}
+	return nil
+}
+
+func (s *colShare) put(off, idx int, c *vec.Col) {
+	s.mu.Lock()
+	s.cols[colKey{off, idx}] = c
+	s.mu.Unlock()
+}
+
+// shareFor returns the column share for one scan node, creating it on
+// first use.
+func (p *Pipeline) shareFor(n plan.Node) *colShare {
+	p.mu.RLock()
+	s := p.shares[n]
+	p.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	p.mu.Lock()
+	if s = p.shares[n]; s == nil {
+		s = &colShare{cols: map[colKey]*vec.Col{}}
+		p.shares[n] = s
+	}
+	p.mu.Unlock()
+	return s
+}
+
+func (p *Pipeline) filterExpr(n *plan.Filter, width int) vecExpr {
+	p.mu.RLock()
+	ve := p.filters[n]
+	p.mu.RUnlock()
+	if ve != nil {
+		return ve
+	}
+	ve = vecCompile(n.Pred, width)
+	p.mu.Lock()
+	p.filters[n] = ve
+	p.mu.Unlock()
+	return ve
+}
+
+func (p *Pipeline) projectExprs(n *plan.Project, width int) []vecExpr {
+	p.mu.RLock()
+	ves := p.projects[n]
+	p.mu.RUnlock()
+	if ves != nil {
+		return ves
+	}
+	ves = make([]vecExpr, len(n.Exprs))
+	for j, ne := range n.Exprs {
+		ves[j] = vecCompile(ne.Expr, width)
+	}
+	p.mu.Lock()
+	p.projects[n] = ves
+	p.mu.Unlock()
+	return ves
+}
+
+func (p *Pipeline) aggExprs(env *aggEnv, inSchema *plan.Schema) *vecAggExprs {
+	p.mu.RLock()
+	vea := p.aggs[env.n]
+	p.mu.RUnlock()
+	if vea != nil {
+		return vea
+	}
+	vea = compileVecAgg(env, inSchema)
+	p.mu.Lock()
+	p.aggs[env.n] = vea
+	p.mu.Unlock()
+	return vea
+}
+
+func (p *Pipeline) getBatch(rows []Row, kinds []sqltypes.Kind) *vecBatch {
+	if vb, _ := p.batches.Get().(*vecBatch); vb != nil && cap(vb.cols) >= len(kinds) {
+		vb.rows, vb.kinds = rows, kinds
+		vb.cols = vb.cols[:len(kinds)]
+		for i := range vb.cols {
+			vb.cols[i] = nil
+		}
+		vb.kernelRows, vb.fallbackRows = 0, 0
+		return vb
+	}
+	return newVecBatch(rows, kinds)
+}
+
+func (p *Pipeline) putBatch(vb *vecBatch) {
+	vb.rows = nil
+	vb.share, vb.off = nil, 0
+	p.batches.Put(vb)
+}
+
+// getBatch/putBatch on the runtime route through the pipeline's pool
+// when one is attached; otherwise batches are allocated per use, which
+// is the one-shot (uncached) execution path.
+func (rt *runtime) getBatch(rows []Row, kinds []sqltypes.Kind) *vecBatch {
+	if p := rt.sh.settings.Pipeline; p != nil {
+		return p.getBatch(rows, kinds)
+	}
+	return newVecBatch(rows, kinds)
+}
+
+// getBatchShared is getBatch plus column sharing: when a pipeline is
+// attached and the operator's input is a base-table Scan, the batch
+// reuses (and on first execution fills) the pipeline's cached columns
+// for the scan rows at this offset.
+func (rt *runtime) getBatchShared(input plan.Node, off int, rows []Row, kinds []sqltypes.Kind) *vecBatch {
+	vb := rt.getBatch(rows, kinds)
+	if p := rt.sh.settings.Pipeline; p != nil {
+		if _, ok := input.(*plan.Scan); ok {
+			vb.share, vb.off = p.shareFor(input), off
+		}
+	}
+	return vb
+}
+
+func (rt *runtime) putBatch(vb *vecBatch) {
+	if p := rt.sh.settings.Pipeline; p != nil {
+		p.putBatch(vb)
+	}
+}
+
+// pipelineFilter and friends return cached compiled trees when a
+// pipeline is attached, compiling fresh otherwise.
+func (rt *runtime) pipelineFilter(n *plan.Filter, width int) vecExpr {
+	if p := rt.sh.settings.Pipeline; p != nil {
+		return p.filterExpr(n, width)
+	}
+	return vecCompile(n.Pred, width)
+}
+
+func (rt *runtime) pipelineProject(n *plan.Project, width int) []vecExpr {
+	if p := rt.sh.settings.Pipeline; p != nil {
+		return p.projectExprs(n, width)
+	}
+	ves := make([]vecExpr, len(n.Exprs))
+	for j, ne := range n.Exprs {
+		ves[j] = vecCompile(ne.Expr, width)
+	}
+	return ves
+}
+
+func (rt *runtime) pipelineAgg(env *aggEnv, inSchema *plan.Schema) *vecAggExprs {
+	if p := rt.sh.settings.Pipeline; p != nil {
+		return p.aggExprs(env, inSchema)
+	}
+	return compileVecAgg(env, inSchema)
+}
+
+// aggScratch is the per-accumulate-call scratch of the vectorized
+// aggregate path; its shape depends on the Aggregate node, so a pooled
+// instance is reused only when the shape matches.
+type aggScratch struct {
+	kv         []sqltypes.Value
+	keyBuf     []byte
+	argBufs    [][]sqltypes.Value
+	filterCols []*vec.Col
+	argCols    [][]*vec.Col
+	groupCols  []*vec.Col
+}
+
+func newAggScratch(n *plan.Aggregate) *aggScratch {
+	s := &aggScratch{
+		kv:         make([]sqltypes.Value, len(n.GroupExprs)),
+		argBufs:    make([][]sqltypes.Value, len(n.Aggs)),
+		filterCols: make([]*vec.Col, len(n.Aggs)),
+		argCols:    make([][]*vec.Col, len(n.Aggs)),
+		groupCols:  make([]*vec.Col, len(n.GroupExprs)),
+	}
+	for i, call := range n.Aggs {
+		s.argBufs[i] = make([]sqltypes.Value, len(call.Args))
+		s.argCols[i] = make([]*vec.Col, len(call.Args))
+	}
+	return s
+}
+
+func (s *aggScratch) shapeMatches(n *plan.Aggregate) bool {
+	if len(s.groupCols) != len(n.GroupExprs) || len(s.argBufs) != len(n.Aggs) {
+		return false
+	}
+	for i, call := range n.Aggs {
+		if len(s.argBufs[i]) != len(call.Args) {
+			return false
+		}
+	}
+	return true
+}
+
+func (rt *runtime) getAggScratch(n *plan.Aggregate) *aggScratch {
+	if p := rt.sh.settings.Pipeline; p != nil {
+		if s, _ := p.scratch.Get().(*aggScratch); s != nil && s.shapeMatches(n) {
+			return s
+		}
+	}
+	return newAggScratch(n)
+}
+
+func (rt *runtime) putAggScratch(s *aggScratch) {
+	if p := rt.sh.settings.Pipeline; p != nil {
+		for i := range s.groupCols {
+			s.groupCols[i] = nil
+		}
+		for i := range s.filterCols {
+			s.filterCols[i] = nil
+		}
+		for i := range s.argCols {
+			for j := range s.argCols[i] {
+				s.argCols[i][j] = nil
+			}
+		}
+		p.scratch.Put(s)
+	}
+}

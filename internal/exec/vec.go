@@ -38,6 +38,12 @@ type vecBatch struct {
 	kinds []sqltypes.Kind
 	cols  []*vec.Col
 
+	// share, when set, caches built columns across executions of a
+	// cached plan (the operator reads straight from a base-table Scan);
+	// off is this batch's row offset within the scan output.
+	share *colShare
+	off   int
+
 	kernelRows   int64
 	fallbackRows int64
 }
@@ -50,8 +56,17 @@ func (vb *vecBatch) col(idx int) *vec.Col {
 	if c := vb.cols[idx]; c != nil {
 		return c
 	}
+	if vb.share != nil {
+		if c := vb.share.get(vb.off, idx, len(vb.rows)); c != nil {
+			vb.cols[idx] = c
+			return c
+		}
+	}
 	c := vec.BuildCol(vb.rows, idx, vb.kinds[idx])
 	vb.cols[idx] = c
+	if vb.share != nil {
+		vb.share.put(vb.off, idx, c)
+	}
 	return c
 }
 
@@ -125,6 +140,8 @@ func vecCompile(e plan.Expr, width int) vecExpr {
 		return &vecColRef{idx: e.Index}
 	case *plan.Lit:
 		return &vecLit{val: e.Val}
+	case *plan.Param:
+		return &vecParam{idx: e.Index, kind: e.Typ.Kind}
 	case *plan.Call:
 		kinds := make([]sqltypes.Kind, len(e.Args))
 		for i, a := range e.Args {
@@ -180,6 +197,26 @@ func (v *vecLit) eval(rt *runtime, vb *vecBatch, sel []int) (*vec.Col, error) {
 	c := vec.NewCol(v.val.K, len(vb.rows))
 	for _, i := range sel {
 		c.Set(i, v.val)
+	}
+	return c, nil
+}
+
+// vecParam broadcasts a prepared-statement parameter. The value is read
+// from the execution's Settings at eval time, so a compiled tree cached
+// in a Pipeline stays valid across executions with different arguments.
+type vecParam struct {
+	idx  int
+	kind sqltypes.Kind
+}
+
+func (v *vecParam) eval(rt *runtime, vb *vecBatch, sel []int) (*vec.Col, error) {
+	ps := rt.sh.settings.Params
+	if v.idx < 0 || v.idx >= len(ps) {
+		return nil, fmt.Errorf("parameter $%d not bound (%d provided)", v.idx+1, len(ps))
+	}
+	c := vec.NewCol(v.kind, len(vb.rows))
+	for _, i := range sel {
+		c.Set(i, ps[v.idx])
 	}
 	return c, nil
 }
@@ -437,7 +474,7 @@ func (v *vecFallback) eval(rt *runtime, vb *vecBatch, sel []int) (*vec.Col, erro
 // the serial and morsel-parallel row paths).
 func (rt *runtime) runFilterVec(n *plan.Filter, in []Row) ([]Row, error) {
 	kinds := schemaKinds(n.Input.Schema())
-	ve := vecCompile(n.Pred, len(kinds))
+	ve := rt.pipelineFilter(n, len(kinds))
 	keep := make([]bool, len(in))
 	process := func(w *runtime, lo, hi int) error {
 		for blo := lo; blo < hi; blo += vec.BatchRows {
@@ -445,7 +482,7 @@ func (rt *runtime) runFilterVec(n *plan.Filter, in []Row) ([]Row, error) {
 			if err := w.tickBatch(bhi - blo); err != nil {
 				return err
 			}
-			vb := newVecBatch(in[blo:bhi], kinds)
+			vb := w.getBatchShared(n.Input, blo, in[blo:bhi], kinds)
 			sel := batchIota[:bhi-blo]
 			c, err := ve.eval(w, vb, sel)
 			if err != nil {
@@ -455,6 +492,7 @@ func (rt *runtime) runFilterVec(n *plan.Filter, in []Row) ([]Row, error) {
 				keep[blo+i] = c.Value(i).IsTrue()
 			}
 			w.noteBatch(n, vb)
+			w.putBatch(vb)
 		}
 		return nil
 	}
@@ -482,10 +520,7 @@ func (rt *runtime) runFilterVec(n *plan.Filter, in []Row) ([]Row, error) {
 // expression over the batch, then reassemble rows.
 func (rt *runtime) runProjectVec(n *plan.Project, in []Row) ([]Row, error) {
 	kinds := schemaKinds(n.Input.Schema())
-	ves := make([]vecExpr, len(n.Exprs))
-	for j, ne := range n.Exprs {
-		ves[j] = vecCompile(ne.Expr, len(kinds))
-	}
+	ves := rt.pipelineProject(n, len(kinds))
 	out := make([]Row, len(in))
 	process := func(w *runtime, lo, hi int) error {
 		cols := make([]*vec.Col, len(ves))
@@ -494,7 +529,7 @@ func (rt *runtime) runProjectVec(n *plan.Project, in []Row) ([]Row, error) {
 			if err := w.tickBatch(bhi - blo); err != nil {
 				return err
 			}
-			vb := newVecBatch(in[blo:bhi], kinds)
+			vb := w.getBatchShared(n.Input, blo, in[blo:bhi], kinds)
 			sel := batchIota[:bhi-blo]
 			for j, ve := range ves {
 				c, err := ve.eval(w, vb, sel)
@@ -511,6 +546,7 @@ func (rt *runtime) runProjectVec(n *plan.Project, in []Row) ([]Row, error) {
 				out[blo+i] = row
 			}
 			w.noteBatch(n, vb)
+			w.putBatch(vb)
 		}
 		return nil
 	}

@@ -70,16 +70,17 @@ func compileVecAgg(env *aggEnv, inSchema *plan.Schema) *vecAggExprs {
 // filtered-out row would otherwise fail queries the row engine runs).
 func (rt *runtime) accumulateRowsVec(env *aggEnv, vea *vecAggExprs, tables []setTable, in []Row, lo, hi int) error {
 	n := env.n
-	kv := make([]sqltypes.Value, len(n.GroupExprs))
-	var keyBuf []byte
-	argBufs := make([][]sqltypes.Value, len(n.Aggs))
-	filterCols := make([]*vec.Col, len(n.Aggs))
-	argCols := make([][]*vec.Col, len(n.Aggs))
-	for i, call := range n.Aggs {
-		argBufs[i] = make([]sqltypes.Value, len(call.Args))
-		argCols[i] = make([]*vec.Col, len(call.Args))
-	}
-	groupCols := make([]*vec.Col, len(vea.groups))
+	sc := rt.getAggScratch(n)
+	kv := sc.kv
+	keyBuf := sc.keyBuf[:0]
+	defer func() {
+		sc.keyBuf = keyBuf
+		rt.putAggScratch(sc)
+	}()
+	argBufs := sc.argBufs
+	filterCols := sc.filterCols
+	argCols := sc.argCols
+	groupCols := sc.groupCols
 
 	for blo := lo; blo < hi; blo += vec.BatchRows {
 		bhi := min(blo+vec.BatchRows, hi)
@@ -87,7 +88,7 @@ func (rt *runtime) accumulateRowsVec(env *aggEnv, vea *vecAggExprs, tables []set
 		if err := rt.tickBatch(bn); err != nil {
 			return err
 		}
-		vb := newVecBatch(in[blo:bhi], vea.kinds)
+		vb := rt.getBatchShared(n.Input, blo, in[blo:bhi], vea.kinds)
 		sel := batchIota[:bn]
 		for j, g := range vea.groups {
 			c, err := g.eval(rt, vb, sel)
@@ -151,6 +152,7 @@ func (rt *runtime) accumulateRowsVec(env *aggEnv, vea *vecAggExprs, tables []set
 			}
 		}
 		rt.noteBatch(n, vb)
+		rt.putBatch(vb)
 	}
 	return nil
 }

@@ -257,9 +257,20 @@ func (l *Lexer) scanOp() (Token, error) {
 	}
 	c := l.src[l.pos]
 	switch c {
-	case '(', ')', ',', '+', '-', '*', '/', '%', '<', '>', '=', ';', '.':
+	case '(', ')', ',', '+', '-', '*', '/', '%', '<', '>', '=', ';', '.', '?':
 		l.pos++
 		return Token{Kind: Op, Text: string(c), Pos: start}, nil
+	case '$':
+		// $n parameter placeholder: the dollar sign plus at least one digit.
+		l.pos++
+		numStart := l.pos
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == numStart {
+			return Token{}, fmt.Errorf("expected digits after $ at offset %d", start)
+		}
+		return Token{Kind: Op, Text: l.src[start:l.pos], Pos: start}, nil
 	default:
 		return Token{}, fmt.Errorf("unexpected character %q at offset %d", c, start)
 	}

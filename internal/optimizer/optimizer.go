@@ -8,6 +8,7 @@ import (
 	"context"
 
 	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/fn"
 	"github.com/measures-sql/msql/internal/plan"
 	"github.com/measures-sql/msql/internal/sqltypes"
 )
@@ -116,10 +117,15 @@ func OptimizeWithReportContext(ctx context.Context, n plan.Node, opts Options) (
 
 // foldConstant evaluates calls whose arguments are all literals. It is
 // applied bottom-up by TransformNodeExprs, so nested constant trees
-// collapse fully.
+// collapse fully. Volatile calls (RANDOM) are never folded: folding
+// would freeze one drawn value into the plan — observably wrong per
+// row, and doubly so for a cached plan reused across executions.
 func foldConstant(e plan.Expr) plan.Expr {
 	call, ok := e.(*plan.Call)
 	if !ok {
+		return e
+	}
+	if sc, ok := fn.LookupScalar(call.Name); ok && sc.Volatile {
 		return e
 	}
 	for _, a := range call.Args {

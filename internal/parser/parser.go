@@ -19,6 +19,10 @@ type Parser struct {
 	src  string
 	toks []lexer.Token
 	pos  int
+	// paramSeq numbers bare ? placeholders left to right; maxParam is
+	// the highest parameter index seen. Both reset per statement.
+	paramSeq int
+	maxParam int
 }
 
 // New creates a parser for src, tokenizing eagerly.
@@ -85,6 +89,29 @@ func ParseQuery(src string) (*ast.Query, error) {
 	return qs.Query, nil
 }
 
+// ParseQueryWithParams parses a single query that may contain parameter
+// placeholders ($n or ?), additionally returning the number of
+// parameters (the highest index referenced).
+func ParseQueryWithParams(src string) (*ast.Query, int, error) {
+	p, err := New(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, 0, err
+	}
+	p.acceptOp(";")
+	if !p.atEOF() {
+		return nil, 0, p.errHere("unexpected input after statement")
+	}
+	qs, ok := stmt.(*ast.QueryStmt)
+	if !ok {
+		return nil, 0, fmt.Errorf("expected a query, got %T", stmt)
+	}
+	return qs.Query, p.maxParam, nil
+}
+
 // ParseExpr parses a single scalar expression.
 func ParseExpr(src string) (ast.Expr, error) {
 	p, err := New(src)
@@ -130,6 +157,14 @@ func (p *Parser) peekKeyword2(kw string) bool {
 func (p *Parser) peekOp(op string) bool {
 	t := p.cur()
 	return t.Kind == lexer.Op && t.Text == op
+}
+
+// peekIdent matches a non-reserved word used as a statement head (like
+// EXPLAIN's ANALYZE): it stays usable as an ordinary identifier
+// elsewhere.
+func (p *Parser) peekIdent(word string) bool {
+	t := p.cur()
+	return t.Kind == lexer.Ident && strings.EqualFold(t.Text, word)
 }
 
 func (p *Parser) accept(kw string) bool {
@@ -195,6 +230,7 @@ func (p *Parser) errHere(format string, args ...any) error {
 // Statements
 
 func (p *Parser) parseStatement() (ast.Statement, error) {
+	p.paramSeq, p.maxParam = 0, 0
 	switch {
 	case p.peekKeyword("CREATE"):
 		return p.parseCreate()
@@ -202,6 +238,20 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 		return p.parseInsert()
 	case p.peekKeyword("DROP"):
 		return p.parseDrop()
+	case p.peekIdent("PREPARE"):
+		return p.parsePrepare()
+	case p.peekIdent("EXECUTE"):
+		return p.parseExecute()
+	case p.peekIdent("DEALLOCATE"):
+		p.advance()
+		if p.accept("ALL") {
+			return &ast.Deallocate{All: true}, nil
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Deallocate{Name: name}, nil
 	case p.peekKeyword("EXPLAIN"):
 		p.advance()
 		// ANALYZE is not a reserved word: match it as an identifier so
@@ -210,6 +260,13 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 		if t := p.cur(); t.Kind == lexer.Ident && strings.EqualFold(t.Text, "ANALYZE") {
 			p.advance()
 			analyze = true
+		}
+		if p.peekIdent("EXECUTE") {
+			ex, err := p.parseExecute()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Explain{Execute: ex.(*ast.ExecuteStmt), Analyze: analyze}, nil
 		}
 		q, err := p.parseQuery()
 		if err != nil {
@@ -232,6 +289,69 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 	default:
 		return nil, p.errHere("expected a statement")
 	}
+}
+
+// parsePrepare parses PREPARE name [(type, ...)] AS query. Only queries
+// may be prepared; the optional type list declares parameter types,
+// which are otherwise inferred from the EXECUTE arguments.
+func (p *Parser) parsePrepare() (ast.Statement, error) {
+	p.advance() // PREPARE
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var types []string
+	if p.acceptOp("(") {
+		for {
+			tn, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			types = append(types, tn)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("AS"); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Prepare{Name: name, Types: types, Query: q, NParams: p.maxParam}, nil
+}
+
+// parseExecute parses EXECUTE name [(expr, ...)].
+func (p *Parser) parseExecute() (ast.Statement, error) {
+	p.advance() // EXECUTE
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var args []ast.Expr
+	if p.acceptOp("(") {
+		if !p.peekOp(")") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, e)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	return &ast.ExecuteStmt{Name: name, Args: args}, nil
 }
 
 func (p *Parser) parseCreate() (ast.Statement, error) {
@@ -1280,6 +1400,25 @@ func (p *Parser) parsePrimary() (ast.Expr, error) {
 		}
 		return &ast.Ident{Parts: parts, Pos: t.Pos}, nil
 	case lexer.Op:
+		if t.Text == "?" {
+			p.advance()
+			p.paramSeq++
+			if p.paramSeq > p.maxParam {
+				p.maxParam = p.paramSeq
+			}
+			return &ast.Param{Index: p.paramSeq, Pos: t.Pos}, nil
+		}
+		if strings.HasPrefix(t.Text, "$") {
+			p.advance()
+			n, err := strconv.Atoi(t.Text[1:])
+			if err != nil || n <= 0 {
+				return nil, p.errHere("invalid parameter reference %s", t.Text)
+			}
+			if n > p.maxParam {
+				p.maxParam = n
+			}
+			return &ast.Param{Index: n, Pos: t.Pos}, nil
+		}
 		if t.Text == "(" {
 			p.advance()
 			if p.peekKeyword("SELECT") || p.peekKeyword("WITH") {

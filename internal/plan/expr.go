@@ -63,6 +63,21 @@ func (e *Lit) Type() sqltypes.Type { return sqltypes.Type{Kind: e.Val.K} }
 // String implements Expr.
 func (e *Lit) String() string { return e.Val.SQLLiteral() }
 
+// Param is a prepared-statement parameter, bound at execution time from
+// exec.Settings.Params. Index is 0-based (the binder shifts the SQL
+// level's 1-based $n). Params are pure: a cached plan containing them is
+// reusable across executions, with only the parameter vector changing.
+type Param struct {
+	Index int
+	Typ   sqltypes.Type
+}
+
+// Type implements Expr.
+func (e *Param) Type() sqltypes.Type { return e.Typ }
+
+// String implements Expr.
+func (e *Param) String() string { return fmt.Sprintf("param$%d", e.Index+1) }
+
 // Call invokes a scalar function or operator from the function registry
 // (arithmetic, comparisons, YEAR, UPPER, LIKE, ...).
 type Call struct {

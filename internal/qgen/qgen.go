@@ -11,6 +11,13 @@
 // comparisons, AND/OR/NOT three-valued logic, IS NULL, IN, CASE, and
 // CAST, the exact operator set the vectorized kernels cover (plus the
 // shapes that force its row fallback).
+//
+// With SetLift(true) the generator additionally lifts every literal to
+// a $n placeholder and records the literal text, producing the corpus
+// for the prepared-statement differential harness: substituting the
+// recorded literals back into the placeholders reproduces the plain
+// query exactly, and lifting consumes no randomness, so a plain and a
+// lifting generator at the same seed emit pairwise-equivalent queries.
 package qgen
 
 import (
@@ -59,14 +66,43 @@ func DefaultCatalog() Catalog {
 
 // Generator produces a deterministic stream of queries.
 type Generator struct {
-	rng *rand.Rand
-	cat Catalog
+	rng    *rand.Rand
+	cat    Catalog
+	lift   bool
+	params []string
 }
 
 // New returns a generator for the catalog, seeded so the query stream
 // is reproducible.
 func New(seed int64, cat Catalog) *Generator {
 	return &Generator{rng: rand.New(rand.NewSource(seed)), cat: cat}
+}
+
+// SetLift toggles parameter lifting. When on, every liftable literal
+// site emits a $n placeholder instead of the literal and records the
+// literal's SQL text (retrievable with TakeParams). Lifting consumes no
+// randomness, so a lifting generator stays in lockstep with a plain
+// generator at the same seed: query i from one is the parameterized
+// twin of query i from the other. ORDER BY ordinals are never lifted —
+// they are syntax, not values.
+func (g *Generator) SetLift(on bool) { g.lift = on }
+
+// TakeParams returns the SQL literal texts lifted by the most recent
+// query, in placeholder order ($1 first), and resets the list.
+func (g *Generator) TakeParams() []string {
+	p := g.params
+	g.params = nil
+	return p
+}
+
+// lit returns the literal SQL text verbatim, or — when lifting — records
+// it and returns the next $n placeholder. It never touches the RNG.
+func (g *Generator) lit(text string) string {
+	if !g.lift {
+		return text
+	}
+	g.params = append(g.params, text)
+	return fmt.Sprintf("$%d", len(g.params))
 }
 
 // Query returns the next random query: usually a measure query, with a
@@ -88,7 +124,7 @@ func (g *Generator) intExpr(depth int) string {
 		if g.rng.Intn(2) == 0 {
 			return g.pick(g.cat.IntCols)
 		}
-		return fmt.Sprintf("%d", g.rng.Intn(100))
+		return g.lit(fmt.Sprintf("%d", g.rng.Intn(100)))
 	}
 	switch g.rng.Intn(5) {
 	case 0:
@@ -96,10 +132,10 @@ func (g *Generator) intExpr(depth int) string {
 	case 1:
 		return fmt.Sprintf("(%s - %s)", g.intExpr(depth-1), g.intExpr(depth-1))
 	case 2:
-		return fmt.Sprintf("(%s * %d)", g.intExpr(depth-1), 1+g.rng.Intn(9))
+		return fmt.Sprintf("(%s * %s)", g.intExpr(depth-1), g.lit(fmt.Sprintf("%d", 1+g.rng.Intn(9))))
 	case 3:
 		// Integer % with a nonzero literal divisor.
-		return fmt.Sprintf("(%s %% %d)", g.intExpr(depth-1), 2+g.rng.Intn(9))
+		return fmt.Sprintf("(%s %% %s)", g.intExpr(depth-1), g.lit(fmt.Sprintf("%d", 2+g.rng.Intn(9))))
 	default:
 		return fmt.Sprintf("CASE WHEN %s THEN %s ELSE %s END",
 			g.boolExpr(0), g.intExpr(depth-1), g.intExpr(depth-1))
@@ -111,7 +147,8 @@ func (g *Generator) intExpr(depth int) string {
 func (g *Generator) numCmp(depth int) string {
 	op := g.pick([]string{"=", "<>", "<", "<=", ">", ">="})
 	if g.rng.Intn(5) == 0 {
-		return fmt.Sprintf("%s / %d %s %d", g.pick(g.cat.IntCols), 1+g.rng.Intn(4), op, g.rng.Intn(50))
+		return fmt.Sprintf("%s / %s %s %s", g.pick(g.cat.IntCols),
+			g.lit(fmt.Sprintf("%d", 1+g.rng.Intn(4))), op, g.lit(fmt.Sprintf("%d", g.rng.Intn(50))))
 	}
 	return fmt.Sprintf("%s %s %s", g.intExpr(depth), op, g.intExpr(depth))
 }
@@ -132,17 +169,22 @@ func (g *Generator) boolExpr(depth int) string {
 	switch g.rng.Intn(6) {
 	case 0:
 		dim := g.pickStrWithValues()
-		return fmt.Sprintf("%s %s '%s'", dim, g.pick([]string{"=", "<>"}), g.pick(g.cat.DimValues[dim]))
+		return fmt.Sprintf("%s %s %s", dim, g.pick([]string{"=", "<>"}),
+			g.lit(fmt.Sprintf("'%s'", g.pick(g.cat.DimValues[dim]))))
 	case 1:
 		return fmt.Sprintf("%s IS %sNULL", g.pick(g.cat.StrCols), g.pick([]string{"", "NOT "}))
 	case 2:
 		dim := g.pickStrWithValues()
 		vals := g.cat.DimValues[dim]
 		n := 1 + g.rng.Intn(len(vals))
-		return fmt.Sprintf("%s IN ('%s')", dim, strings.Join(vals[:n], "', '"))
+		list := make([]string, n)
+		for i := range list {
+			list[i] = g.lit(fmt.Sprintf("'%s'", vals[i]))
+		}
+		return fmt.Sprintf("%s IN (%s)", dim, strings.Join(list, ", "))
 	case 3:
-		return fmt.Sprintf("CAST(%s AS FLOAT) %s %d.5",
-			g.pick(g.cat.IntCols), g.pick([]string{"<", ">"}), g.rng.Intn(80))
+		return fmt.Sprintf("CAST(%s AS FLOAT) %s %s",
+			g.pick(g.cat.IntCols), g.pick([]string{"<", ">"}), g.lit(fmt.Sprintf("%d.5", g.rng.Intn(80))))
 	default:
 		return g.numCmp(1 + g.rng.Intn(2))
 	}
@@ -169,7 +211,8 @@ func (g *Generator) atMods() string {
 			mods = append(mods, "ALL "+g.pick(g.cat.Dims))
 		case 2:
 			dim := g.pickDimWithValues()
-			mods = append(mods, fmt.Sprintf("SET %s = '%s'", dim, g.pick(g.cat.DimValues[dim])))
+			mods = append(mods, fmt.Sprintf("SET %s = %s", dim,
+				g.lit(fmt.Sprintf("'%s'", g.pick(g.cat.DimValues[dim])))))
 		case 3:
 			mods = append(mods, "WHERE "+g.boolExpr(1))
 		default:
@@ -208,6 +251,7 @@ func (g *Generator) measureItem() string {
 // a random dimension subset (possibly ROLLUP), 1-3 measure items, an
 // optional WHERE, and a deterministic ORDER BY over the keys.
 func (g *Generator) MeasureQuery() string {
+	g.params = nil
 	dims := append([]string(nil), g.cat.Dims...)
 	g.rng.Shuffle(len(dims), func(i, j int) { dims[i], dims[j] = dims[j], dims[i] })
 	keys := dims[:g.rng.Intn(len(dims)+1)]
@@ -242,6 +286,7 @@ func (g *Generator) MeasureQuery() string {
 // WHERE. Row order is the scan order, which both engines preserve, so
 // no ORDER BY is needed.
 func (g *Generator) ScalarQuery() string {
+	g.params = nil
 	var items []string
 	for i, n := 0, 1+g.rng.Intn(4); i < n; i++ {
 		var item string
@@ -249,7 +294,7 @@ func (g *Generator) ScalarQuery() string {
 		case 0:
 			item = g.intExpr(2)
 		case 1:
-			item = fmt.Sprintf("%s / %d", g.pick(g.cat.IntCols), g.rng.Intn(4)) // /0 -> NULL
+			item = fmt.Sprintf("%s / %s", g.pick(g.cat.IntCols), g.lit(fmt.Sprintf("%d", g.rng.Intn(4)))) // /0 -> NULL
 		case 2:
 			item = fmt.Sprintf("CAST(%s AS %s)", g.pick(g.cat.IntCols), g.pick([]string{"FLOAT", "VARCHAR", "BIGINT"}))
 		case 3:

@@ -1,6 +1,7 @@
 package qgen
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -22,6 +23,41 @@ func TestDeterministic(t *testing.T) {
 	}
 	if streamA.String() == streamC.String() {
 		t.Fatal("different seeds produced an identical stream")
+	}
+}
+
+// TestLiftLockstep: a lifting generator must stay in lockstep with a
+// plain one at the same seed — substituting the recorded literals back
+// into the placeholders must reproduce the plain query byte for byte.
+// This is the invariant the prepared-statement differential harness
+// rests on.
+func TestLiftLockstep(t *testing.T) {
+	plain := New(7, DefaultCatalog())
+	lifted := New(7, DefaultCatalog())
+	lifted.SetLift(true)
+	withParams := 0
+	for i := 0; i < 300; i++ {
+		want := plain.Query()
+		q := lifted.Query()
+		params := lifted.TakeParams()
+		if len(params) > 0 {
+			withParams++
+		}
+		// Substitute highest-numbered placeholders first so $1 does not
+		// clobber the prefix of $10.
+		got := q
+		for n := len(params); n >= 1; n-- {
+			got = strings.ReplaceAll(got, fmt.Sprintf("$%d", n), params[n-1])
+		}
+		if got != want {
+			t.Fatalf("query %d not equivalent after substitution:\nplain:  %s\nlifted: %s\nparams: %v", i, want, q, params)
+		}
+		if strings.Contains(got, "$") {
+			t.Fatalf("query %d has unsubstituted placeholders: %s (params %v)", i, got, params)
+		}
+	}
+	if withParams < 200 {
+		t.Fatalf("only %d/300 lifted queries carried parameters", withParams)
 	}
 }
 

@@ -117,8 +117,12 @@ func TestChaosSoak(t *testing.T) {
 		}
 	}()
 
-	// Config chaos: strategy flips and limits tightening mid-soak. The
-	// per-statement settings snapshot makes this safe by contract.
+	// Config chaos: strategy flips, limits tightening, and plan-cache
+	// resizing mid-soak. The per-statement settings snapshot makes the
+	// first two safe by contract; SetPlanCacheSize is documented safe
+	// while executions are in flight (entries already handed out stay
+	// valid), and this soak is what holds it to that.
+	cacheSizes := []int{0, 2, 128}
 	var chaosWg sync.WaitGroup
 	chaosWg.Add(1)
 	go func() {
@@ -129,10 +133,12 @@ func TestChaosSoak(t *testing.T) {
 			select {
 			case <-stop:
 				db.SetLimits(msql.Limits{})
+				db.SetPlanCacheSize(128)
 				return
 			case <-time.After(10 * time.Millisecond):
 			}
 			db.SetStrategy(strategies[rng.Intn(len(strategies))])
+			db.SetPlanCacheSize(cacheSizes[rng.Intn(len(cacheSizes))])
 			if tight {
 				db.SetLimits(msql.Limits{MaxRows: 5000, MaxSubqueryEvals: 60})
 			} else {
@@ -170,6 +176,7 @@ func TestChaosSoak(t *testing.T) {
 		taxonomyErrs   atomic.Int64
 		clientCanceled atomic.Int64
 		requests       atomic.Int64
+		preparedOK     atomic.Int64
 	)
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
@@ -179,6 +186,12 @@ func TestChaosSoak(t *testing.T) {
 			c := client.New(ts.URL, client.WithBackoff(client.Backoff{
 				Attempts: 3, Base: 2 * time.Millisecond, Max: 15 * time.Millisecond, Seed: int64(i + 1),
 			}))
+			// Every client (re-)prepares the same named statement —
+			// replacement is the protocol's reconnect semantics — and
+			// mixes parameterized EXECUTEs into the workload, so the plan
+			// cache is hammered concurrently with the resize chaos.
+			stmt, _ := c.Prepare(context.Background(),
+				"chaosq", `SELECT prodName, AGGREGATE(sumRevenue) AS r FROM OrdersWithRevenue WHERE revenue > $1 GROUP BY prodName ORDER BY prodName`)
 			for {
 				select {
 				case <-stop:
@@ -196,7 +209,15 @@ func TestChaosSoak(t *testing.T) {
 					delay := time.Duration(rng.Intn(20)) * time.Millisecond
 					time.AfterFunc(delay, cancel)
 				}
-				_, err := c.Query(ctx, sql, opts...)
+				var err error
+				if stmt != nil && rng.Float64() < 0.30 {
+					_, err = stmt.Exec(ctx, rng.Intn(6))
+					if err == nil {
+						preparedOK.Add(1)
+					}
+				} else {
+					_, err = c.Query(ctx, sql, opts...)
+				}
 				cancel()
 				switch {
 				case err == nil:
@@ -242,8 +263,10 @@ func TestChaosSoak(t *testing.T) {
 	pollWg.Wait()
 
 	cs := srv.Counters()
-	t.Logf("soak: %v, %d clients: requests=%d successes=%d taxonomy-errors=%d client-canceled=%d",
-		chaosDuration(), clients, requests.Load(), successes.Load(), taxonomyErrs.Load(), clientCanceled.Load())
+	pcs := db.PlanCacheStats()
+	t.Logf("soak: %v, %d clients: requests=%d successes=%d taxonomy-errors=%d client-canceled=%d prepared-ok=%d",
+		chaosDuration(), clients, requests.Load(), successes.Load(), taxonomyErrs.Load(), clientCanceled.Load(), preparedOK.Load())
+	t.Logf("plan cache under resize chaos: %+v", pcs)
 	t.Logf("server: accepted=%d admitted=%d shed=%d rejected=%d drained=%d killed=%d panics=%d maxQueuedSeen=%d",
 		cs.Accepted, cs.Admitted, cs.Shed, cs.Rejected, cs.Drained, cs.DrainKilled, cs.Panics, maxQueuedSeen.Load())
 

@@ -38,6 +38,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query.ndjson", func(w http.ResponseWriter, r *http.Request) {
 		s.serveQuery(w, r, true)
 	})
+	mux.HandleFunc("/prepare", s.servePrepare)
+	mux.HandleFunc("/execute", s.serveExecute)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
@@ -88,6 +90,38 @@ func shedError(msg, hint string) *wire.Error {
 		Hint:  hint,
 		Err:   errors.New(msg),
 	})
+}
+
+// admitOrReject runs admission control for one request, writing the
+// structured rejection (shed, draining, abandoned) itself. On true the
+// caller owns an execution slot and must s.release() when done.
+func (s *Server) admitOrReject(w http.ResponseWriter, r *http.Request) bool {
+	switch s.admit(r.Context()) {
+	case admitted:
+		return true
+	case shedQueueFull:
+		s.outcome(exec.CodeResourceExhausted)
+		s.writeError(w, shedError(
+			fmt.Sprintf("server overloaded: %d executing, %d queued", s.cfg.MaxInflight, s.cfg.MaxQueue),
+			"retry with backoff"), http.StatusTooManyRequests)
+	case shedQueueWait:
+		s.outcome(exec.CodeResourceExhausted)
+		s.writeError(w, shedError(
+			fmt.Sprintf("no execution slot freed within %v", s.cfg.QueueWait),
+			"retry with backoff"), http.StatusTooManyRequests)
+	case rejectedDraining:
+		s.outcome(exec.CodeResourceExhausted)
+		s.writeError(w, shedError("server is draining", "retry against another replica"),
+			http.StatusServiceUnavailable)
+	case abandonedByClient:
+		s.outcome(exec.CodeCanceled)
+		// The client is (probably) gone; still send a structured body in
+		// case the cancel raced with delivery — every response a client
+		// manages to read carries a taxonomy code.
+		s.writeError(w, wire.FromError(exec.CtxError(context.Canceled)),
+			wire.StatusClientClosedRequest)
+	}
+	return false
 }
 
 // serveQuery handles POST /query and /query.ndjson: admission control,
@@ -143,33 +177,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, ndjson bool)
 		return
 	}
 
-	switch s.admit(r.Context()) {
-	case admitted:
-		// fall through below
-	case shedQueueFull:
-		s.outcome(exec.CodeResourceExhausted)
-		s.writeError(w, shedError(
-			fmt.Sprintf("server overloaded: %d executing, %d queued", s.cfg.MaxInflight, s.cfg.MaxQueue),
-			"retry with backoff"), http.StatusTooManyRequests)
-		return
-	case shedQueueWait:
-		s.outcome(exec.CodeResourceExhausted)
-		s.writeError(w, shedError(
-			fmt.Sprintf("no execution slot freed within %v", s.cfg.QueueWait),
-			"retry with backoff"), http.StatusTooManyRequests)
-		return
-	case rejectedDraining:
-		s.outcome(exec.CodeResourceExhausted)
-		s.writeError(w, shedError("server is draining", "retry against another replica"),
-			http.StatusServiceUnavailable)
-		return
-	case abandonedByClient:
-		s.outcome(exec.CodeCanceled)
-		// The client is (probably) gone; still send a structured body in
-		// case the cancel raced with delivery — every response a client
-		// manages to read carries a taxonomy code.
-		s.writeError(w, wire.FromError(exec.CtxError(context.Canceled)),
-			wire.StatusClientClosedRequest)
+	if !s.admitOrReject(w, r) {
 		return
 	}
 	defer s.release()

@@ -1,0 +1,184 @@
+package server
+
+// Prepared-statement endpoints:
+//
+//	POST /prepare  {"name": "q", "sql": "SELECT ... WHERE a > $1"}
+//	POST /execute  {"name": "q", "params": [{"type":"INTEGER","value":3}]}
+//
+// Both run through the same admission control as /query — a PREPARE
+// binds the statement against the catalog and an EXECUTE runs a full
+// query, so neither may bypass overload shedding or drain. Executions
+// route through the session plan cache: the first EXECUTE of a
+// (statement, parameter types, settings) combination plans and caches,
+// later ones reuse the compiled pipeline.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/wire"
+	"github.com/measures-sql/msql/msql"
+)
+
+// decodeRequest reads and unmarshals one bounded JSON body, writing the
+// structured bad-request response itself on failure.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, v any, hint string) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	s.counters.accepted.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes))
+	if err == nil {
+		err = json.Unmarshal(body, v)
+	}
+	if err != nil {
+		s.outcome(exec.CodeParse)
+		s.writeError(w, &wire.Error{
+			Code:    exec.CodeParse.String(),
+			Phase:   "request",
+			Offset:  -1,
+			Hint:    hint,
+			Message: fmt.Sprintf("bad request: %v", err),
+		}, http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// badRequest writes a structured PARSE/request error.
+func (s *Server) badRequest(w http.ResponseWriter, msg, hint string) {
+	s.outcome(exec.CodeParse)
+	s.writeError(w, &wire.Error{
+		Code:    exec.CodeParse.String(),
+		Phase:   "request",
+		Offset:  -1,
+		Hint:    hint,
+		Message: msg,
+	}, http.StatusBadRequest)
+}
+
+// servePrepare handles POST /prepare: parse + bind the statement and
+// register it under its name (replacing any previous definition).
+func (s *Server) servePrepare(w http.ResponseWriter, r *http.Request) {
+	wrote := false
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.counters.panics.Add(1)
+			s.outcome(exec.CodeRuntime)
+			if !wrote {
+				s.writeError(w, wire.FromError(exec.PanicError(rec, exec.PhaseExecute)), http.StatusInternalServerError)
+			}
+		}
+	}()
+	var req wire.PrepareRequest
+	if !s.decodeRequest(w, r, &req, `POST a JSON body like {"name": "q", "sql": "SELECT ... WHERE a > $1"}`) {
+		return
+	}
+	if req.Name == "" || req.SQL == "" {
+		s.badRequest(w, "prepare request needs both name and sql", `{"name": "q", "sql": "SELECT ..."}`)
+		return
+	}
+	if !s.admitOrReject(w, r) {
+		return
+	}
+	defer s.release()
+
+	n, err := s.db.PrepareNamed(req.Name, req.SQL)
+	if err != nil {
+		code := exec.CodeRuntime
+		var ee *exec.Error
+		if errors.As(err, &ee) {
+			code = ee.Code
+		}
+		s.finishAdmitted(code, false)
+		we := wire.FromError(err)
+		s.writeError(w, we, we.HTTPStatus())
+		return
+	}
+	s.finishAdmitted(0, false)
+	w.Header().Set("Content-Type", "application/json")
+	wrote = true
+	json.NewEncoder(w).Encode(wire.PrepareResponse{Name: req.Name, NumParams: n})
+}
+
+// serveExecute handles POST /execute: decode typed parameters and run
+// the named statement through the plan cache.
+func (s *Server) serveExecute(w http.ResponseWriter, r *http.Request) {
+	wrote := false
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.counters.panics.Add(1)
+			s.outcome(exec.CodeRuntime)
+			if !wrote {
+				s.writeError(w, wire.FromError(exec.PanicError(rec, exec.PhaseExecute)), http.StatusInternalServerError)
+			}
+		}
+	}()
+	var req wire.ExecuteRequest
+	if !s.decodeRequest(w, r, &req, `POST a JSON body like {"name": "q", "params": [{"type":"INTEGER","value":3}]}`) {
+		return
+	}
+	if req.Name == "" {
+		s.badRequest(w, "execute request carries no statement name", `{"name": "q", "params": [...]}`)
+		return
+	}
+	vals, err := wire.DecodeParams(req.Params)
+	if err != nil {
+		s.badRequest(w, err.Error(), `params are [{"type":"INTEGER","value":3}, ...]`)
+		return
+	}
+	if !s.admitOrReject(w, r) {
+		return
+	}
+	defer s.release()
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopKill := context.AfterFunc(s.killCtx, cancel)
+	defer stopKill()
+
+	var opts []msql.Option
+	if req.TimeoutMillis > 0 {
+		d := time.Duration(req.TimeoutMillis) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		opts = append(opts, msql.WithTimeout(d))
+	}
+
+	res, err := s.db.ExecuteNamed(ctx, req.Name, vals, opts...)
+	if err != nil {
+		code := exec.CodeRuntime
+		var ee *exec.Error
+		if errors.As(err, &ee) {
+			code = ee.Code
+		}
+		killed := code == exec.CodeCanceled && s.killCtx.Err() != nil
+		s.finishAdmitted(code, killed)
+		we := wire.FromError(err)
+		status := we.HTTPStatus()
+		if killed || (code == exec.CodeCanceled && s.draining.Load()) {
+			status = http.StatusServiceUnavailable
+		}
+		s.writeError(w, we, status)
+		return
+	}
+	s.finishAdmitted(0, false)
+
+	resp := wire.QueryResponse{Columns: res.Columns, Rows: wire.EncodeRows(res.Rows)}
+	resp.Types = make([]string, len(res.Types))
+	for i, t := range res.Types {
+		resp.Types[i] = t.String()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	wrote = true
+	json.NewEncoder(w).Encode(resp)
+}

@@ -247,13 +247,18 @@ func (c *Client) delay(attempt int, retryAfterSecs int) time.Duration {
 	return jittered
 }
 
-func (c *Client) do(ctx context.Context, path string, body []byte, sql string) (*Result, error) {
+// post sends one JSON request body; callers own the response body.
+func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
+	return c.hc.Do(req)
+}
+
+func (c *Client) do(ctx context.Context, path string, body []byte, sql string) (*Result, error) {
+	resp, err := c.post(ctx, path, body)
 	if err != nil {
 		return nil, err
 	}

@@ -24,6 +24,33 @@ import (
 	"github.com/measures-sql/msql/msql"
 )
 
+// liftArgs converts the SQL literal texts recorded by a lifting
+// generator into Go argument values for prepared execution: quoted
+// strings, floats (the generator only emits them with a '.'), ints.
+func liftArgs(t *testing.T, lits []string) []any {
+	t.Helper()
+	args := make([]any, len(lits))
+	for i, l := range lits {
+		switch {
+		case strings.HasPrefix(l, "'"):
+			args[i] = strings.Trim(l, "'")
+		case strings.Contains(l, "."):
+			f, err := strconv.ParseFloat(l, 64)
+			if err != nil {
+				t.Fatalf("lifted literal %q: %v", l, err)
+			}
+			args[i] = f
+		default:
+			n, err := strconv.ParseInt(l, 10, 64)
+			if err != nil {
+				t.Fatalf("lifted literal %q: %v", l, err)
+			}
+			args[i] = n
+		}
+	}
+	return args
+}
+
 func diffCorpusSize(t testing.TB) int {
 	if s := os.Getenv("MSQL_DIFF_QUERIES"); s != "" {
 		n, err := strconv.Atoi(s)
@@ -114,6 +141,87 @@ func TestDifferentialRowVsVectorized(t *testing.T) {
 			// actually ran: batches must have been recorded.
 			if db.Metrics().VecBatches == vecBatchesBefore {
 				t.Fatal("no vectorized batches recorded across the corpus")
+			}
+		})
+	}
+}
+
+// TestDifferentialPreparedVsDirect replays the generated corpus through
+// PREPARE/EXECUTE: a lifting generator in lockstep with the plain one
+// turns every literal into a $n parameter, the direct run of the plain
+// query is the oracle, and the prepared run must agree bit for bit —
+// including on whether the query errors. Each variant executes twice,
+// so the second run exercises the cached compiled pipeline; both runs
+// must match, and across the corpus the plan cache must record hits.
+func TestDifferentialPreparedVsDirect(t *testing.T) {
+	const seed = 20240805
+	corpus := diffCorpusSize(t)
+	for _, strategy := range []struct {
+		name string
+		s    msql.Strategy
+	}{
+		{"inline", msql.StrategyDefault},
+		{"memo", msql.StrategyMemo},
+		{"naive", msql.StrategyNaive},
+	} {
+		strategy := strategy
+		t.Run(strategy.name, func(t *testing.T) {
+			db := buildRandomDB(t, 99, strategy.s)
+			db.SetWorkers(1)
+			plain := qgen.New(seed, qgen.DefaultCatalog())
+			lifted := qgen.New(seed, qgen.DefaultCatalog())
+			lifted.SetLift(true)
+			ctx := context.Background()
+			hitsBefore := db.PlanCacheStats().Hits
+			for i := 0; i < corpus; i++ {
+				q := plain.Query()
+				lq := lifted.Query()
+				args := liftArgs(t, lifted.TakeParams())
+				fail := func(format string, a ...any) {
+					t.Helper()
+					t.Fatalf("query %d (seed %d)\nSQL:    %s\nlifted: %s\nargs:   %v\n%s",
+						i, seed, q, lq, args, fmt.Sprintf(format, a...))
+				}
+				oracle, oracleErr := db.Query(q)
+				stmt, prepErr := db.Prepare(lq)
+				if prepErr != nil {
+					if oracleErr == nil {
+						fail("prepare failed but direct query succeeded: %v", prepErr)
+					}
+					continue
+				}
+				for _, v := range diffVariants() {
+					var prev []string
+					for run := 0; run < 2; run++ {
+						got, err := stmt.QueryContext(ctx, args, v.opts...)
+						if (err == nil) != (oracleErr == nil) {
+							fail("%s run %d disagrees on error: oracle=%v prepared=%v", v.name, run, oracleErr, err)
+						}
+						if oracleErr != nil {
+							continue
+						}
+						want, have := flattenRows(oracle), flattenRows(got)
+						if len(want) != len(have) {
+							fail("%s run %d row count: oracle=%d prepared=%d", v.name, run, len(want), len(have))
+						}
+						for r := range want {
+							if want[r] != have[r] {
+								fail("%s run %d row %d differs:\noracle:   %s\nprepared: %s", v.name, run, r, want[r], have[r])
+							}
+						}
+						if run == 1 {
+							for r := range prev {
+								if prev[r] != have[r] {
+									fail("%s cold/warm runs differ at row %d:\ncold: %s\nwarm: %s", v.name, r, prev[r], have[r])
+								}
+							}
+						}
+						prev = have
+					}
+				}
+			}
+			if hits := db.PlanCacheStats().Hits; hits <= hitsBefore {
+				t.Fatalf("no plan-cache hits across the prepared corpus (before=%d after=%d)", hitsBefore, hits)
 			}
 		})
 	}

@@ -1,0 +1,144 @@
+package msql
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/measures-sql/msql/internal/engine"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// Stmt is a prepared statement: a parameterized query (`?` or `$n`
+// placeholders) parsed once and executed many times. Executions go
+// through the session plan cache, so after the first run the bind,
+// optimize, and vectorized-compilation phases are skipped and only
+// parameter values are injected.
+//
+//	stmt, _ := db.Prepare(`SELECT COUNT(*) FROM Orders WHERE revenue > ?`)
+//	res, _ := stmt.Query(4)
+type Stmt struct {
+	db *DB
+	ps *engine.PreparedStmt
+}
+
+// Prepare parses a single parameterized query and returns a reusable
+// statement handle. Placeholders may be positional `?` (numbered left
+// to right) or explicit `$1..$n`; parameter types are inferred from the
+// argument values at execution time.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	ps, err := db.session.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, ps: ps}, nil
+}
+
+// NumParams returns the number of parameter placeholders.
+func (s *Stmt) NumParams() int { return s.ps.NumParams() }
+
+// Query executes the statement with the given arguments and returns its
+// rows. Arguments may be Values or ordinary Go values (bool, integer
+// and float types, string, time.Time, nil for NULL).
+func (s *Stmt) Query(args ...any) (*Result, error) {
+	return s.QueryContext(context.Background(), args)
+}
+
+// QueryContext is Query under a context with per-call options.
+func (s *Stmt) QueryContext(ctx context.Context, args []any, opts ...Option) (*Result, error) {
+	vals, err := BindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.ps.ExecuteContext(ctx, vals, overrides(opts))
+}
+
+// Exec executes the statement, discarding result rows.
+func (s *Stmt) Exec(args ...any) error {
+	_, err := s.Query(args...)
+	return err
+}
+
+// ExecContext is Exec under a context with per-call options.
+func (s *Stmt) ExecContext(ctx context.Context, args []any, opts ...Option) error {
+	_, err := s.QueryContext(ctx, args, opts...)
+	return err
+}
+
+// BindArgs converts Go argument values to SQL values for prepared
+// execution: nil → NULL, bool → BOOLEAN, integers → INTEGER, floats →
+// DOUBLE, string → VARCHAR, time.Time → DATE. Values pass through.
+func BindArgs(args []any) ([]Value, error) {
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		v, err := bindArg(a)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+func bindArg(a any) (Value, error) {
+	switch a := a.(type) {
+	case Value:
+		return a, nil
+	case nil:
+		return sqltypes.Null(sqltypes.KindUnknown), nil
+	case bool:
+		return sqltypes.NewBool(a), nil
+	case int:
+		return sqltypes.NewInt(int64(a)), nil
+	case int32:
+		return sqltypes.NewInt(int64(a)), nil
+	case int64:
+		return sqltypes.NewInt(a), nil
+	case float32:
+		return sqltypes.NewFloat(float64(a)), nil
+	case float64:
+		return sqltypes.NewFloat(a), nil
+	case string:
+		return sqltypes.NewString(a), nil
+	case time.Time:
+		return sqltypes.NewDate(a.Year(), a.Month(), a.Day()), nil
+	default:
+		return Value{}, fmt.Errorf("unsupported parameter type %T", a)
+	}
+}
+
+// PrepareNamed registers (or replaces) a named prepared statement in
+// the session registry — the server-side half of the wire protocol's
+// PREPARE message. It returns the statement's parameter count. The
+// statement is then runnable via ExecuteNamed or SQL `EXECUTE name`.
+func (db *DB) PrepareNamed(name, sql string) (int, error) {
+	return db.session.PrepareNamed(name, sql)
+}
+
+// ExecuteNamed runs a named prepared statement with the given parameter
+// values through the plan cache.
+func (db *DB) ExecuteNamed(ctx context.Context, name string, args []Value, opts ...Option) (*Result, error) {
+	return db.session.ExecuteNamed(ctx, name, args, overrides(opts))
+}
+
+// DeallocateNamed removes a named prepared statement, reporting whether
+// it existed.
+func (db *DB) DeallocateNamed(name string) bool {
+	return db.session.DeallocateNamed(name)
+}
+
+// SetPlanCacheSize caps the session plan cache at n compiled plans
+// (LRU-evicted beyond that); 0 disables plan caching entirely. The
+// default is engine.DefaultPlanCacheSize (128). Safe to call while
+// queries are in flight: executions already holding a cached plan keep
+// it.
+func (db *DB) SetPlanCacheSize(n int) { db.session.SetPlanCacheSize(n) }
+
+// PlanCacheCounters is a point-in-time copy of the plan cache's
+// hit/miss/eviction/invalidation counters; also embedded in Metrics().
+type PlanCacheCounters = engine.PlanCacheCounters
+
+// PlanCacheStats returns the plan cache's counters.
+func (db *DB) PlanCacheStats() PlanCacheCounters {
+	return db.session.PlanCacheCountersSnapshot()
+}
