@@ -9,7 +9,7 @@
 //
 // Meta commands inside the REPL:
 //
-//	\d              list tables and views
+//	\d              list tables, views, and system tables
 //	\expand  <sql>  print the measure-free expansion of a query
 //	\explain <sql>  print the logical plan
 //	\paper          load the paper's example data and views
@@ -75,7 +75,7 @@ func main() {
 func runScript(db *msql.DB, sql string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	results, err := db.RunContext(ctx, sql)
+	results, err := db.RunContext(ctx, sql, msql.WithSource("repl"))
 	for _, res := range results {
 		if res.Rows != nil || len(res.Columns) > 0 {
 			fmt.Print(msql.Format(res))
@@ -145,7 +145,7 @@ func execute(db *msql.DB, sigCh <-chan os.Signal, sql string) {
 		case <-done:
 		}
 	}()
-	results, err := db.RunContext(ctx, sql)
+	results, err := db.RunContext(ctx, sql, msql.WithSource("repl"))
 	close(done)
 	cancel()
 	for _, res := range results {
@@ -178,6 +178,9 @@ func metaCommand(db *msql.DB, line string) (quit bool) {
 		}
 		for _, v := range views {
 			fmt.Println("view ", v)
+		}
+		for _, v := range db.SystemTables() {
+			fmt.Println("system", v)
 		}
 	case "\\paper":
 		if err := db.Exec(paperdata.All); err != nil {

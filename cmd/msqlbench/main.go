@@ -25,6 +25,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -112,7 +113,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (E01..E26) or 'all'")
+	expFlag := flag.String("exp", "all", "experiment id (E01..E27) or 'all'")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
@@ -161,6 +162,7 @@ func main() {
 		{"E23", "Cancellation latency: workers 1 vs 4", e23},
 		{"E25", "Vectorized execution: row vs columnar batch kernels", e25},
 		{"E26", "Prepared statements: cold vs warm plan cache", e26},
+		{"E27", "Statement-stats overhead: observability on vs off", e27},
 	}
 
 	failed := 0
@@ -676,7 +678,7 @@ func e25() error {
 	}
 	fmt.Println("-- EXPLAIN ANALYZE (vectorized):")
 	fmt.Print(txt)
-	fmt.Println("shape check: results are identical by construction (the differential harness");
+	fmt.Println("shape check: results are identical by construction (the differential harness")
 	fmt.Println("gates this); the speedup comes from batch kernels amortizing per-row dispatch")
 	return nil
 }
@@ -769,6 +771,58 @@ func e26() error {
 	return nil
 }
 
+// e27 measures the observability tax: the E25 scan-filter-aggregate
+// workload with the statement-stats store enabled (the default) versus
+// disabled, reported as p50/p95/p99 over the sample. The store is one
+// fingerprint lookup plus a handful of atomic adds per statement, so the
+// median overhead must stay under 5% (warn) / 15% (fail — the wider gate
+// absorbs single-CPU CI noise).
+func e27() error {
+	n := 50000
+	if *quick {
+		n = 10000
+	}
+	const reps = 30
+	q := `SELECT prodName, COUNT(*) AS cnt, SUM(revenue) AS rev,
+	             SUM(revenue - cost) AS profit
+	      FROM Orders WHERE revenue > 20 AND cost < 60
+	      GROUP BY prodName`
+	db := loadSynthetic(n, 20, 0)
+	db.SetWorkers(1)
+	run := func(on bool) (p50, p95, p99 time.Duration) {
+		db.ResetStatementStats()
+		db.SetStatementStats(on)
+		return quantiles(timeQueryDist(db, q, reps))
+	}
+	onP50, onP95, onP99 := run(true)
+	stats := db.StatementStats()
+	offP50, offP95, offP99 := run(false)
+	db.SetStatementStats(true)
+
+	fmt.Printf("%d orders, %d reps per mode\n", n, reps)
+	fmt.Printf("%-14s %12s %12s %12s\n", "stats", "p50", "p95", "p99")
+	fmt.Printf("%-14s %12v %12v %12v\n", "enabled", onP50, onP95, onP99)
+	fmt.Printf("%-14s %12v %12v %12v\n", "disabled", offP50, offP95, offP99)
+	for _, st := range stats {
+		if st.Calls > 1 {
+			fmt.Printf("stats store recorded: calls=%d rows=%d p99_exec=%.2fms  %s\n",
+				st.Calls, st.Rows, float64(st.Exec.P99Ns)/1e6, st.Fingerprint)
+		}
+	}
+	overhead := float64(onP50-offP50) / float64(offP50) * 100
+	fmt.Printf("p50 overhead with statement stats: %+.2f%%\n", overhead)
+	switch {
+	case overhead > 15:
+		return fmt.Errorf("statement-stats overhead %.2f%% exceeds the 15%% gate", overhead)
+	case overhead > 5:
+		fmt.Println("WARNING: overhead above the 5% target (noisy host?); gate is 15%")
+	default:
+		fmt.Println("shape check: overhead under the 5% target — per-statement cost is one")
+		fmt.Println("map lookup plus atomic counter/histogram updates")
+	}
+	return nil
+}
+
 // ---------------------------------------------------------------------------
 // -json bench suite
 
@@ -780,6 +834,9 @@ type benchResult struct {
 	Workers       int    `json:"workers"`
 	Orders        int    `json:"orders"`
 	NsOp          int64  `json:"ns_op"`
+	P50Ns         int64  `json:"p50_ns"`
+	P95Ns         int64  `json:"p95_ns"`
+	P99Ns         int64  `json:"p99_ns"`
 	Rows          int    `json:"rows"`
 	RowsScanned   int64  `json:"rows_scanned"`
 	SubqueryEvals int64  `json:"subquery_evals"`
@@ -815,7 +872,8 @@ func runJSONBench() error {
 		db.SetWorkers(w)
 		measure := func(name, strategy, sql string, vec bool) error {
 			db.SetVectorized(vec)
-			d := timeQuery(db, sql)
+			durs := timeQueryDist(db, sql, 9)
+			p50, p95, p99 := quantiles(durs)
 			res, err := db.Query(sql)
 			if err != nil {
 				return err
@@ -823,7 +881,9 @@ func runJSONBench() error {
 			st := db.LastStats()
 			results = append(results, benchResult{
 				Name: name, Strategy: strategy, Workers: w, Orders: n,
-				NsOp: d.Nanoseconds(), Rows: len(res.Rows),
+				NsOp:  minDur(durs).Nanoseconds(),
+				P50Ns: p50.Nanoseconds(), P95Ns: p95.Nanoseconds(), P99Ns: p99.Nanoseconds(),
+				Rows:          len(res.Rows),
 				RowsScanned:   st.RowsScanned,
 				SubqueryEvals: st.SubqueryEvals,
 				CacheHits:     st.SubqueryCacheHits,
@@ -865,23 +925,24 @@ func runJSONBench() error {
 			if _, err := stmt.Query(args(0)[0], args(0)[1]); err != nil {
 				return err
 			}
-			var best time.Duration
+			var durs []time.Duration
 			var rows int
-			for i := 1; i <= 3; i++ {
+			for i := 1; i <= 5; i++ {
 				a := args(i)
 				start := time.Now()
 				res, err := stmt.Query(a[0], a[1])
 				if err != nil {
 					return err
 				}
-				if d := time.Since(start); best == 0 || d < best {
-					best = d
-				}
+				durs = append(durs, time.Since(start))
 				rows = len(res.Rows)
 			}
+			p50, p95, p99 := quantiles(durs)
 			results = append(results, benchResult{
 				Name: name, Strategy: "none", Workers: w, Orders: n,
-				NsOp: best.Nanoseconds(), Rows: rows, Vectorized: true,
+				NsOp:  minDur(durs).Nanoseconds(),
+				P50Ns: p50.Nanoseconds(), P95Ns: p95.Nanoseconds(), P99Ns: p99.Nanoseconds(),
+				Rows: rows, Vectorized: true,
 			})
 			return nil
 		}
@@ -956,6 +1017,44 @@ func loadSynthetic(orders, products int, nullFrac float64) *msql.DB {
 	}
 	db.SetWorkers(*workers)
 	return register(db)
+}
+
+// timeQueryDist runs sql reps times after one warmup and returns every
+// per-run duration, for percentile reporting.
+func timeQueryDist(db *msql.DB, sql string, reps int) []time.Duration {
+	if _, err := db.Query(sql); err != nil {
+		panic(err)
+	}
+	durs := make([]time.Duration, reps)
+	for i := range durs {
+		start := time.Now()
+		if _, err := db.Query(sql); err != nil {
+			panic(err)
+		}
+		durs[i] = time.Since(start)
+	}
+	return durs
+}
+
+// quantiles reports the p50/p95/p99 of a latency sample (nearest-rank).
+func quantiles(durs []time.Duration) (p50, p95, p99 time.Duration) {
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	q := func(p float64) time.Duration {
+		i := int(p*float64(len(sorted)-1) + 0.5)
+		return sorted[i]
+	}
+	return q(0.50), q(0.95), q(0.99)
+}
+
+func minDur(durs []time.Duration) time.Duration {
+	best := durs[0]
+	for _, d := range durs[1:] {
+		if d < best {
+			best = d
+		}
+	}
+	return best
 }
 
 func timeQuery(db *msql.DB, sql string) time.Duration {

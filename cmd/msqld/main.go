@@ -17,6 +17,16 @@
 //	GET  /readyz         readiness (503 while draining)
 //	GET  /metrics        Prometheus text (engine + server counters)
 //	GET  /metrics.json   the same snapshot as JSON
+//	GET  /statements     statement-stats store (fingerprints, latencies)
+//	GET  /queries        in-flight queries
+//	POST /kill           {"id": N} — cancel an in-flight query
+//	     /debug/pprof/   profiling handlers (with -pprof)
+//
+// Every statement-executing request is written to the structured
+// access log on stderr with its request ID (client-supplied via the
+// X-Request-Id header or request_id body field, else generated), and
+// -slow-query-log additionally logs statements slower than the given
+// threshold from inside the engine.
 package main
 
 import (
@@ -51,6 +61,9 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain budget before canceling stragglers")
 		maxRows      = flag.Int64("max-rows", 0, "per-statement materialized-row budget (0 = unlimited)")
 		planCache    = flag.Int("plan-cache-size", 128, "prepared-statement plan cache entries (0 = disable)")
+		slowQuery    = flag.Duration("slow-query-log", 0, "log statements slower than this to stderr (0 = off)")
+		noAccessLog  = flag.Bool("no-access-log", false, "disable the structured access log on stderr")
+		pprofOn      = flag.Bool("pprof", false, "mount /debug/pprof/ profiling handlers")
 	)
 	flag.Parse()
 	log.SetPrefix("msqld: ")
@@ -85,13 +98,23 @@ func main() {
 		log.Printf("ran setup script %s", *file)
 	}
 
-	srv := server.New(db, server.Config{
+	if *slowQuery > 0 {
+		db.SetSlowQueryLog(os.Stderr, *slowQuery)
+		log.Printf("slow-query log enabled (threshold %v)", *slowQuery)
+	}
+
+	cfg := server.Config{
 		MaxInflight:  *maxInflight,
 		MaxQueue:     *maxQueue,
 		QueueWait:    *queueWait,
 		MaxTimeout:   *maxTimeout,
 		DrainTimeout: *drainTimeout,
-	})
+		EnablePprof:  *pprofOn,
+	}
+	if !*noAccessLog {
+		cfg.AccessLog = os.Stderr
+	}
+	srv := server.New(db, cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	effQueue := *maxQueue

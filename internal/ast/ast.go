@@ -103,6 +103,13 @@ type Deallocate struct {
 	All  bool
 }
 
+// Kill is KILL <query-id>: cancel the in-flight statement with that ID
+// in the session's live-query registry (the victim fails with the
+// CANCELED taxonomy code).
+type Kill struct {
+	ID int64
+}
+
 func (*CreateTable) node() {}
 func (*CreateView) node()  {}
 func (*Insert) node()      {}
@@ -113,6 +120,7 @@ func (*QueryStmt) node()   {}
 func (*Prepare) node()     {}
 func (*ExecuteStmt) node() {}
 func (*Deallocate) node()  {}
+func (*Kill) node()        {}
 
 func (*CreateTable) stmt() {}
 func (*CreateView) stmt()  {}
@@ -124,6 +132,7 @@ func (*QueryStmt) stmt()   {}
 func (*Prepare) stmt()     {}
 func (*ExecuteStmt) stmt() {}
 func (*Deallocate) stmt()  {}
+func (*Kill) stmt()        {}
 
 // ---------------------------------------------------------------------------
 // Queries

@@ -138,6 +138,8 @@ func (p *printer) statement(s Statement) {
 		} else {
 			p.wf("DEALLOCATE %s", quoteIdent(s.Name))
 		}
+	case *Kill:
+		p.wf("KILL %d", s.ID)
 	default:
 		p.wf("/* unknown statement %T */", s)
 	}
@@ -311,7 +313,7 @@ func (p *printer) orderItems(items []OrderItem) {
 func (p *printer) tableExpr(t TableExpr) {
 	switch t := t.(type) {
 	case *TableName:
-		p.ws(quoteIdent(t.Name))
+		p.ws(quoteQualified(t.Name))
 		if t.Alias != "" {
 			p.wf(" AS %s", quoteIdent(t.Alias))
 		}
@@ -535,8 +537,13 @@ func (p *printer) expr(e Expr, min int) {
 	case *Param:
 		// Canonical $n form: ? placeholders print with their assigned
 		// index, so equivalent texts normalize identically for the plan
-		// cache key.
-		p.wf("$%d", e.Index)
+		// cache key. Index 0 never occurs in parsed SQL; the statement
+		// fingerprint normalizer uses it to stand in for literals.
+		if e.Index <= 0 {
+			p.ws("?")
+		} else {
+			p.wf("$%d", e.Index)
+		}
 	default:
 		p.wf("/* unknown expr %T */", e)
 	}
@@ -648,6 +655,20 @@ func (p *printer) paren(need bool, f func()) {
 	if need {
 		p.ws(")")
 	}
+}
+
+// quoteQualified renders a possibly dot-qualified table name
+// ("msql_stats.statements"), quoting each segment independently so the
+// output re-parses as the same qualified reference.
+func quoteQualified(s string) string {
+	if !strings.Contains(s, ".") {
+		return quoteIdent(s)
+	}
+	parts := strings.Split(s, ".")
+	for i, p := range parts {
+		parts[i] = quoteIdent(p)
+	}
+	return strings.Join(parts, ".")
 }
 
 // quoteIdent double-quotes an identifier if it collides with a keyword or

@@ -93,6 +93,24 @@ func (b *Binder) bindTableName(tn *ast.TableName, scope *Scope) (plan.Node, *Rel
 		sch := &plan.Schema{Cols: cols}
 		return &plan.Scan{Source: t, Alias: alias, Sch: sch}, &Rel{Alias: alias, Cols: cols}, nil
 	}
+	// Virtual system tables (msql_stats.*) resolve last, so they can
+	// never shadow a user object. When a qualified reference has no
+	// alias, the default alias is the bare table part so that
+	// `statements.calls` works in a query over msql_stats.statements.
+	if vt, ok := b.cat.Virtual(tn.Name); ok {
+		if tn.Alias == "" {
+			if i := strings.LastIndex(tn.Name, "."); i >= 0 {
+				alias = tn.Name[i+1:]
+			}
+		}
+		names, types := vt.ColNames(), vt.ColTypes()
+		cols := make([]plan.Col, len(names))
+		for i := range names {
+			cols[i] = plan.Col{Name: names[i], Typ: types[i]}
+		}
+		sch := &plan.Schema{Cols: cols}
+		return &plan.Scan{Source: vt, Alias: alias, Sch: sch}, &Rel{Alias: alias, Cols: cols}, nil
+	}
 	return nil, nil, fmt.Errorf("table or view %s does not exist", tn.Name)
 }
 

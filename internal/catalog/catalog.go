@@ -43,6 +43,10 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*BaseTable
 	views  map[string]*View
+	// virtuals are read-only provider-backed tables (see virtual.go);
+	// they resolve after tables and views, so they can never shadow a
+	// user object.
+	virtuals map[string]*VirtualTable
 	// version counts catalog-visible data and schema changes: DDL bumps
 	// it here; the engine bumps it after INSERTs. Cached plans embed the
 	// version they were built against, so any bump invalidates them.

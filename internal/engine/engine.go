@@ -4,7 +4,10 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
@@ -54,6 +57,19 @@ type Session struct {
 	// plans is the session plan cache; every prepared execution routes
 	// through it.
 	plans *planCache
+	// stmts aggregates per-fingerprint execution statistics
+	// (msql_stats.statements).
+	stmts *statementStats
+	// queries is the live-query registry backing
+	// msql_stats.active_queries and KILL.
+	queries *queryRegistry
+	// slow is the slow-query log configuration; a statement whose total
+	// wall time meets the threshold emits one JSON line to w.
+	slow struct {
+		mu        sync.Mutex
+		w         io.Writer
+		threshold time.Duration
+	}
 }
 
 // Overrides carries per-statement setting overrides for the Context
@@ -67,6 +83,13 @@ type Overrides struct {
 	Timeout *time.Duration
 	// Vectorized overrides the columnar-execution toggle.
 	Vectorized *bool
+	// Source labels the statement's origin in the live-query registry
+	// ("repl", "api", "wire"); empty defaults to "api".
+	Source string
+	// RequestID is the caller-supplied request correlation ID. When set,
+	// tracer spans for this statement are tagged with request_id and
+	// query_id attributes, and the slow-query log carries it.
+	RequestID string
 }
 
 // stmtConfig is the per-statement snapshot of session configuration:
@@ -84,6 +107,26 @@ type stmtEnv struct {
 	// execAttrs, when non-nil, is merged into the execute span's
 	// attributes (prepared executions report cached= / cache_key=).
 	execAttrs map[string]string
+	// tracer is the statement's tracer: the session tracer, wrapped with
+	// request/query ID tags when the statement carries a request ID.
+	tracer exec.Tracer
+	// live is this statement's entry in the live-query registry (nil for
+	// bare planning envs).
+	live *liveQuery
+	// stats is the statement-stats accumulator for this statement's
+	// fingerprint; nil when tracking is off or the statement is
+	// untracked. Prepared EXECUTE retargets it to the underlying query's
+	// fingerprint.
+	stats *stmtStatEntry
+	// requestID is the caller's correlation ID (Overrides.RequestID).
+	requestID string
+}
+
+// span forwards one event to the statement tracer, if any.
+func (env *stmtEnv) span(sp exec.Span) {
+	if env.tracer != nil {
+		env.tracer.Span(sp)
+	}
 }
 
 // statementConfig snapshots the session settings under the lock and
@@ -146,8 +189,11 @@ func New() *Session {
 		strategy: "default",
 		prepared: newPreparedRegistry(),
 		plans:    newPlanCache(DefaultPlanCacheSize),
+		stmts:    newStatementStats(),
+		queries:  newQueryRegistry(),
 	}
 	s.metrics.SetPlanCacheSource(s.plans.counters)
+	s.registerSystemTables()
 	return s
 }
 
@@ -186,9 +232,16 @@ func (s *Session) parseSpanned(sql string, parse func() (int, error)) error {
 	s.span(sp)
 	if err != nil {
 		err = exec.WithQuery(exec.Wrap(err, exec.CodeParse, exec.PhaseParse), sql)
-		s.metrics.recordOutcome(err)
+		s.metrics.recordOutcome(s.strategyLabel(), err)
 	}
 	return err
+}
+
+// strategyLabel reads the current strategy label under the lock.
+func (s *Session) strategyLabel() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.strategy
 }
 
 // parseStatements parses a script, emitting a parse span.
@@ -265,21 +318,50 @@ func (s *Session) ExecStatement(stmt ast.Statement) (*Result, error) {
 // classified into the taxonomy, and the outcome is folded into the
 // session metrics.
 func (s *Session) ExecStatementContext(ctx context.Context, stmt ast.Statement, ov *Overrides) (*Result, error) {
-	return s.withStmtEnv(ctx, ov, func(env *stmtEnv) (*Result, error) {
+	return s.withStmtEnv(ctx, ov, s.statementInfo(stmt), func(env *stmtEnv) (*Result, error) {
 		return s.execStatement(env, stmt)
 	})
 }
 
 // withStmtEnv wraps one statement-shaped unit of work in the engine
-// guard rail: settings snapshot, statement timeout, panic recovery,
-// error classification, and metrics. Prepared-statement execution
-// shares it with ExecStatementContext.
-func (s *Session) withStmtEnv(ctx context.Context, ov *Overrides, fn func(env *stmtEnv) (*Result, error)) (res *Result, err error) {
-	env := &stmtEnv{ctx: ctx, cfg: s.statementConfig(ov)}
+// guard rail: settings snapshot, live-query registration (the KILL
+// hook), statement timeout, panic recovery, error classification,
+// metrics, statement statistics, and the slow-query log.
+// Prepared-statement execution shares it with ExecStatementContext.
+func (s *Session) withStmtEnv(ctx context.Context, ov *Overrides, info stmtInfo, fn func(env *stmtEnv) (*Result, error)) (res *Result, err error) {
+	env := &stmtEnv{ctx: ctx, cfg: s.statementConfig(ov), tracer: s.tracer}
+	source := "api"
+	if ov != nil {
+		if ov.Source != "" {
+			source = ov.Source
+		}
+		env.requestID = ov.RequestID
+	}
+	start := time.Now()
+	lq := &liveQuery{
+		sql:         info.sql,
+		fingerprint: info.fingerprint,
+		source:      source,
+		requestID:   env.requestID,
+		strategy:    env.cfg.strategy,
+		started:     start,
+	}
+	var done func()
+	env.ctx, done = s.queries.register(env.ctx, lq)
+	env.live = lq
+	// Tag spans with correlation IDs only when the caller sent a request
+	// ID, so untagged workloads see byte-identical spans.
+	if env.requestID != "" && env.tracer != nil {
+		env.tracer = &taggedTracer{t: env.tracer, attrs: map[string]string{
+			"request_id": env.requestID,
+			"query_id":   fmt.Sprintf("%d", lq.id),
+		}}
+	}
+	env.stats = s.stmts.entry(info.fingerprint)
 	if t := env.cfg.exec.Limits.Timeout; t > 0 {
-		if _, has := ctx.Deadline(); !has {
+		if _, has := env.ctx.Deadline(); !has {
 			var cancel context.CancelFunc
-			env.ctx, cancel = context.WithTimeout(ctx, t)
+			env.ctx, cancel = context.WithTimeout(env.ctx, t)
 			defer cancel()
 		}
 	}
@@ -289,13 +371,81 @@ func (s *Session) withStmtEnv(ctx context.Context, ov *Overrides, fn func(env *s
 		}
 		if err != nil {
 			err = exec.Wrap(err, exec.CodeRuntime, exec.PhaseExecute)
-			s.metrics.recordOutcome(err)
+			s.metrics.recordOutcome(env.cfg.strategy, err)
 		}
+		done()
+		// env.stats may have been retargeted by execPrepared, so read it
+		// here rather than at registration time.
+		if e := env.stats; e != nil {
+			e.calls.Add(1)
+			if err != nil {
+				e.errors.Add(1)
+			}
+		}
+		s.logSlowQuery(lq, time.Since(start), res, err)
 	}()
 	if err := env.ctx.Err(); err != nil {
 		return nil, exec.CtxError(err)
 	}
 	return fn(env)
+}
+
+// SetSlowQueryLog installs (or with nil w removes) the slow-query log:
+// statements whose total wall time is at least threshold emit one JSON
+// line to w.
+func (s *Session) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
+	s.slow.mu.Lock()
+	s.slow.w = w
+	s.slow.threshold = threshold
+	s.slow.mu.Unlock()
+}
+
+// slowQueryRecord is one slow-query log line. Field order is the JSON
+// field order, so log lines are stable for tooling.
+type slowQueryRecord struct {
+	TS          string  `json:"ts"`
+	QueryID     int64   `json:"query_id"`
+	RequestID   string  `json:"request_id,omitempty"`
+	Source      string  `json:"source"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	SQL         string  `json:"sql"`
+	DurMs       float64 `json:"dur_ms"`
+	Rows        int     `json:"rows"`
+	Code        string  `json:"code,omitempty"`
+}
+
+func (s *Session) logSlowQuery(lq *liveQuery, dur time.Duration, res *Result, err error) {
+	s.slow.mu.Lock()
+	w, threshold := s.slow.w, s.slow.threshold
+	s.slow.mu.Unlock()
+	if w == nil || dur < threshold {
+		return
+	}
+	rec := slowQueryRecord{
+		TS:          time.Now().UTC().Format(time.RFC3339Nano),
+		QueryID:     lq.id,
+		RequestID:   lq.requestID,
+		Source:      lq.source,
+		Fingerprint: lq.fingerprint,
+		SQL:         lq.sql,
+		DurMs:       float64(dur) / 1e6,
+	}
+	if res != nil {
+		rec.Rows = len(res.Rows)
+	}
+	var ee *exec.Error
+	if errors.As(err, &ee) {
+		rec.Code = ee.Code.String()
+	} else if err != nil {
+		rec.Code = exec.CodeUnknown.String()
+	}
+	line, jerr := json.Marshal(rec)
+	if jerr != nil {
+		return
+	}
+	s.slow.mu.Lock()
+	w.Write(append(line, '\n'))
+	s.slow.mu.Unlock()
 }
 
 func (s *Session) execStatement(env *stmtEnv, stmt ast.Statement) (*Result, error) {
@@ -337,6 +487,11 @@ func (s *Session) execStatement(env *stmtEnv, stmt ast.Statement) (*Result, erro
 			return nil, exec.Wrap(err, exec.CodeExpand, exec.PhaseExpand)
 		}
 		return &Result{Message: text}, nil
+	case *ast.Kill:
+		if !s.queries.kill(stmt.ID) {
+			return nil, exec.Wrap(fmt.Errorf("no running query with id %d", stmt.ID), exec.CodeBind, exec.PhaseBind)
+		}
+		return &Result{Message: fmt.Sprintf("killed query %d", stmt.ID)}, nil
 	default:
 		return nil, fmt.Errorf("unsupported statement %T", stmt)
 	}
@@ -344,10 +499,30 @@ func (s *Session) execStatement(env *stmtEnv, stmt ast.Statement) (*Result, erro
 
 // Plan binds and optimizes a query.
 func (s *Session) Plan(q *ast.Query) (plan.Node, error) {
-	env := &stmtEnv{ctx: context.Background(), cfg: s.statementConfig(nil)}
+	env := &stmtEnv{ctx: context.Background(), cfg: s.statementConfig(nil), tracer: s.tracer}
 	node, _, err := s.planQuery(env, q)
 	return node, err
 }
+
+// StatementStats snapshots the statement-stats store, sorted by
+// fingerprint.
+func (s *Session) StatementStats() []StatementStat { return s.stmts.snapshot() }
+
+// SetStatementStats toggles statement-stats tracking. When off, the
+// fingerprinting and recording overhead disappears from the statement
+// path; accumulated statistics are retained.
+func (s *Session) SetStatementStats(on bool) { s.stmts.setEnabled(on) }
+
+// ResetStatementStats clears all accumulated statement statistics.
+func (s *Session) ResetStatementStats() { s.stmts.reset() }
+
+// ActiveQueries lists the session's in-flight statements, oldest first.
+func (s *Session) ActiveQueries() []ActiveQuery { return s.queries.snapshot() }
+
+// Kill cancels the in-flight statement with the given query ID. It
+// returns false when no such query is running. The victim fails with
+// the CANCELED taxonomy code at its next cooperative checkpoint.
+func (s *Session) Kill(id int64) bool { return s.queries.kill(id) }
 
 // planQuery binds and optimizes q, emitting bind / expand / optimize
 // lifecycle spans and returning the total planning time.
@@ -368,22 +543,22 @@ func (s *Session) planQueryParams(env *stmtEnv, q *ast.Query, kinds []sqltypes.K
 	if err != nil {
 		return nil, 0, exec.Wrap(err, exec.CodeBind, exec.PhaseBind)
 	}
-	s.span(exec.Span{Phase: "bind", Name: "bind", DurNs: bindNs})
-	if s.tracer != nil {
+	env.span(exec.Span{Phase: "bind", Name: "bind", DurNs: bindNs})
+	if env.tracer != nil {
 		for _, name := range b.InlinedMeasures() {
-			s.span(exec.Span{Phase: "expand", Name: name, Attrs: map[string]string{"strategy": "inline"}})
+			env.span(exec.Span{Phase: "expand", Name: name, Attrs: map[string]string{"strategy": "inline"}})
 		}
-		s.emitExpandSpans(bound)
+		env.emitExpandSpans(bound)
 	}
 
 	start = time.Now()
 	node, rep := optimizer.OptimizeWithReportContext(env.ctx, bound, env.cfg.opt)
 	optNs := int64(time.Since(start))
-	s.span(exec.Span{Phase: "optimize", Name: "optimize", DurNs: optNs})
-	if s.tracer != nil {
+	env.span(exec.Span{Phase: "optimize", Name: "optimize", DurNs: optNs})
+	if env.tracer != nil {
 		rule := func(name, attr string, count int) {
 			if count > 0 {
-				s.span(exec.Span{Phase: "optimize", Name: name, Attrs: map[string]string{attr: fmt.Sprintf("%d", count)}})
+				env.span(exec.Span{Phase: "optimize", Name: name, Attrs: map[string]string{attr: fmt.Sprintf("%d", count)}})
 			}
 		}
 		rule("winmagic", "rewrites", rep.WinMagicRewrites)
@@ -398,7 +573,7 @@ func (s *Session) planQueryParams(env *stmtEnv, q *ast.Query, kinds []sqltypes.K
 // plan: BuildMeasureSubquery labels measure subqueries
 // "measure <name> at <context>", which is exactly the (measure, context
 // transform) pair the tracer wants.
-func (s *Session) emitExpandSpans(n plan.Node) {
+func (env *stmtEnv) emitExpandSpans(n plan.Node) {
 	plan.VisitNodeExprs(n, func(e plan.Expr) {
 		plan.WalkExprs(e, func(x plan.Expr) {
 			sq, ok := x.(*plan.Subquery)
@@ -414,13 +589,13 @@ func (s *Session) emitExpandSpans(n plan.Node) {
 				if ctx != "" {
 					attrs["context"] = ctx
 				}
-				s.span(exec.Span{Phase: "expand", Name: name, Attrs: attrs})
+				env.span(exec.Span{Phase: "expand", Name: name, Attrs: attrs})
 			}
-			s.emitExpandSpans(sq.Plan)
+			env.emitExpandSpans(sq.Plan)
 		})
 	})
 	for _, c := range n.Children() {
-		s.emitExpandSpans(c)
+		env.emitExpandSpans(c)
 	}
 }
 
@@ -429,26 +604,33 @@ func (s *Session) emitExpandSpans(n plan.Node) {
 // updated, and when withProfile is set (EXPLAIN ANALYZE) or a tracer is
 // installed, per-operator metrics are collected too.
 func (s *Session) execPlan(env *stmtEnv, node plan.Node, planNs int64, withProfile bool) ([][]sqltypes.Value, *exec.Profile, error) {
+	env.live.setPhase(phaseExecute)
 	s.lastStats.Reset()
 	settings := env.cfg.exec
 	settings.Stats = &s.lastStats
 	var prof *exec.Profile
-	if withProfile || s.tracer != nil {
+	if withProfile || env.tracer != nil {
 		prof = exec.NewProfile(node)
 		settings.Profile = prof
 	}
-	settings.Tracer = s.tracer
+	settings.Tracer = env.tracer
 
 	start := time.Now()
 	rows, err := exec.RunContext(env.ctx, node, &settings)
 	execNs := int64(time.Since(start))
 	if err != nil {
-		s.span(exec.Span{Phase: "execute", Name: "query", DurNs: execNs,
+		env.span(exec.Span{Phase: "execute", Name: "query", DurNs: execNs,
 			Attrs: map[string]string{"error": err.Error()}})
 		return nil, nil, err
 	}
 	st := s.lastStats.Snapshot()
 	s.metrics.recordQuery(env.cfg.strategy, len(rows), st, planNs, execNs)
+	if e := env.stats; e != nil {
+		e.rows.Add(int64(len(rows)))
+		e.cacheHits.Add(st.SubqueryCacheHits)
+		e.plan.Observe(planNs)
+		e.exec.Observe(execNs)
+	}
 	attrs := map[string]string{
 		"rows":    fmt.Sprintf("%d", len(rows)),
 		"scanned": fmt.Sprintf("%d", st.RowsScanned),
@@ -464,9 +646,9 @@ func (s *Session) execPlan(env *stmtEnv, node plan.Node, planNs int64, withProfi
 	for k, v := range env.execAttrs {
 		attrs[k] = v
 	}
-	s.span(exec.Span{Phase: "execute", Name: "query", DurNs: execNs, Attrs: attrs})
-	if prof != nil && s.tracer != nil {
-		exec.PlanSpans(node, prof, s.tracer)
+	env.span(exec.Span{Phase: "execute", Name: "query", DurNs: execNs, Attrs: attrs})
+	if prof != nil && env.tracer != nil {
+		exec.PlanSpans(node, prof, env.tracer)
 	}
 	return rows, prof, nil
 }

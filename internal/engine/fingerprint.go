@@ -1,0 +1,208 @@
+// Statement fingerprinting for the statement-stats store: queries that
+// differ only in literal values share one fingerprint, in the
+// pg_stat_statements tradition. The normalization reuses the plan
+// cache's canonicalization (ast.FormatQuery over the parsed tree, which
+// already renders parameters as $n) and additionally replaces every
+// literal with a `?` placeholder, so `WHERE revenue > 10` and
+// `WHERE revenue > 99` aggregate into the same statistics row.
+package engine
+
+import (
+	"strings"
+
+	"github.com/measures-sql/msql/internal/ast"
+)
+
+// stmtInfo is what the guard rail needs to know about the statement it
+// wraps: a one-line display text (for the live-query registry and the
+// slow-query log) and the stats-store fingerprint (empty = untracked).
+type stmtInfo struct {
+	sql         string
+	fingerprint string
+}
+
+// oneLine collapses the printer's multi-line rendering into a single
+// display line.
+func oneLine(s string) string { return strings.Join(strings.Fields(s), " ") }
+
+// statementInfo derives the display text and fingerprint for one parsed
+// statement. When the stats store is disabled, fingerprinting (which
+// deep-copies the query) is skipped entirely — that is the overhead
+// msqlbench's E27 measures.
+func (s *Session) statementInfo(stmt ast.Statement) stmtInfo {
+	track := s.stmts.enabledNow()
+	switch st := stmt.(type) {
+	case *ast.QueryStmt:
+		info := stmtInfo{sql: oneLine(ast.FormatQuery(st.Query))}
+		if track {
+			info.fingerprint = fingerprintQuery(st.Query)
+		}
+		return info
+	case *ast.ExecuteStmt:
+		// Retargeted to the underlying prepared query's fingerprint in
+		// execPrepared, so EXECUTE and direct SQL aggregate together.
+		return stmtInfo{sql: oneLine(ast.FormatStatement(st))}
+	case *ast.Insert:
+		// INSERT values are high-cardinality; fingerprint by target table.
+		info := stmtInfo{sql: "INSERT INTO " + st.Table}
+		if track {
+			info.fingerprint = info.sql
+		}
+		return info
+	case *ast.Explain, *ast.Expand:
+		// Diagnostic statements stay out of the stats store.
+		return stmtInfo{sql: oneLine(ast.FormatStatement(st))}
+	case *ast.Kill:
+		return stmtInfo{sql: oneLine(ast.FormatStatement(st))}
+	default:
+		// DDL and the prepared-statement verbs: low cardinality, the
+		// formatted text is its own fingerprint.
+		info := stmtInfo{sql: oneLine(ast.FormatStatement(stmt))}
+		if track {
+			info.fingerprint = info.sql
+		}
+		return info
+	}
+}
+
+// fingerprintQuery renders q with literals replaced by ?, on one line.
+func fingerprintQuery(q *ast.Query) string {
+	return oneLine(ast.FormatQuery(normalizeQuery(q)))
+}
+
+// normalizeQuery deep-copies q with every literal replaced by a
+// placeholder (ast.Param with index 0 prints as `?`). The walk descends
+// into CTEs, set operations, derived tables, and subquery expressions,
+// so literals anywhere in the statement normalize.
+func normalizeQuery(q *ast.Query) *ast.Query {
+	if q == nil {
+		return nil
+	}
+	c := *q
+	if q.With != nil {
+		c.With = make([]ast.CTE, len(q.With))
+		for i, cte := range q.With {
+			cte.Query = normalizeQuery(cte.Query)
+			c.With[i] = cte
+		}
+	}
+	c.Body = normalizeBody(q.Body)
+	if q.OrderBy != nil {
+		c.OrderBy = make([]ast.OrderItem, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			o.Expr = normalizeExpr(o.Expr)
+			c.OrderBy[i] = o
+		}
+	}
+	c.Limit = normalizeExpr(q.Limit)
+	c.Offset = normalizeExpr(q.Offset)
+	return &c
+}
+
+func normalizeBody(b ast.Body) ast.Body {
+	switch b := b.(type) {
+	case *ast.Select:
+		return normalizeSelect(b)
+	case *ast.SetOp:
+		c := *b
+		c.Left = normalizeBody(b.Left)
+		c.Right = normalizeBody(b.Right)
+		return &c
+	case *ast.SubqueryBody:
+		c := *b
+		c.Query = normalizeQuery(b.Query)
+		return &c
+	default:
+		return b
+	}
+}
+
+func normalizeSelect(sel *ast.Select) *ast.Select {
+	c := *sel
+	if sel.Items != nil {
+		c.Items = make([]ast.SelectItem, len(sel.Items))
+		for i, it := range sel.Items {
+			it.Expr = normalizeExpr(it.Expr)
+			c.Items[i] = it
+		}
+	}
+	c.From = normalizeTableExpr(sel.From)
+	c.Where = normalizeExpr(sel.Where)
+	if sel.GroupBy != nil {
+		c.GroupBy = make([]ast.GroupItem, len(sel.GroupBy))
+		for i, g := range sel.GroupBy {
+			g.Exprs = normalizeExprList(g.Exprs)
+			if g.Sets != nil {
+				sets := make([][]ast.Expr, len(g.Sets))
+				for j, set := range g.Sets {
+					sets[j] = normalizeExprList(set)
+				}
+				g.Sets = sets
+			}
+			c.GroupBy[i] = g
+		}
+	}
+	c.Having = normalizeExpr(sel.Having)
+	c.Qualify = normalizeExpr(sel.Qualify)
+	return &c
+}
+
+func normalizeTableExpr(te ast.TableExpr) ast.TableExpr {
+	switch te := te.(type) {
+	case *ast.SubqueryTable:
+		c := *te
+		c.Query = normalizeQuery(te.Query)
+		return &c
+	case *ast.JoinExpr:
+		c := *te
+		c.Left = normalizeTableExpr(te.Left)
+		c.Right = normalizeTableExpr(te.Right)
+		c.On = normalizeExpr(te.On)
+		return &c
+	default: // *ast.TableName or nil
+		return te
+	}
+}
+
+func normalizeExprList(list []ast.Expr) []ast.Expr {
+	if list == nil {
+		return nil
+	}
+	out := make([]ast.Expr, len(list))
+	for i, e := range list {
+		out[i] = normalizeExpr(e)
+	}
+	return out
+}
+
+// normalizeExpr applies the literal replacement through TransformExpr
+// and recurses into subquery-bearing expressions (which TransformExpr
+// deliberately does not descend).
+func normalizeExpr(e ast.Expr) ast.Expr {
+	if e == nil {
+		return nil
+	}
+	return ast.TransformExpr(e, func(x ast.Expr) ast.Expr {
+		switch x := x.(type) {
+		case *ast.NumberLit, *ast.StringLit, *ast.BoolLit, *ast.DateLit:
+			// NULL stays: it changes typing and plan shape, and NULL
+			// literals are not the parameter-like values that explode
+			// fingerprint cardinality.
+			return &ast.Param{Index: 0}
+		case *ast.InSubquery:
+			c := *x
+			c.Query = normalizeQuery(x.Query)
+			return &c
+		case *ast.Exists:
+			c := *x
+			c.Query = normalizeQuery(x.Query)
+			return &c
+		case *ast.ScalarSubquery:
+			c := *x
+			c.Query = normalizeQuery(x.Query)
+			return &c
+		default:
+			return x
+		}
+	})
+}

@@ -34,6 +34,12 @@ type Metrics struct {
 	planNs          int64
 	execNs          int64
 
+	// planHist / execHist distribute per-statement planning and
+	// execution latencies (exported as Prometheus histograms and the
+	// PlanLatency/ExecLatency snapshot sections).
+	planHist exec.Histogram
+	execHist exec.Histogram
+
 	mu         sync.Mutex
 	byStrategy map[string]*stratCounters
 	// serverFn, when set, supplies a point-in-time copy of the serving
@@ -81,6 +87,7 @@ func (m *Metrics) SetPlanCacheSource(fn func() PlanCacheCounters) {
 // stratCounters is the per-strategy slice of the registry.
 type stratCounters struct {
 	Queries int64 `json:"queries"`
+	Errors  int64 `json:"errors"`
 	PlanNs  int64 `json:"plan_ns"`
 	ExecNs  int64 `json:"exec_ns"`
 }
@@ -103,6 +110,8 @@ func (m *Metrics) recordQuery(strategy string, rows int, st exec.Stats, planNs, 
 	atomic.AddInt64(&m.vecFallbackRows, st.VecFallbackRows)
 	atomic.AddInt64(&m.planNs, planNs)
 	atomic.AddInt64(&m.execNs, execNs)
+	m.planHist.Observe(planNs)
+	m.execHist.Observe(execNs)
 	m.mu.Lock()
 	sc := m.byStrategy[strategy]
 	if sc == nil {
@@ -117,8 +126,10 @@ func (m *Metrics) recordQuery(strategy string, rows int, st exec.Stats, planNs, 
 
 // recordOutcome folds one failed statement into the registry,
 // classifying cancellations, timeouts, and resource-limit trips by
-// their error code.
-func (m *Metrics) recordOutcome(err error) {
+// their error code, and attributing the error to the strategy that ran
+// the statement (so "memo" failures are distinguishable from "naive"
+// ones in the per-strategy series).
+func (m *Metrics) recordOutcome(strategy string, err error) {
 	if err == nil {
 		return
 	}
@@ -131,6 +142,14 @@ func (m *Metrics) recordOutcome(err error) {
 	case errors.Is(err, exec.CodeResourceExhausted):
 		atomic.AddInt64(&m.limitTrips, 1)
 	}
+	m.mu.Lock()
+	sc := m.byStrategy[strategy]
+	if sc == nil {
+		sc = &stratCounters{}
+		m.byStrategy[strategy] = sc
+	}
+	sc.Errors++
+	m.mu.Unlock()
 }
 
 // MetricsSnapshot is a point-in-time copy of the registry.
@@ -151,6 +170,8 @@ type MetricsSnapshot struct {
 	VecFallbackRows int64                    `json:"vec_fallback_rows"`
 	PlanNs          int64                    `json:"plan_ns"`
 	ExecNs          int64                    `json:"exec_ns"`
+	PlanLatency     exec.HistogramSnapshot   `json:"plan_latency"`
+	ExecLatency     exec.HistogramSnapshot   `json:"exec_latency"`
 	ByStrategy      map[string]stratCounters `json:"by_strategy"`
 	// PlanCache carries the prepared-statement plan cache's counters.
 	PlanCache *PlanCacheCounters `json:"plan_cache,omitempty"`
@@ -177,6 +198,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		VecFallbackRows: atomic.LoadInt64(&m.vecFallbackRows),
 		PlanNs:          atomic.LoadInt64(&m.planNs),
 		ExecNs:          atomic.LoadInt64(&m.execNs),
+		PlanLatency:     m.planHist.Snapshot(),
+		ExecLatency:     m.execHist.Snapshot(),
 		ByStrategy:      map[string]stratCounters{},
 	}
 	if total := s.SubqueryEvals + s.CacheHits; total > 0 {
@@ -230,6 +253,17 @@ func (s MetricsSnapshot) Prometheus() string {
 	counter("msql_vec_kernel_rows_total", "Expression evaluations done by batch kernels.", s.VecKernelRows)
 	counter("msql_vec_fallback_rows_total", "Rows the vectorized engine handed back to the row evaluator.", s.VecFallbackRows)
 	fmt.Fprintf(&sb, "# HELP msql_cache_hit_ratio Fraction of subquery evaluations served from cache.\n# TYPE msql_cache_hit_ratio gauge\nmsql_cache_hit_ratio %g\n", s.CacheHitRatio)
+	histogram := func(name, help string, h exec.HistogramSnapshot) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		h.EachBucket(func(upperNs, cum int64) {
+			fmt.Fprintf(&sb, "%s_bucket{le=\"%g\"} %d\n", name, float64(upperNs)/1e9, cum)
+		})
+		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(&sb, "%s_sum %g\n", name, float64(h.SumNs)/1e9)
+		fmt.Fprintf(&sb, "%s_count %d\n", name, h.Count)
+	}
+	histogram("msql_plan_duration_seconds", "Per-statement planning latency.", s.PlanLatency)
+	histogram("msql_exec_duration_seconds", "Per-statement execution latency.", s.ExecLatency)
 	if pc := s.PlanCache; pc != nil {
 		counter("msql_plan_cache_hits_total", "Prepared executions served from the plan cache.", pc.Hits)
 		counter("msql_plan_cache_misses_total", "Prepared executions that had to plan.", pc.Misses)
@@ -248,6 +282,10 @@ func (s MetricsSnapshot) Prometheus() string {
 	sb.WriteString("# HELP msql_strategy_queries_total Queries executed per strategy.\n# TYPE msql_strategy_queries_total counter\n")
 	for _, k := range strategies {
 		fmt.Fprintf(&sb, "msql_strategy_queries_total{strategy=%q} %d\n", k, s.ByStrategy[k].Queries)
+	}
+	sb.WriteString("# HELP msql_strategy_errors_total Failed statements per strategy.\n# TYPE msql_strategy_errors_total counter\n")
+	for _, k := range strategies {
+		fmt.Fprintf(&sb, "msql_strategy_errors_total{strategy=%q} %d\n", k, s.ByStrategy[k].Errors)
 	}
 	sb.WriteString("# HELP msql_plan_seconds_total Time spent binding and optimizing, per strategy.\n# TYPE msql_plan_seconds_total counter\n")
 	for _, k := range strategies {

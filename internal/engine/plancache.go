@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/measures-sql/msql/internal/catalog"
 	"github.com/measures-sql/msql/internal/exec"
 	"github.com/measures-sql/msql/internal/plan"
 	"github.com/measures-sql/msql/internal/sqltypes"
@@ -294,9 +295,20 @@ func cacheKeyDigest(key string) string {
 // every expression in every node (including nested subquery plans) must
 // be non-volatile. A plan containing RANDOM() must be replanned per
 // execution so constant folding and pipeline reuse cannot freeze its
-// per-row results.
+// per-row results. Scans over msql_stats.* virtual tables are likewise
+// excluded: their contents change on every statement without a catalog
+// version bump, so both the plan cache's result memo and pipeline reuse
+// would serve stale introspection data.
 func planCacheable(n plan.Node) bool {
 	if !plan.NodeParallelSafe(n) {
+		return false
+	}
+	if sc, ok := n.(*plan.Scan); ok {
+		if _, virtual := sc.Source.(*catalog.VirtualTable); virtual {
+			return false
+		}
+	}
+	if subqueryHasVirtualScan(n) {
 		return false
 	}
 	for _, c := range n.Children() {
@@ -305,4 +317,18 @@ func planCacheable(n plan.Node) bool {
 		}
 	}
 	return true
+}
+
+// subqueryHasVirtualScan checks the subquery plans embedded in n's own
+// expressions (child nodes are covered by planCacheable's recursion).
+func subqueryHasVirtualScan(n plan.Node) bool {
+	found := false
+	plan.VisitNodeExprs(n, func(e plan.Expr) {
+		plan.WalkExprs(e, func(x plan.Expr) {
+			if sq, ok := x.(*plan.Subquery); ok && !planCacheable(sq.Plan) {
+				found = true
+			}
+		})
+	})
+	return found
 }

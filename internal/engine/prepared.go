@@ -24,6 +24,9 @@ type Prepared struct {
 	query   *ast.Query
 	nParams int
 	types   []sqltypes.Kind
+	// fp is the statement-stats fingerprint of the underlying query,
+	// precomputed so per-execution tracking costs one map lookup.
+	fp string
 }
 
 // NumParams returns the number of parameter placeholders.
@@ -37,6 +40,7 @@ func (p *Prepared) SQL() string { return p.sql }
 // query once so definition errors surface at PREPARE time.
 func (s *Session) newPrepared(name string, q *ast.Query, nParams int, typeNames []string) (*Prepared, error) {
 	p := &Prepared{name: name, sql: ast.FormatQuery(q), query: q, nParams: nParams}
+	p.fp = fingerprintQuery(q)
 	if len(typeNames) > 0 {
 		if len(typeNames) != nParams {
 			return nil, fmt.Errorf("prepared statement declares %d parameter types but uses %d parameters", len(typeNames), nParams)
@@ -55,7 +59,7 @@ func (s *Session) newPrepared(name string, q *ast.Query, nParams int, typeNames 
 		if kinds == nil {
 			kinds = []sqltypes.Kind{}
 		}
-		env := &stmtEnv{ctx: context.Background(), cfg: s.statementConfig(nil)}
+		env := &stmtEnv{ctx: context.Background(), cfg: s.statementConfig(nil), tracer: s.tracer}
 		if _, _, err := s.planQueryParams(env, q, kinds); err != nil {
 			return nil, err
 		}
@@ -242,6 +246,11 @@ func (s *Session) preparedPlan(env *stmtEnv, p *Prepared, vals []sqltypes.Value)
 // bump and volatile plans never enter the cache, so a memoized result
 // is exactly what re-execution would produce.
 func (s *Session) execPrepared(env *stmtEnv, p *Prepared, vals []sqltypes.Value) (*Result, error) {
+	// Retarget statement stats to the underlying query's fingerprint so
+	// SQL EXECUTE and the equivalent direct query aggregate together.
+	if e := s.stmts.entry(p.fp); e != nil {
+		env.stats = e
+	}
 	entry, cached, key, planNs, err := s.preparedPlan(env, p, vals)
 	if err != nil {
 		return nil, err
@@ -255,6 +264,10 @@ func (s *Session) execPrepared(env *stmtEnv, p *Prepared, vals []sqltypes.Value)
 		if rows, ok := entry.memoLookup(mk); ok {
 			s.plans.noteMemoHit()
 			env.execAttrs["memo"] = "true"
+			if e := env.stats; e != nil {
+				e.rows.Add(int64(len(rows)))
+				e.memoHits.Add(1)
+			}
 			res := &Result{Columns: entry.columns, Types: entry.types, Rows: rows}
 			if res.Columns == nil {
 				res.Columns = []string{}
@@ -353,7 +366,8 @@ func (ps *PreparedStmt) NumParams() int { return ps.p.nParams }
 // values under the same guard rail as ExecStatementContext.
 func (ps *PreparedStmt) ExecuteContext(ctx context.Context, args []sqltypes.Value, ov *Overrides) (*Result, error) {
 	s := ps.sess
-	return s.withStmtEnv(ctx, ov, func(env *stmtEnv) (*Result, error) {
+	info := stmtInfo{sql: oneLine(ps.p.sql), fingerprint: ps.p.fp}
+	return s.withStmtEnv(ctx, ov, info, func(env *stmtEnv) (*Result, error) {
 		vals, err := coerceParams(ps.p, args)
 		if err != nil {
 			return nil, err
@@ -401,7 +415,8 @@ func (s *Session) ExecuteNamed(ctx context.Context, name string, args []sqltypes
 	if err != nil {
 		return nil, err
 	}
-	return s.withStmtEnv(ctx, ov, func(env *stmtEnv) (*Result, error) {
+	info := stmtInfo{sql: oneLine(p.sql), fingerprint: p.fp}
+	return s.withStmtEnv(ctx, ov, info, func(env *stmtEnv) (*Result, error) {
 		vals, err := coerceParams(p, args)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,121 @@
+// The live-query registry: every statement entering the guard rail gets
+// a session-unique query ID, visible through msql_stats.active_queries
+// and cancellable with KILL <id> (or the server's /kill endpoint). The
+// kill path reuses the engine's context-cancellation machinery, so a
+// killed query fails with the CANCELED taxonomy code at the next
+// cooperative checkpoint.
+package engine
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Query phases reported in active_queries.
+const (
+	phasePlan    = "plan"
+	phaseExecute = "execute"
+)
+
+// liveQuery is one in-flight statement.
+type liveQuery struct {
+	id          int64
+	sql         string
+	fingerprint string
+	source      string // "repl", "api", "wire"
+	requestID   string
+	strategy    string
+	started     time.Time
+	phase       atomic.Value // string
+	cancel      context.CancelFunc
+}
+
+func (q *liveQuery) setPhase(p string) {
+	if q != nil {
+		q.phase.Store(p)
+	}
+}
+
+// queryRegistry tracks in-flight statements for one session.
+type queryRegistry struct {
+	mu     sync.Mutex
+	nextID int64
+	live   map[int64]*liveQuery
+}
+
+func newQueryRegistry() *queryRegistry {
+	return &queryRegistry{live: make(map[int64]*liveQuery)}
+}
+
+// register assigns an ID, wraps ctx with a cancel hook for KILL, and
+// enters the query into the live set. The returned done func must be
+// called when the statement finishes (it also releases the context).
+func (r *queryRegistry) register(ctx context.Context, q *liveQuery) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(ctx)
+	q.cancel = cancel
+	q.phase.Store(phasePlan)
+	r.mu.Lock()
+	r.nextID++
+	q.id = r.nextID
+	r.live[q.id] = q
+	r.mu.Unlock()
+	return ctx, func() {
+		r.mu.Lock()
+		delete(r.live, q.id)
+		r.mu.Unlock()
+		cancel()
+	}
+}
+
+// kill cancels the query with the given ID. Returns false if no such
+// query is currently running.
+func (r *queryRegistry) kill(id int64) bool {
+	r.mu.Lock()
+	q := r.live[id]
+	r.mu.Unlock()
+	if q == nil {
+		return false
+	}
+	q.cancel()
+	return true
+}
+
+// ActiveQuery is a point-in-time view of one in-flight statement.
+type ActiveQuery struct {
+	ID          int64     `json:"id"`
+	SQL         string    `json:"sql"`
+	Fingerprint string    `json:"fingerprint,omitempty"`
+	Source      string    `json:"source"`
+	RequestID   string    `json:"request_id,omitempty"`
+	Strategy    string    `json:"strategy"`
+	Phase       string    `json:"phase"`
+	Started     time.Time `json:"started"`
+	ElapsedMs   float64   `json:"elapsed_ms"`
+}
+
+// snapshot lists in-flight queries ordered by ID (oldest first).
+func (r *queryRegistry) snapshot() []ActiveQuery {
+	now := time.Now()
+	r.mu.Lock()
+	out := make([]ActiveQuery, 0, len(r.live))
+	for _, q := range r.live {
+		phase, _ := q.phase.Load().(string)
+		out = append(out, ActiveQuery{
+			ID:          q.id,
+			SQL:         q.sql,
+			Fingerprint: q.fingerprint,
+			Source:      q.source,
+			RequestID:   q.requestID,
+			Strategy:    q.strategy,
+			Phase:       phase,
+			Started:     q.started,
+			ElapsedMs:   float64(now.Sub(q.started)) / 1e6,
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,131 @@
+// The statement-stats store: cumulative per-fingerprint execution
+// statistics in the style of pg_stat_statements, queryable through the
+// msql_stats.statements virtual table and the Session.StatementStats
+// accessor. Counter updates are atomic and latency distributions are
+// lock-free log-bucketed histograms, so the hot path takes the store's
+// RWMutex only in read mode (map lookup); the write lock is taken once
+// per new fingerprint.
+package engine
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/measures-sql/msql/internal/exec"
+)
+
+// stmtStatsCap bounds the fingerprint map. Beyond it, new fingerprints
+// fold into a single overflow entry so a literal-heavy workload that
+// defeats normalization cannot grow memory without bound.
+const stmtStatsCap = 512
+
+// stmtStatsOverflow is the fingerprint that absorbs entries past the cap.
+const stmtStatsOverflow = "<overflow>"
+
+// stmtStatEntry is the live accumulator for one fingerprint. All fields
+// are updated atomically; readers snapshot without stopping writers.
+type stmtStatEntry struct {
+	fingerprint string
+	calls       atomic.Int64
+	errors      atomic.Int64
+	rows        atomic.Int64
+	cacheHits   atomic.Int64 // subquery-cache hits during execution
+	memoHits    atomic.Int64 // whole-result memo hits (execution skipped)
+	plan        exec.Histogram
+	exec        exec.Histogram
+}
+
+// statementStats is the per-session store. enabled defaults to true and
+// may be toggled at runtime; when off, lookups return nil and callers
+// skip fingerprint computation entirely.
+type statementStats struct {
+	enabled atomic.Bool
+	mu      sync.RWMutex
+	entries map[string]*stmtStatEntry
+}
+
+func newStatementStats() *statementStats {
+	st := &statementStats{entries: make(map[string]*stmtStatEntry)}
+	st.enabled.Store(true)
+	return st
+}
+
+func (st *statementStats) enabledNow() bool { return st.enabled.Load() }
+
+func (st *statementStats) setEnabled(on bool) { st.enabled.Store(on) }
+
+// entry returns the accumulator for fingerprint, creating it if needed.
+// Returns nil when tracking is off or the fingerprint is empty.
+func (st *statementStats) entry(fingerprint string) *stmtStatEntry {
+	if fingerprint == "" || !st.enabled.Load() {
+		return nil
+	}
+	st.mu.RLock()
+	e := st.entries[fingerprint]
+	st.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e := st.entries[fingerprint]; e != nil {
+		return e
+	}
+	if len(st.entries) >= stmtStatsCap {
+		fingerprint = stmtStatsOverflow
+		if e := st.entries[fingerprint]; e != nil {
+			return e
+		}
+	}
+	e = &stmtStatEntry{fingerprint: fingerprint}
+	st.entries[fingerprint] = e
+	return e
+}
+
+// reset clears all accumulated statistics.
+func (st *statementStats) reset() {
+	st.mu.Lock()
+	st.entries = make(map[string]*stmtStatEntry)
+	st.mu.Unlock()
+}
+
+// StatementStat is a point-in-time snapshot of one fingerprint's
+// statistics. Latency snapshots carry precomputed p50/p95/p99 and the
+// raw buckets for exposition formats.
+type StatementStat struct {
+	Fingerprint string                 `json:"fingerprint"`
+	Calls       int64                  `json:"calls"`
+	Errors      int64                  `json:"errors"`
+	Rows        int64                  `json:"rows"`
+	CacheHits   int64                  `json:"cache_hits"`
+	MemoHits    int64                  `json:"memo_hits"`
+	Plan        exec.HistogramSnapshot `json:"plan"`
+	Exec        exec.HistogramSnapshot `json:"exec"`
+}
+
+// snapshot returns all entries sorted by fingerprint for deterministic
+// output.
+func (st *statementStats) snapshot() []StatementStat {
+	st.mu.RLock()
+	entries := make([]*stmtStatEntry, 0, len(st.entries))
+	for _, e := range st.entries {
+		entries = append(entries, e)
+	}
+	st.mu.RUnlock()
+	out := make([]StatementStat, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, StatementStat{
+			Fingerprint: e.fingerprint,
+			Calls:       e.calls.Load(),
+			Errors:      e.errors.Load(),
+			Rows:        e.rows.Load(),
+			CacheHits:   e.cacheHits.Load(),
+			MemoHits:    e.memoHits.Load(),
+			Plan:        e.plan.Snapshot(),
+			Exec:        e.exec.Snapshot(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}

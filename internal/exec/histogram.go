@@ -1,0 +1,139 @@
+// Histogram is a lock-free log-bucketed latency histogram in the
+// Monarch "distribution-typed value" tradition: fixed buckets whose
+// widths grow geometrically, atomic counters, and quantile estimates
+// read from a consistent snapshot. One histogram costs a few atomic
+// adds per observation, so the statement-stats store can record every
+// statement a busy server runs without a mutex on the hot path.
+package exec
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histSubBits subdivides each power-of-two octave into 2^histSubBits
+// sub-buckets, bounding the relative quantile error at 1/2^histSubBits
+// (25% with 2 bits) instead of the 2x error of plain log2 buckets.
+const histSubBits = 2
+
+// histBuckets spans int64 nanoseconds: 64 octaves × 4 sub-buckets.
+const histBuckets = 64 << histSubBits
+
+// Histogram counts observations in log-spaced buckets. The zero value
+// is ready to use; all methods are safe for concurrent use. Values are
+// nanoseconds by convention, but nothing depends on the unit.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// histBucketIndex maps a value to its bucket. Values 0..7 are exact;
+// larger values share an octave (floor log2) split into 4 sub-ranges by
+// the two bits after the leading one. The mapping is monotonic in v.
+func histBucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < 8 {
+		return int(u)
+	}
+	e := uint(bits.Len64(u)) - 1 // >= 3
+	sub := (u >> (e - histSubBits)) & (1<<histSubBits - 1)
+	return int(e)<<histSubBits + int(sub)
+}
+
+// histBucketUpper returns the largest value that lands in bucket idx
+// (the Prometheus `le` bound of that bucket).
+func histBucketUpper(idx int) int64 {
+	if idx < 8 {
+		return int64(idx)
+	}
+	e := uint(idx >> histSubBits)
+	sub := uint64(idx & (1<<histSubBits - 1))
+	if e >= 62 {
+		return math.MaxInt64 // top octaves would overflow; clamp
+	}
+	return int64((sub+1<<histSubBits+1)<<(e-histSubBits)) - 1
+}
+
+// Observe folds one value into the histogram.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[histBucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot returns a point-in-time copy with precomputed quantiles.
+// Concurrent Observe calls may straddle the copy; each bucket value is
+// individually consistent, which is all quantile estimation needs.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		SumNs:   h.sum.Load(),
+		Buckets: make([]int64, histBuckets),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.P50Ns = s.Quantile(0.50)
+	s.P95Ns = s.Quantile(0.95)
+	s.P99Ns = s.Quantile(0.99)
+	return s
+}
+
+// HistogramSnapshot is a consistent copy of a Histogram: totals, the
+// standard latency quantiles, and the raw bucket counts (for Prometheus
+// exposition; omitted from JSON).
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	SumNs   int64   `json:"sum_ns"`
+	P50Ns   int64   `json:"p50_ns"`
+	P95Ns   int64   `json:"p95_ns"`
+	P99Ns   int64   `json:"p99_ns"`
+	Buckets []int64 `json:"-"`
+}
+
+// Quantile estimates the p-quantile (0 < p <= 1): the upper bound of
+// the first bucket at which the cumulative count reaches p×Count. The
+// estimate errs high by at most one sub-bucket width (~25%).
+func (s HistogramSnapshot) Quantile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(p*float64(s.Count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > s.Count {
+		target = s.Count
+	}
+	var cum int64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= target {
+			return histBucketUpper(i)
+		}
+	}
+	return histBucketUpper(len(s.Buckets) - 1)
+}
+
+// EachBucket calls fn for every non-empty bucket in increasing order
+// with its inclusive upper bound and the cumulative count so far —
+// exactly the shape a Prometheus `_bucket` series wants (the caller
+// appends the +Inf bucket with the total count).
+func (s HistogramSnapshot) EachBucket(fn func(upper int64, cumulative int64)) {
+	var cum int64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fn(histBucketUpper(i), cum)
+	}
+}

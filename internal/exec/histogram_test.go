@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketsMonotonic(t *testing.T) {
+	prevIdx := -1
+	prevUpper := int64(-1)
+	for v := int64(0); v < 1<<20; v += 1 + v/7 {
+		idx := histBucketIndex(v)
+		if idx < prevIdx {
+			t.Fatalf("bucket index not monotonic: v=%d idx=%d prev=%d", v, idx, prevIdx)
+		}
+		if up := histBucketUpper(idx); up < v {
+			t.Fatalf("upper bound below member: v=%d idx=%d upper=%d", v, idx, up)
+		}
+		if idx != prevIdx {
+			if up := histBucketUpper(idx); up <= prevUpper {
+				t.Fatalf("upper bounds not increasing: idx=%d upper=%d prevUpper=%d", idx, up, prevUpper)
+			}
+			prevUpper = histBucketUpper(idx)
+		}
+		prevIdx = idx
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// Uniform values 1..1000: p50 ≈ 500, p99 ≈ 990; the log buckets may
+	// err high by one sub-bucket (≤ 25%).
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.SumNs != 500500 {
+		t.Fatalf("sum = %d, want 500500", s.SumNs)
+	}
+	check := func(p float64, exact int64) {
+		got := s.Quantile(p)
+		if got < exact || float64(got) > float64(exact)*1.3 {
+			t.Errorf("q%.2f = %d, want within [%d, %d]", p, got, exact, int64(float64(exact)*1.3))
+		}
+	}
+	check(0.50, 500)
+	check(0.95, 950)
+	check(0.99, 990)
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5) // clamped to 0
+	s := h.Snapshot()
+	if s.Count != 2 || s.SumNs != 0 {
+		t.Fatalf("count=%d sum=%d, want 2, 0", s.Count, s.SumNs)
+	}
+	if q := s.Quantile(0.99); q != 0 {
+		t.Fatalf("q99 of zeros = %d, want 0", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+}
+
+func TestHistogramEachBucketCumulative(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(i * 977))
+	}
+	s := h.Snapshot()
+	var last int64
+	var calls int
+	prevUpper := int64(-1)
+	s.EachBucket(func(upper, cum int64) {
+		if upper <= prevUpper {
+			t.Fatalf("upper bounds not increasing: %d after %d", upper, prevUpper)
+		}
+		if cum <= last {
+			t.Fatalf("cumulative counts not increasing: %d after %d", cum, last)
+		}
+		prevUpper, last = upper, cum
+		calls++
+	})
+	if calls == 0 || last != s.Count {
+		t.Fatalf("final cumulative = %d over %d buckets, want %d", last, calls, s.Count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1_000_000))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var sum int64
+	for _, c := range s.Buckets {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}

@@ -242,6 +242,20 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 		return p.parsePrepare()
 	case p.peekIdent("EXECUTE"):
 		return p.parseExecute()
+	case p.peekIdent("KILL"):
+		// KILL is not a reserved word (it stays usable as a name); the
+		// statement form is KILL <integer query id>.
+		p.advance()
+		t := p.cur()
+		if t.Kind != lexer.Number {
+			return nil, p.errHere("expected a query id after KILL")
+		}
+		p.advance()
+		id, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errHere("bad query id %q", t.Text)
+		}
+		return &ast.Kill{ID: id}, nil
 	case p.peekIdent("DEALLOCATE"):
 		p.advance()
 		if p.accept("ALL") {
@@ -980,6 +994,15 @@ func (p *Parser) parseTablePrimary() (ast.TableExpr, error) {
 	name, err := p.ident()
 	if err != nil {
 		return nil, err
+	}
+	// Dot-qualified reference (schema.table), used by the msql_stats.*
+	// system tables; the qualified name is kept as one dotted string.
+	for p.peekOp(".") {
+		if p.pos+1 >= len(p.toks) || p.toks[p.pos+1].Kind != lexer.Ident {
+			break
+		}
+		p.advance() // '.'
+		name += "." + p.advance().Text
 	}
 	alias := ""
 	if p.accept("AS") {

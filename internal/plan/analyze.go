@@ -87,10 +87,10 @@ func (m *OpMetrics) AddCacheHit() { atomic.AddInt64(&m.CacheHits, 1) }
 // safe to call while the plan is still executing.
 func (m *OpMetrics) Load() OpMetrics {
 	return OpMetrics{
-		Calls:      atomic.LoadInt64(&m.Calls),
-		RowsOut:    atomic.LoadInt64(&m.RowsOut),
-		WallNs:     atomic.LoadInt64(&m.WallNs),
-		MaxWorkers: atomic.LoadInt64(&m.MaxWorkers),
+		Calls:         atomic.LoadInt64(&m.Calls),
+		RowsOut:       atomic.LoadInt64(&m.RowsOut),
+		WallNs:        atomic.LoadInt64(&m.WallNs),
+		MaxWorkers:    atomic.LoadInt64(&m.MaxWorkers),
 		Evals:         atomic.LoadInt64(&m.Evals),
 		CacheHits:     atomic.LoadInt64(&m.CacheHits),
 		Batches:       atomic.LoadInt64(&m.Batches),

@@ -9,6 +9,10 @@ package server
 //	GET  /readyz        readiness — 503 once draining
 //	GET  /metrics       Prometheus text (engine + server counters)
 //	GET  /metrics.json  the same snapshot as expvar-style JSON
+//	GET  /statements    statement-stats store (see introspect.go)
+//	GET  /queries       in-flight queries
+//	POST /kill          cancel an in-flight query by ID
+//	     /debug/pprof/  profiling, when Config.EnablePprof
 
 import (
 	"context"
@@ -61,6 +65,7 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		io.WriteString(w, s.db.Metrics().JSON())
 	})
+	s.mountDebug(mux)
 	return mux
 }
 
@@ -167,6 +172,13 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, ndjson bool)
 		return
 	}
 
+	reqID := s.requestID(w, r, req.RequestID)
+	start := time.Now()
+	path := "/query"
+	if ndjson {
+		path = "/query.ndjson"
+	}
+
 	// Chaos hook: the server-accept failpoint simulates admission-path
 	// faults; a firing is shed exactly like real overload.
 	if err := exec.Fire(exec.FailServerAccept); err != nil {
@@ -192,7 +204,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, ndjson bool)
 	// Deadline policy: a client-supplied timeout is clamped to
 	// MaxTimeout; absent one, the session's exec.Limits.Timeout applies
 	// inside the engine.
-	var opts []msql.Option
+	opts := []msql.Option{msql.WithSource("wire"), msql.WithRequestID(reqID)}
 	if req.TimeoutMillis > 0 {
 		d := time.Duration(req.TimeoutMillis) * time.Millisecond
 		if d > s.cfg.MaxTimeout {
@@ -211,11 +223,13 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, ndjson bool)
 		killed := code == exec.CodeCanceled && s.killCtx.Err() != nil
 		s.finishAdmitted(code, killed)
 		we := wire.FromError(err)
+		we.RequestID = reqID
 		status := we.HTTPStatus()
 		if killed || (code == exec.CodeCanceled && s.draining.Load()) {
 			status = http.StatusServiceUnavailable
 		}
 		s.writeError(w, we, status)
+		s.logAccess(path, reqID, status, code, time.Since(start), 0)
 		return
 	}
 	s.finishAdmitted(0, false)
@@ -239,6 +253,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, ndjson bool)
 		resp.Message = "ok"
 	}
 
+	s.logAccess(path, reqID, http.StatusOK, 0, time.Since(start), len(resp.Rows))
 	if !ndjson {
 		w.Header().Set("Content-Type", "application/json")
 		wrote = true

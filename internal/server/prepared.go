@@ -140,12 +140,15 @@ func (s *Server) serveExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 
+	reqID := s.requestID(w, r, req.RequestID)
+	start := time.Now()
+
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	stopKill := context.AfterFunc(s.killCtx, cancel)
 	defer stopKill()
 
-	var opts []msql.Option
+	opts := []msql.Option{msql.WithSource("wire"), msql.WithRequestID(reqID)}
 	if req.TimeoutMillis > 0 {
 		d := time.Duration(req.TimeoutMillis) * time.Millisecond
 		if d > s.cfg.MaxTimeout {
@@ -164,14 +167,17 @@ func (s *Server) serveExecute(w http.ResponseWriter, r *http.Request) {
 		killed := code == exec.CodeCanceled && s.killCtx.Err() != nil
 		s.finishAdmitted(code, killed)
 		we := wire.FromError(err)
+		we.RequestID = reqID
 		status := we.HTTPStatus()
 		if killed || (code == exec.CodeCanceled && s.draining.Load()) {
 			status = http.StatusServiceUnavailable
 		}
 		s.writeError(w, we, status)
+		s.logAccess("/execute", reqID, status, code, time.Since(start), 0)
 		return
 	}
 	s.finishAdmitted(0, false)
+	s.logAccess("/execute", reqID, http.StatusOK, 0, time.Since(start), len(res.Rows))
 
 	resp := wire.QueryResponse{Columns: res.Columns, Rows: wire.EncodeRows(res.Rows)}
 	resp.Types = make([]string, len(res.Types))

@@ -28,6 +28,7 @@ package server
 
 import (
 	"context"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,13 @@ type Config struct {
 	// RetryAfter is the hint sent with 429/503 responses (default 1s;
 	// rendered in whole seconds, minimum 1).
 	RetryAfter time.Duration
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// statement-executing request (path, request ID, status, taxonomy
+	// code, duration). msqld points it at stderr.
+	AccessLog io.Writer
+	// EnablePprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/ on the server's own mux (never the default mux).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +117,11 @@ type Server struct {
 	// wg tracks admitted statements; Drain waits on it.
 	wg        sync.WaitGroup
 	drainOnce sync.Once
+
+	// reqSeq numbers server-generated request IDs; logMu serializes
+	// access-log writes.
+	reqSeq atomic.Int64
+	logMu  sync.Mutex
 
 	counters counters
 }

@@ -33,6 +33,9 @@ type PrepareResponse struct {
 type ExecuteRequest struct {
 	Name   string  `json:"name"`
 	Params []Param `json:"params,omitempty"`
+	// RequestID has /query semantics: the X-Request-Id header wins,
+	// empty generates one server-side.
+	RequestID string `json:"request_id,omitempty"`
 	// TimeoutMillis has /query semantics: clamped by the server.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 }

@@ -26,6 +26,12 @@ type QueryRequest struct {
 	// server clamps it to its configured maximum; 0 inherits the
 	// server's session default (exec.Limits.Timeout).
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// RequestID is the client's correlation ID for this request. The
+	// X-Request-Id header takes precedence; when both are empty the
+	// server generates one. The effective ID is echoed in the
+	// X-Request-Id response header, the server's access log, the
+	// engine's tracer spans, and any error payload.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // QueryResponse is the body of a POST /query reply, success or failure.
@@ -38,6 +44,18 @@ type QueryResponse struct {
 	Message string `json:"message,omitempty"`
 	// Error is set instead of the above when the request failed.
 	Error *Error `json:"error,omitempty"`
+}
+
+// KillRequest is the body of POST /kill: cancel the in-flight query
+// with the given session query ID.
+type KillRequest struct {
+	ID int64 `json:"id"`
+}
+
+// KillResponse reports whether /kill found a running query to cancel.
+type KillResponse struct {
+	Killed bool   `json:"killed"`
+	Error  *Error `json:"error,omitempty"`
 }
 
 // Header is the first line of an NDJSON response stream.
@@ -66,6 +84,9 @@ type Error struct {
 	Offset  int    `json:"offset"`
 	Hint    string `json:"hint,omitempty"`
 	Message string `json:"message"`
+	// RequestID is the effective request correlation ID, echoed so a
+	// failed request can be matched to server logs and traces.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // FromError converts any engine error into its wire form. Non-taxonomy

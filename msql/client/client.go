@@ -102,6 +102,11 @@ type Result struct {
 	// Message is set instead of rows when the final statement was
 	// DDL/DML ("created view …").
 	Message string
+	// RequestID is the correlation ID this request carried: the one set
+	// with WithRequestID, or the client-generated one. The same ID
+	// appears in the server's access log, the query's tracer spans, and
+	// msql_stats.active_queries while the statement runs.
+	RequestID string
 }
 
 // QueryOption adjusts one request.
@@ -113,6 +118,21 @@ func WithTimeout(d time.Duration) QueryOption {
 	return func(r *wire.QueryRequest) { r.TimeoutMillis = int64(d / time.Millisecond) }
 }
 
+// WithRequestID sets the request correlation ID; without it the client
+// generates one per request, so every query is traceable end to end.
+func WithRequestID(id string) QueryOption {
+	return func(r *wire.QueryRequest) { r.RequestID = id }
+}
+
+// newRequestID draws a fresh correlation ID from the client's jitter
+// source.
+func (c *Client) newRequestID() string {
+	c.mu.Lock()
+	n := c.rng.Uint64()
+	c.mu.Unlock()
+	return fmt.Sprintf("req-%016x", n)
+}
+
 // Query executes sql on the server, retrying overload responses
 // (HTTP 429/503) under the backoff policy. The returned error is the
 // reconstructed *msql.Error when the server produced one.
@@ -120,6 +140,9 @@ func (c *Client) Query(ctx context.Context, sql string, opts ...QueryOption) (*R
 	req := wire.QueryRequest{SQL: sql}
 	for _, o := range opts {
 		o(&req)
+	}
+	if req.RequestID == "" {
+		req.RequestID = c.newRequestID()
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -137,6 +160,7 @@ func (c *Client) Query(ctx context.Context, sql string, opts ...QueryOption) (*R
 		}
 		res, err := c.do(ctx, "/query", body, sql)
 		if err == nil {
+			res.RequestID = req.RequestID
 			return res, nil
 		}
 		lastErr = err
@@ -152,7 +176,8 @@ func (c *Client) Query(ctx context.Context, sql string, opts ...QueryOption) (*R
 // fn once per row as rows arrive. It applies the same retry policy as
 // Query (the stream has not started when an overload response arrives).
 func (c *Client) QueryStream(ctx context.Context, sql string, fn func(row []any) error) (*Result, error) {
-	body, err := json.Marshal(wire.QueryRequest{SQL: sql})
+	req := wire.QueryRequest{SQL: sql, RequestID: c.newRequestID()}
+	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
@@ -167,6 +192,7 @@ func (c *Client) QueryStream(ctx context.Context, sql string, fn func(row []any)
 		}
 		res, err := c.doStream(ctx, body, sql, fn)
 		if err == nil {
+			res.RequestID = req.RequestID
 			return res, nil
 		}
 		lastErr = err
@@ -176,6 +202,30 @@ func (c *Client) QueryStream(ctx context.Context, sql string, fn func(row []any)
 		}
 	}
 	return nil, unwrapRetryable(lastErr)
+}
+
+// Kill cancels the in-flight query with the given session query ID (as
+// listed by Queries or msql_stats.active_queries). It returns false —
+// with the server's structured error — when no such query is running,
+// which a KILL that raced with normal completion will observe.
+func (c *Client) Kill(ctx context.Context, id int64) (bool, error) {
+	body, err := json.Marshal(wire.KillRequest{ID: id})
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.post(ctx, "/kill", body)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	var kr wire.KillResponse
+	if err := json.NewDecoder(resp.Body).Decode(&kr); err != nil {
+		return false, fmt.Errorf("decoding kill response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	if kr.Error != nil {
+		return false, kr.Error.ToError("")
+	}
+	return kr.Killed, nil
 }
 
 // Healthz probes liveness.

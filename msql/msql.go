@@ -167,6 +167,19 @@ func WithTimeout(d time.Duration) Option {
 	return func(ov *engine.Overrides) { ov.Timeout = &d }
 }
 
+// WithSource labels the statement's origin ("repl", "api", "wire") in
+// the live-query registry and slow-query log; unset defaults to "api".
+func WithSource(source string) Option {
+	return func(ov *engine.Overrides) { ov.Source = source }
+}
+
+// WithRequestID attaches a request correlation ID to one call: tracer
+// spans for the statement carry request_id and query_id attributes, and
+// the slow-query log and active-query listing echo the ID.
+func WithRequestID(id string) Option {
+	return func(ov *engine.Overrides) { ov.RequestID = id }
+}
+
 func overrides(opts []Option) *engine.Overrides {
 	if len(opts) == 0 {
 		return nil
@@ -335,6 +348,51 @@ func (db *DB) RegisterServerMetrics(fn func() ServerCounters) {
 // Tables lists base tables and views, for tooling.
 func (db *DB) Tables() (tables, views []string) {
 	return db.session.Catalog().Names()
+}
+
+// SystemTables lists the read-only msql_stats.* virtual tables, for
+// tooling like the CLI's \d.
+func (db *DB) SystemTables() []string {
+	return db.session.Catalog().VirtualNames()
+}
+
+// StatementStat is a point-in-time snapshot of one normalized
+// statement's cumulative statistics, in the pg_stat_statements
+// tradition: queries differing only in literal values share one
+// fingerprint. The same data is queryable as msql_stats.statements.
+type StatementStat = engine.StatementStat
+
+// StatementStats snapshots the statement-stats store, sorted by
+// fingerprint.
+func (db *DB) StatementStats() []StatementStat { return db.session.StatementStats() }
+
+// SetStatementStats toggles statement-stats tracking (default on).
+// Turning it off removes fingerprinting and recording from the
+// statement path; accumulated statistics are retained.
+func (db *DB) SetStatementStats(on bool) { db.session.SetStatementStats(on) }
+
+// ResetStatementStats clears all accumulated statement statistics.
+func (db *DB) ResetStatementStats() { db.session.ResetStatementStats() }
+
+// ActiveQuery is a point-in-time view of one in-flight statement, also
+// queryable as msql_stats.active_queries.
+type ActiveQuery = engine.ActiveQuery
+
+// ActiveQueries lists in-flight statements, oldest first.
+func (db *DB) ActiveQueries() []ActiveQuery { return db.session.ActiveQueries() }
+
+// Kill cancels the in-flight statement with the given query ID
+// (equivalent to the SQL statement KILL <id>), returning false when no
+// such query is running. The victim fails with ErrCanceled at its next
+// cooperative checkpoint.
+func (db *DB) Kill(id int64) bool { return db.session.Kill(id) }
+
+// SetSlowQueryLog installs (or with nil w removes) a slow-query log:
+// statements whose total wall time is at least threshold emit one JSON
+// line to w with the query ID, request ID, source, fingerprint, and
+// duration.
+func (db *DB) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
+	db.session.SetSlowQueryLog(w, threshold)
 }
 
 // Format renders a result as an aligned text table, in the style of the
