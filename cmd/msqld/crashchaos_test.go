@@ -1,0 +1,217 @@
+package main
+
+// Process-level crash chaos: build the real msqld binary, run it on a
+// durable data directory, hammer it with concurrent inserts, and
+// SIGKILL it mid-workload — repeatedly. After every hard kill the
+// restarted server must recover the directory and still hold every
+// insert it acknowledged (wal-sync=always), and /healthz must gate
+// traffic until recovery completes. The final cycle exits via SIGTERM
+// to confirm the graceful path still drains and flushes the WAL.
+//
+// MSQL_CRASH_CYCLES overrides the kill/restart count (default 3; a
+// nightly soak can run dozens).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/measures-sql/msql/msql/client"
+)
+
+func crashCycles() int {
+	if s := os.Getenv("MSQL_CRASH_CYCLES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 3
+}
+
+// freeAddr reserves an ephemeral port and releases it for msqld to
+// claim. The tiny window between Close and the daemon's Listen is
+// acceptable in a test.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitHealthy polls /healthz until the recovery gate opens (200). 503
+// responses while the server replays its log are the gate working.
+func waitHealthy(t *testing.T, baseURL string, cmd *exec.Cmd, stderr *bytes.Buffer) {
+	t.Helper()
+	hc := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := hc.Get(baseURL + "/healthz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatalf("msqld never became healthy; stderr:\n%s", stderr.String())
+}
+
+func rowInt(t *testing.T, v any) int64 {
+	t.Helper()
+	switch x := v.(type) {
+	case int64:
+		return x
+	case float64:
+		return int64(x)
+	default:
+		t.Fatalf("unexpected wire value %T %v", v, v)
+		return 0
+	}
+}
+
+func TestCrashRestartDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and hard-kills a real msqld; skipped with -short")
+	}
+	bin := filepath.Join(t.TempDir(), "msqld")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building msqld: %v\n%s", err, out)
+	}
+
+	dataDir := t.TempDir()
+	addr := freeAddr(t)
+	baseURL := "http://" + addr
+
+	var (
+		ackedMu sync.Mutex
+		acked   = map[int64]bool{} // values whose INSERT got HTTP 200
+		nextVal atomic.Int64
+	)
+
+	start := func() (*exec.Cmd, *bytes.Buffer) {
+		var stderr bytes.Buffer
+		cmd := exec.Command(bin,
+			"-data-dir", dataDir, "-wal-sync", "always",
+			"-addr", addr, "-no-access-log")
+		cmd.Stderr = &stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting msqld: %v", err)
+		}
+		waitHealthy(t, baseURL, cmd, &stderr)
+		return cmd, &stderr
+	}
+
+	// verifyRecovered asserts every acknowledged value survived into
+	// the running server.
+	verifyRecovered := func(c *client.Client, cycle int) {
+		res, err := c.Query(context.Background(), `SELECT a FROM kv ORDER BY a`)
+		if err != nil {
+			t.Fatalf("cycle %d: reading recovered table: %v", cycle, err)
+		}
+		have := make(map[int64]bool, len(res.Rows))
+		for _, row := range res.Rows {
+			have[rowInt(t, row[0])] = true
+		}
+		ackedMu.Lock()
+		defer ackedMu.Unlock()
+		for v := range acked {
+			if !have[v] {
+				t.Fatalf("cycle %d: acknowledged insert %d lost across hard kill (recovered %d rows, acked %d)",
+					cycle, v, len(have), len(acked))
+			}
+		}
+		t.Logf("cycle %d: recovered %d rows, all %d acknowledged inserts present", cycle, len(have), len(acked))
+	}
+
+	cycles := crashCycles()
+	for cycle := 0; cycle < cycles; cycle++ {
+		cmd, stderr := start()
+		c := client.New(baseURL)
+		if cycle == 0 {
+			if _, err := c.Query(context.Background(), `CREATE TABLE kv (a INTEGER)`); err != nil {
+				t.Fatalf("create table: %v", err)
+			}
+		} else {
+			verifyRecovered(c, cycle)
+		}
+
+		// Concurrent inserters; each 200 response records the value as
+		// durably acknowledged. Errors after the kill are expected.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wc := client.New(baseURL)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					v := nextVal.Add(1)
+					sql := fmt.Sprintf(`INSERT INTO kv VALUES (%d)`, v)
+					if _, err := wc.Query(context.Background(), sql); err == nil {
+						ackedMu.Lock()
+						acked[v] = true
+						ackedMu.Unlock()
+					}
+				}
+			}()
+		}
+		time.Sleep(200 * time.Millisecond)
+
+		if cycle == cycles-1 {
+			// Last cycle: graceful SIGTERM must drain and flush cleanly.
+			close(stop)
+			wg.Wait()
+			if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+				t.Fatal(err)
+			}
+			if err := cmd.Wait(); err != nil {
+				t.Fatalf("graceful shutdown: %v\n%s", err, stderr.String())
+			}
+		} else {
+			// Hard kill mid-workload: the inserters are still firing.
+			if err := cmd.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			close(stop)
+			wg.Wait()
+			cmd.Wait() // reaps; exit status is the kill, not an error to us
+		}
+	}
+
+	// One final recovery over everything, including the graceful tail.
+	cmd, _ := start()
+	c := client.New(baseURL)
+	verifyRecovered(c, cycles)
+	ackedMu.Lock()
+	total := len(acked)
+	ackedMu.Unlock()
+	if total == 0 {
+		t.Fatal("no insert was ever acknowledged; the chaos exercised nothing")
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	cmd.Wait()
+}

@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -64,12 +65,51 @@ func main() {
 		slowQuery    = flag.Duration("slow-query-log", 0, "log statements slower than this to stderr (0 = off)")
 		noAccessLog  = flag.Bool("no-access-log", false, "disable the structured access log on stderr")
 		pprofOn      = flag.Bool("pprof", false, "mount /debug/pprof/ profiling handlers")
+		dataDir      = flag.String("data-dir", "", "durable storage directory (empty = in-memory)")
+		walSync      = flag.String("wal-sync", "always", "WAL fsync policy with -data-dir: always | interval | off")
+		checkpointIv = flag.Duration("checkpoint-interval", 0, "periodic checkpoint interval with -data-dir (0 = manual only)")
 	)
 	flag.Parse()
 	log.SetPrefix("msqld: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
-	db := msql.Open()
+	// The listener comes up immediately, but every request — including
+	// /healthz — gets 503 until recovery (and schema setup) completes, so
+	// an orchestrator never routes traffic to a msqld that is still
+	// replaying its log.
+	var handler atomic.Pointer[http.Handler]
+	recovering := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
+	}))
+	handler.Store(&recovering)
+	httpSrv := &http.Server{Addr: *addr, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
+	})}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	var db *msql.DB
+	recovered := false
+	if *dataDir != "" {
+		policy, err := msql.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatalf("-wal-sync: %v", err)
+		}
+		start := time.Now()
+		db, err = msql.OpenDir(*dataDir, msql.WithSyncPolicy(policy))
+		if err != nil {
+			log.Fatalf("opening -data-dir %s: %v", *dataDir, err)
+		}
+		st := db.WALStats()
+		tables, views := db.Tables()
+		recovered = len(tables)+len(views) > 0
+		log.Printf("recovered %s in %v (%d tables, %d views, %d log records replayed, %d torn bytes truncated, wal-sync=%s)",
+			*dataDir, time.Since(start).Round(time.Millisecond), len(tables), len(views),
+			st.RecoveredRecords, st.TornTailBytes, policy)
+	} else {
+		db = msql.Open()
+	}
 	switch *strategy {
 	case "default":
 		db.SetStrategy(msql.StrategyDefault)
@@ -83,19 +123,25 @@ func main() {
 	db.SetWorkers(*workers)
 	db.SetLimits(msql.Limits{Timeout: *timeout, MaxRows: *maxRows})
 	db.SetPlanCacheSize(*planCache)
-	if *paper {
-		db.MustExec(paperdata.All)
-		log.Printf("loaded paper tables (Customers, Orders) and views")
-	}
-	if *file != "" {
-		data, err := os.ReadFile(*file)
-		if err != nil {
-			log.Fatalf("reading -f script: %v", err)
+	if recovered && (*paper || *file != "") {
+		// The directory already holds a recovered schema; re-running the
+		// setup script would fail on CREATE TABLE.
+		log.Printf("data-dir holds existing objects; skipping -paper/-f setup")
+	} else {
+		if *paper {
+			db.MustExec(paperdata.All)
+			log.Printf("loaded paper tables (Customers, Orders) and views")
 		}
-		if err := db.Exec(string(data)); err != nil {
-			log.Fatalf("running -f script: %v", err)
+		if *file != "" {
+			data, err := os.ReadFile(*file)
+			if err != nil {
+				log.Fatalf("reading -f script: %v", err)
+			}
+			if err := db.Exec(string(data)); err != nil {
+				log.Fatalf("running -f script: %v", err)
+			}
+			log.Printf("ran setup script %s", *file)
 		}
-		log.Printf("ran setup script %s", *file)
 	}
 
 	if *slowQuery > 0 {
@@ -115,17 +161,33 @@ func main() {
 		cfg.AccessLog = os.Stderr
 	}
 	srv := server.New(db, cfg)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	live := srv.Handler()
+	handler.Store(&live) // recovery done: open the gate
+
+	checkpointDone := make(chan struct{})
+	if *dataDir != "" && *checkpointIv > 0 {
+		ticker := time.NewTicker(*checkpointIv)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-checkpointDone:
+					return
+				case <-ticker.C:
+					if err := db.Checkpoint(); err != nil {
+						log.Printf("checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+		log.Printf("checkpointing every %v", *checkpointIv)
+	}
 
 	effQueue := *maxQueue
 	if effQueue <= 0 {
 		effQueue = 2 * *maxInflight
 	}
-	errCh := make(chan error, 1)
-	go func() {
-		log.Printf("serving on http://%s (max-inflight %d, queue %d)", *addr, *maxInflight, effQueue)
-		errCh <- httpSrv.ListenAndServe()
-	}()
+	log.Printf("serving on http://%s (max-inflight %d, queue %d)", *addr, *maxInflight, effQueue)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -140,6 +202,17 @@ func main() {
 	srv.Drain(context.Background())
 	c := srv.Counters()
 	log.Printf("drained in %v (completed %d, canceled %d)", time.Since(start).Round(time.Millisecond), c.Drained, c.DrainKilled)
+	if *dataDir != "" {
+		close(checkpointDone)
+		if err := db.Sync(); err != nil {
+			log.Printf("wal sync: %v", err)
+		}
+		if err := db.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		} else {
+			log.Printf("wal flushed and closed")
+		}
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

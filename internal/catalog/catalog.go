@@ -71,6 +71,12 @@ func (c *Catalog) Version() int64 { return c.version.Load() }
 // internally; this is for mutations the catalog does not see.
 func (c *Catalog) BumpVersion() { c.version.Add(1) }
 
+// RestoreVersion forces the catalog version, used by crash recovery to
+// continue the pre-crash version sequence: cached plans (or clients)
+// holding versions from before the crash can never collide with a
+// freshly recovered catalog that restarted its count at zero.
+func (c *Catalog) RestoreVersion(v int64) { c.version.Store(v) }
+
 // CreateTable registers a new base table.
 func (c *Catalog) CreateTable(name string, cols []string, types []sqltypes.Type, orReplace bool) (*BaseTable, error) {
 	c.mu.Lock()

@@ -20,6 +20,7 @@ import (
 	"github.com/measures-sql/msql/internal/parser"
 	"github.com/measures-sql/msql/internal/plan"
 	"github.com/measures-sql/msql/internal/sqltypes"
+	"github.com/measures-sql/msql/internal/wal"
 )
 
 // Result is the outcome of one statement.
@@ -70,6 +71,9 @@ type Session struct {
 		w         io.Writer
 		threshold time.Duration
 	}
+	// dur is the write-ahead logging state (see durability.go); nil for
+	// pure in-memory sessions.
+	dur *durability
 }
 
 // Overrides carries per-statement setting overrides for the Context
@@ -457,10 +461,7 @@ func (s *Session) execStatement(env *stmtEnv, stmt ast.Statement) (*Result, erro
 	case *ast.Insert:
 		return s.execInsert(env, stmt)
 	case *ast.Drop:
-		if err := s.cat.Drop(stmt.Kind, stmt.Name); err != nil {
-			return nil, err
-		}
-		return &Result{Message: fmt.Sprintf("dropped %s %s", strings.ToLower(stmt.Kind), stmt.Name)}, nil
+		return s.execDrop(stmt)
 	case *ast.QueryStmt:
 		return s.runQuery(env, stmt.Query)
 	case *ast.Prepare:
@@ -710,7 +711,12 @@ func (s *Session) execCreateTable(stmt *ast.CreateTable) (*Result, error) {
 		names[i] = c.Name
 		types[i] = sqltypes.Type{Kind: kind}
 	}
+	defer s.lockDurable()()
 	if _, err := s.cat.CreateTable(stmt.Name, names, types, stmt.OrReplace); err != nil {
+		return nil, err
+	}
+	if err := s.logMutation(&wal.Record{Type: wal.RecCreateTable, Name: stmt.Name,
+		OrReplace: stmt.OrReplace, Cols: names, Types: types}); err != nil {
 		return nil, err
 	}
 	return &Result{Message: fmt.Sprintf("created table %s", stmt.Name)}, nil
@@ -721,10 +727,27 @@ func (s *Session) execCreateView(stmt *ast.CreateView) (*Result, error) {
 	if _, err := binder.New(s.cat).BindQuery(stmt.Query); err != nil {
 		return nil, fmt.Errorf("invalid view definition: %w", err)
 	}
+	defer s.lockDurable()()
 	if err := s.cat.CreateView(stmt.Name, stmt.Query, stmt.OrReplace); err != nil {
 		return nil, err
 	}
+	// Views are logged as rendered SQL and re-parsed at recovery.
+	if err := s.logMutation(&wal.Record{Type: wal.RecCreateView, Name: stmt.Name,
+		OrReplace: stmt.OrReplace, SQL: ast.FormatQuery(stmt.Query)}); err != nil {
+		return nil, err
+	}
 	return &Result{Message: fmt.Sprintf("created view %s", stmt.Name)}, nil
+}
+
+func (s *Session) execDrop(stmt *ast.Drop) (*Result, error) {
+	defer s.lockDurable()()
+	if err := s.cat.Drop(stmt.Kind, stmt.Name); err != nil {
+		return nil, err
+	}
+	if err := s.logMutation(&wal.Record{Type: wal.RecDrop, Kind: stmt.Kind, Name: stmt.Name}); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("dropped %s %s", strings.ToLower(stmt.Kind), stmt.Name)}, nil
 }
 
 func (s *Session) execInsert(env *stmtEnv, stmt *ast.Insert) (*Result, error) {
@@ -801,9 +824,18 @@ func (s *Session) execInsert(env *stmtEnv, stmt *ast.Insert) (*Result, error) {
 		}
 		rows[ri] = row
 	}
-	if err := table.Data.Insert(rows); err != nil {
+	defer s.lockDurable()()
+	// Coerce first so the log carries exactly the values that will be
+	// stored; log before applying so an acknowledged insert is always
+	// recoverable, and a failed log append changes nothing in memory.
+	coerced, err := table.Data.CoerceRows(rows)
+	if err != nil {
 		return nil, err
 	}
+	if err := s.logMutation(insertRecord(stmt.Table, coerced)); err != nil {
+		return nil, err
+	}
+	table.Data.InsertPrepared(coerced)
 	// Data changed: invalidate cached plans built against the old rows.
 	s.cat.BumpVersion()
 	return &Result{Message: fmt.Sprintf("inserted %d rows", len(rows))}, nil
@@ -816,9 +848,15 @@ func (s *Session) InsertRows(table string, rows [][]sqltypes.Value) error {
 	if !ok {
 		return fmt.Errorf("table %s does not exist", table)
 	}
-	if err := t.Data.Insert(rows); err != nil {
+	defer s.lockDurable()()
+	coerced, err := t.Data.CoerceRows(rows)
+	if err != nil {
 		return err
 	}
+	if err := s.logMutation(insertRecord(table, coerced)); err != nil {
+		return err
+	}
+	t.Data.InsertPrepared(coerced)
 	s.cat.BumpVersion()
 	return nil
 }

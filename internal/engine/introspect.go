@@ -143,6 +143,43 @@ func (s *Session) registerSystemTables() {
 	})
 
 	mustRegister(&catalog.VirtualTable{
+		TableName: "msql_stats.storage",
+		Cols: []string{
+			"sync_policy", "wal_appends", "wal_append_bytes", "wal_fsyncs",
+			"wal_bytes", "wal_seq", "wal_durable_seq", "checkpoints",
+			"checkpoint_ms", "last_checkpoint_ms", "recovery_ms",
+			"recovered_records", "torn_tail_bytes",
+		},
+		Types: []sqltypes.Type{
+			strT, intT, intT, intT,
+			intT, intT, intT, intT,
+			floatT, floatT, floatT,
+			intT, intT,
+		},
+		Provider: func() [][]sqltypes.Value {
+			if s.dur == nil {
+				return nil // in-memory session: no durability state to report
+			}
+			sc := storageCounters(s.dur.wal)
+			return [][]sqltypes.Value{{
+				sqltypes.NewString(sc.SyncPolicy),
+				sqltypes.NewInt(sc.WALAppends),
+				sqltypes.NewInt(sc.WALAppendBytes),
+				sqltypes.NewInt(sc.WALFsyncs),
+				sqltypes.NewInt(sc.WALBytes),
+				sqltypes.NewInt(sc.WALSeq),
+				sqltypes.NewInt(sc.WALDurableSeq),
+				sqltypes.NewInt(sc.Checkpoints),
+				sqltypes.NewFloat(nsToMs(sc.CheckpointNs)),
+				sqltypes.NewFloat(nsToMs(sc.LastCheckpointNs)),
+				sqltypes.NewFloat(nsToMs(sc.RecoveryNs)),
+				sqltypes.NewInt(sc.RecoveredRecords),
+				sqltypes.NewInt(sc.TornTailBytes),
+			}}
+		},
+	})
+
+	mustRegister(&catalog.VirtualTable{
 		TableName: "msql_stats.plan_cache",
 		Cols: []string{
 			"hits", "misses", "evictions", "invalidations", "bypasses",

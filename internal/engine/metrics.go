@@ -49,6 +49,37 @@ type Metrics struct {
 	// planFn supplies the session plan cache's counters (registered by
 	// engine.New) so snapshots cover prepared-statement caching too.
 	planFn func() PlanCacheCounters
+	// storageFn supplies the durability layer's counters (registered by
+	// NewDurable) so snapshots cover WAL and checkpoint activity.
+	storageFn func() StorageCounters
+}
+
+// StorageCounters is the durability layer's slice of a metrics
+// snapshot: write-ahead log, checkpoint, and recovery counters. WALSeq,
+// WALDurableSeq, and WALBytes are gauges; the rest are cumulative.
+type StorageCounters struct {
+	WALAppends       int64  `json:"wal_appends"`
+	WALAppendBytes   int64  `json:"wal_append_bytes"`
+	WALFsyncs        int64  `json:"wal_fsyncs"`
+	WALBytes         int64  `json:"wal_bytes"`
+	WALSeq           int64  `json:"wal_seq"`
+	WALDurableSeq    int64  `json:"wal_durable_seq"`
+	Checkpoints      int64  `json:"checkpoints"`
+	CheckpointNs     int64  `json:"checkpoint_ns"`
+	LastCheckpointNs int64  `json:"last_checkpoint_ns"`
+	RecoveryNs       int64  `json:"recovery_ns"`
+	RecoveredRecords int64  `json:"recovered_records"`
+	TornTailBytes    int64  `json:"torn_tail_bytes"`
+	SyncPolicy       string `json:"sync_policy"`
+}
+
+// SetStorageSource registers (or with nil removes) the durability
+// layer's counter source; Snapshot calls it to fill the Storage
+// section.
+func (m *Metrics) SetStorageSource(fn func() StorageCounters) {
+	m.mu.Lock()
+	m.storageFn = fn
+	m.mu.Unlock()
 }
 
 // ServerCounters is the serving layer's slice of a metrics snapshot:
@@ -178,6 +209,9 @@ type MetricsSnapshot struct {
 	// Server carries the serving layer's counters when a query server
 	// has registered itself (SetServerSource); nil otherwise.
 	Server *ServerCounters `json:"server,omitempty"`
+	// Storage carries the durability layer's counters when the session
+	// writes through a WAL (SetStorageSource); nil otherwise.
+	Storage *StorageCounters `json:"storage,omitempty"`
 }
 
 // Snapshot returns a consistent copy of the counters.
@@ -209,7 +243,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	for k, v := range m.byStrategy {
 		s.ByStrategy[k] = *v
 	}
-	serverFn, planFn := m.serverFn, m.planFn
+	serverFn, planFn, storageFn := m.serverFn, m.planFn, m.storageFn
 	m.mu.Unlock()
 	if planFn != nil {
 		pc := planFn()
@@ -218,6 +252,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	if serverFn != nil {
 		sc := serverFn()
 		s.Server = &sc
+	}
+	if storageFn != nil {
+		st := storageFn()
+		s.Storage = &st
 	}
 	return s
 }
@@ -309,6 +347,23 @@ func (s MetricsSnapshot) Prometheus() string {
 		counter("msql_server_drain_killed_total", "Inflight queries canceled at the drain deadline.", sv.DrainKilled)
 		counter("msql_server_panics_total", "Request handler panics recovered.", sv.Panics)
 		fmt.Fprintf(&sb, "# HELP msql_server_drain_seconds Time the last graceful drain took.\n# TYPE msql_server_drain_seconds gauge\nmsql_server_drain_seconds %g\n", float64(sv.DrainNs)/1e9)
+	}
+	if st := s.Storage; st != nil {
+		gauge := func(name, help string, v int64) {
+			fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		}
+		counter("msql_wal_appends_total", "Records appended to the write-ahead log.", st.WALAppends)
+		counter("msql_wal_append_bytes_total", "Framed bytes appended to the write-ahead log.", st.WALAppendBytes)
+		counter("msql_wal_fsyncs_total", "Fsync syscalls on the log (group commit batches appends).", st.WALFsyncs)
+		counter("msql_checkpoints_total", "Checkpoint snapshots completed.", st.Checkpoints)
+		gauge("msql_wal_bytes", "Current size of the write-ahead log.", st.WALBytes)
+		gauge("msql_wal_seq", "Last assigned WAL sequence number.", st.WALSeq)
+		gauge("msql_wal_durable_seq", "Last WAL sequence known flushed to disk.", st.WALDurableSeq)
+		fmt.Fprintf(&sb, "# HELP msql_checkpoint_seconds_total Time spent writing checkpoints.\n# TYPE msql_checkpoint_seconds_total counter\nmsql_checkpoint_seconds_total %g\n", float64(st.CheckpointNs)/1e9)
+		fmt.Fprintf(&sb, "# HELP msql_last_checkpoint_seconds Duration of the most recent checkpoint.\n# TYPE msql_last_checkpoint_seconds gauge\nmsql_last_checkpoint_seconds %g\n", float64(st.LastCheckpointNs)/1e9)
+		fmt.Fprintf(&sb, "# HELP msql_recovery_seconds Time the last crash recovery took.\n# TYPE msql_recovery_seconds gauge\nmsql_recovery_seconds %g\n", float64(st.RecoveryNs)/1e9)
+		counter("msql_recovered_records_total", "Log records replayed by the last recovery.", st.RecoveredRecords)
+		counter("msql_torn_tail_bytes_total", "Trailing log bytes discarded as torn by the last recovery.", st.TornTailBytes)
 	}
 	return sb.String()
 }

@@ -53,25 +53,45 @@ func (t *Table) Rows() [][]sqltypes.Value {
 // Insert appends rows after coercing each value to the column type.
 // All-or-nothing: on a type error no row is inserted.
 func (t *Table) Insert(rows [][]sqltypes.Value) error {
+	coerced, err := t.CoerceRows(rows)
+	if err != nil {
+		return err
+	}
+	t.InsertPrepared(coerced)
+	return nil
+}
+
+// CoerceRows validates rows against the schema and returns a coerced
+// copy without storing anything. The durability layer uses the split:
+// coerce first, log exactly the values that will be stored, then apply
+// with InsertPrepared — so a replayed log rebuilds the table
+// byte-for-byte.
+func (t *Table) CoerceRows(rows [][]sqltypes.Value) ([][]sqltypes.Value, error) {
 	coerced := make([][]sqltypes.Value, len(rows))
 	for i, row := range rows {
 		if len(row) != len(t.cols) {
-			return fmt.Errorf("table %s has %d columns but %d values were supplied", t.name, len(t.cols), len(row))
+			return nil, fmt.Errorf("table %s has %d columns but %d values were supplied", t.name, len(t.cols), len(row))
 		}
 		out := make([]sqltypes.Value, len(row))
 		for j, v := range row {
 			c, err := coerce(v, t.types[j].Kind)
 			if err != nil {
-				return fmt.Errorf("column %s of table %s: %v", t.cols[j], t.name, err)
+				return nil, fmt.Errorf("column %s of table %s: %v", t.cols[j], t.name, err)
 			}
 			out[j] = c
 		}
 		coerced[i] = out
 	}
+	return coerced, nil
+}
+
+// InsertPrepared appends rows previously returned by CoerceRows (or
+// replayed from a log of such rows). It cannot fail: all validation
+// happened at coercion time.
+func (t *Table) InsertPrepared(rows [][]sqltypes.Value) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.rows = append(t.rows, coerced...)
-	return nil
+	t.rows = append(t.rows, rows...)
 }
 
 // Truncate removes all rows.

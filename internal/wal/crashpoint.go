@@ -1,0 +1,115 @@
+package wal
+
+// Deterministic fault injection for the durability layer. A CrashPoint
+// names a boundary in the append / fsync / checkpoint machinery; tests
+// arm a hook that makes the operation at that boundary fail, simulating
+// a process crash at exactly that instant. The Manager treats any hook
+// error as fatal: it poisons itself (every later operation fails), so a
+// "crashed" manager cannot quietly keep acknowledging writes — the test
+// then reopens the directory and asserts on what recovery rebuilds.
+//
+// Production cost is one atomic load per site while no hook is armed.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// CrashPoint names an injection site.
+type CrashPoint string
+
+const (
+	// CrashBeforeAppend fires before a record's bytes reach the log file.
+	CrashBeforeAppend CrashPoint = "append:before-write"
+	// CrashAfterAppend fires after the OS write, before any fsync.
+	CrashAfterAppend CrashPoint = "append:after-write"
+	// CrashBeforeSync fires immediately before an fsync of the log.
+	CrashBeforeSync CrashPoint = "sync:before"
+	// CrashAfterSync fires after a successful fsync, before waiters are
+	// acknowledged.
+	CrashAfterSync CrashPoint = "sync:after"
+	// CrashBeforeSnapshot fires before the checkpoint temp file is written.
+	CrashBeforeSnapshot CrashPoint = "checkpoint:before-write"
+	// CrashAfterSnapshot fires after the temp file is written and synced,
+	// before the atomic rename.
+	CrashAfterSnapshot CrashPoint = "checkpoint:after-write"
+	// CrashBeforeRename fires immediately before the rename that
+	// publishes a checkpoint.
+	CrashBeforeRename CrashPoint = "checkpoint:before-rename"
+	// CrashAfterRename fires after the rename, before the WAL truncation
+	// — recovery must then skip pre-checkpoint records by sequence.
+	CrashAfterRename CrashPoint = "checkpoint:after-rename"
+	// CrashAfterTruncate fires after the WAL is truncated, before the
+	// checkpoint is acknowledged.
+	CrashAfterTruncate CrashPoint = "checkpoint:after-truncate"
+)
+
+// CrashPoints lists every injection site, in the order they appear on
+// the append → sync → checkpoint path; the crash-point harness iterates
+// it so a new site cannot be forgotten.
+var CrashPoints = []CrashPoint{
+	CrashBeforeAppend, CrashAfterAppend,
+	CrashBeforeSync, CrashAfterSync,
+	CrashBeforeSnapshot, CrashAfterSnapshot,
+	CrashBeforeRename, CrashAfterRename, CrashAfterTruncate,
+}
+
+// ErrCrashed is wrapped by every injected crash failure.
+var ErrCrashed = errors.New("injected crash")
+
+var (
+	crashArmed atomic.Int32
+	crashMu    sync.Mutex
+	crashHook  func(CrashPoint) error
+)
+
+// SetCrashHook arms (or with nil clears) the global crash hook. The
+// hook runs at every crash point; returning a non-nil error makes the
+// surrounding operation fail and poisons the manager.
+func SetCrashHook(hook func(CrashPoint) error) {
+	crashMu.Lock()
+	defer crashMu.Unlock()
+	crashHook = hook
+	if hook == nil {
+		crashArmed.Store(0)
+	} else {
+		crashArmed.Store(1)
+	}
+}
+
+// CrashAt returns a hook that fails the nth firing (1-based) of site p
+// and everything after it — once "dead", the manager stays dead, like a
+// real crash.
+func CrashAt(p CrashPoint, nth int) func(CrashPoint) error {
+	var seen atomic.Int64
+	var dead atomic.Bool
+	return func(site CrashPoint) error {
+		if dead.Load() {
+			return fmt.Errorf("crash point %s (already dead): %w", site, ErrCrashed)
+		}
+		if site != p {
+			return nil
+		}
+		if seen.Add(1) >= int64(nth) {
+			dead.Store(true)
+			return fmt.Errorf("crash point %s firing %d: %w", site, nth, ErrCrashed)
+		}
+		return nil
+	}
+}
+
+// crash runs the armed hook at site p, if any.
+func crash(p CrashPoint) error {
+	if crashArmed.Load() == 0 {
+		return nil
+	}
+	crashMu.Lock()
+	hook := crashHook
+	crashMu.Unlock()
+	if hook == nil {
+		return nil
+	}
+	return hook(p)
+}

@@ -1,0 +1,44 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CorruptError reports a structurally invalid record or snapshot. A
+// corrupt *tail* is handled silently (truncated during recovery); a
+// CorruptError escaping Open means corruption in the middle of the log
+// or snapshot, which recovery refuses to skip — dropping an interior
+// record would silently reorder history.
+type CorruptError struct {
+	// File is the corrupt file's name (empty when decoding a buffer).
+	File string
+	// Offset is the byte offset of the corrupt record, -1 if unknown.
+	Offset int64
+	// Detail describes what failed to parse or verify.
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("wal: corrupt %s at offset %d: %s", e.File, e.Offset, e.Detail)
+	}
+	return fmt.Sprintf("wal: corrupt record: %s", e.Detail)
+}
+
+// IsCorrupt reports whether err is (or wraps) a CorruptError.
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
+
+// ErrClosed is returned by operations on a closed manager.
+var ErrClosed = errors.New("wal: manager is closed")
+
+// BrokenError wraps the first fatal durability failure; once a manager
+// is poisoned, every later mutation fails with it, so a process that
+// lost its log cannot quietly keep acknowledging writes.
+type BrokenError struct{ Err error }
+
+func (e *BrokenError) Error() string { return "wal: durability broken: " + e.Err.Error() }
+func (e *BrokenError) Unwrap() error { return e.Err }

@@ -1,0 +1,217 @@
+package msql_test
+
+// End-to-end durability: everything a session does through SQL —
+// tables, measure views, inserts with every value kind — survives
+// close/reopen of the data directory, checkpoints bound replay, and
+// the recovered session answers measure queries identically.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/measures-sql/msql/msql"
+)
+
+func reopen(t *testing.T, dir string, db *msql.DB, opts ...msql.DirOption) *msql.DB {
+	t.Helper()
+	if db != nil {
+		if err := db.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+	db2, err := msql.OpenDir(dir, opts...)
+	if err != nil {
+		t.Fatalf("reopen %s: %v", dir, err)
+	}
+	return db2
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := msql.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Durable() {
+		t.Fatal("OpenDir returned a non-durable DB")
+	}
+	db.MustExec(`CREATE TABLE Orders (prodName VARCHAR, orderDate DATE, revenue INTEGER, weight DOUBLE, rush BOOLEAN)`)
+	db.MustExec(`INSERT INTO Orders VALUES
+		('Happy', DATE '2024-01-10', 6, 1.5, TRUE),
+		('Acme',  DATE '2024-02-20', 5, NULL, FALSE),
+		('Happy', DATE '2024-03-05', 4, 0.25, TRUE)`)
+	db.MustExec(`CREATE VIEW EO AS
+		SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders`)
+	const q = `SELECT prodName, AGGREGATE(sumRevenue) AS rev,
+		AGGREGATE(sumRevenue) AT (ALL) AS total
+		FROM EO GROUP BY prodName ORDER BY prodName`
+	want := db.MustQuery(q)
+
+	db = reopen(t, dir, db)
+	defer db.Close()
+	got, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("measure query after recovery: %v", err)
+	}
+	if !reflect.DeepEqual(want.Rows, got.Rows) {
+		t.Fatalf("recovered measure query diverged:\nbefore %v\nafter  %v", want.Rows, got.Rows)
+	}
+
+	// The recovered session keeps accepting durable writes.
+	db.MustExec(`INSERT INTO Orders VALUES ('Whiz', DATE '2024-04-01', 9, 2.0, FALSE)`)
+	db = reopen(t, dir, db)
+	defer db.Close()
+	res := db.MustQuery(`SELECT COUNT(*) FROM Orders`)
+	if res.Rows[0][0].I != 4 {
+		t.Fatalf("row count after second recovery = %v, want 4", res.Rows[0][0])
+	}
+}
+
+func TestDurableCheckpointAndDDL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := msql.OpenDir(dir, msql.WithSyncPolicy(msql.SyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE t (a INTEGER)`)
+	db.MustExec(`CREATE TABLE doomed (b VARCHAR)`)
+	db.MustExec(`INSERT INTO t VALUES (1), (2)`)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if st := db.WALStats(); st.Checkpoints != 1 {
+		t.Fatalf("checkpoint count = %d", st.Checkpoints)
+	}
+	// Post-checkpoint tail: more rows, a drop, a view replacement.
+	db.MustExec(`INSERT INTO t VALUES (3)`)
+	db.MustExec(`DROP TABLE doomed`)
+	db.MustExec(`CREATE VIEW v AS SELECT *, SUM(a) AS MEASURE m FROM t`)
+	db.MustExec(`CREATE OR REPLACE VIEW v AS SELECT *, SUM(a)*2 AS MEASURE m FROM t`)
+
+	db = reopen(t, dir, db)
+	defer db.Close()
+	tables, views := db.Tables()
+	if len(tables) != 1 || len(views) != 1 {
+		t.Fatalf("recovered objects: tables=%v views=%v", tables, views)
+	}
+	res := db.MustQuery(`SELECT AGGREGATE(m) FROM v`)
+	if res.Rows[0][0].I != 12 { // (1+2+3)*2: replaced view + post-checkpoint row
+		t.Fatalf("measure over recovered view = %v, want 12", res.Rows[0][0])
+	}
+	st := db.WALStats()
+	if st.RecoveredRecords != 4 {
+		t.Fatalf("replayed %d records, want the 4 post-checkpoint ones", st.RecoveredRecords)
+	}
+}
+
+func TestDurableObservability(t *testing.T) {
+	dir := t.TempDir()
+	db, err := msql.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.MustExec(`CREATE TABLE t (a INTEGER)`)
+	db.MustExec(`INSERT INTO t VALUES (1)`)
+	db.MustExec(`INSERT INTO t VALUES (2)`)
+
+	st := db.WALStats()
+	if st.Appends != 3 || st.DurableSeq != 3 || st.Fsyncs == 0 {
+		t.Fatalf("wal stats: %+v", st)
+	}
+	snap := db.Metrics()
+	if snap.Storage == nil || snap.Storage.WALAppends != 3 || snap.Storage.SyncPolicy != "always" {
+		t.Fatalf("metrics storage section: %+v", snap.Storage)
+	}
+	prom := snap.Prometheus()
+	for _, series := range []string{"msql_wal_appends_total 3", "msql_wal_fsyncs_total", "msql_recovery_seconds"} {
+		if !strings.Contains(prom, series) {
+			t.Fatalf("prometheus output missing %q", series)
+		}
+	}
+	res := db.MustQuery(`SELECT sync_policy, wal_appends, wal_durable_seq FROM msql_stats.storage`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "always" || res.Rows[0][1].I != 3 || res.Rows[0][2].I != 3 {
+		t.Fatalf("msql_stats.storage = %v", res.Rows)
+	}
+
+	// In-memory sessions expose an empty storage relation and no section.
+	mem := msql.Open()
+	if rows := mem.MustQuery(`SELECT * FROM msql_stats.storage`).Rows; len(rows) != 0 {
+		t.Fatalf("in-memory msql_stats.storage = %v, want empty", rows)
+	}
+	if mem.Metrics().Storage != nil {
+		t.Fatal("in-memory metrics carry a storage section")
+	}
+}
+
+// TestDurablePlanCacheInvalidation: a prepared statement planned before
+// a crash must not serve a stale plan after recovery — the restored
+// catalog version continues the pre-crash sequence.
+func TestDurablePlanCacheInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	db, err := msql.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE t (a INTEGER)`)
+	db.MustExec(`INSERT INTO t VALUES (1)`)
+	versionSensitive := db.MustQuery(`SELECT COUNT(*) FROM t`)
+	if versionSensitive.Rows[0][0].I != 1 {
+		t.Fatal("setup")
+	}
+
+	db = reopen(t, dir, db)
+	defer db.Close()
+	db.MustExec(`INSERT INTO t VALUES (2)`)
+	res := db.MustQuery(`SELECT COUNT(*) FROM t`)
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("count after recovery+insert = %v, want 2", res.Rows[0][0])
+	}
+}
+
+func TestDurableSyncPolicies(t *testing.T) {
+	for _, policy := range []string{"always", "interval", "off"} {
+		t.Run(policy, func(t *testing.T) {
+			p, err := msql.ParseSyncPolicy(policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			db, err := msql.OpenDir(dir, msql.WithSyncPolicy(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			db.MustExec(`CREATE TABLE t (a INTEGER)`)
+			db.MustExec(`INSERT INTO t VALUES (1), (2), (3)`)
+			if err := db.Sync(); err != nil {
+				t.Fatalf("explicit sync under %s: %v", policy, err)
+			}
+			db = reopen(t, dir, db, msql.WithSyncPolicy(p))
+			defer db.Close()
+			if n := db.MustQuery(`SELECT COUNT(*) FROM t`).Rows[0][0].I; n != 3 {
+				t.Fatalf("recovered %d rows under %s", n, policy)
+			}
+		})
+	}
+}
+
+// TestDurableWriteAfterClose: mutations fail once the WAL is closed;
+// the catalog stays readable.
+func TestDurableWriteAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	db, err := msql.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE t (a INTEGER)`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(`INSERT INTO t VALUES (1)`); err == nil {
+		t.Fatal("insert succeeded after Close")
+	}
+	if n := db.MustQuery(`SELECT COUNT(*) FROM t`).Rows[0][0].I; n != 0 {
+		t.Fatalf("read after close: %d rows", n)
+	}
+}

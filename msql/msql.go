@@ -30,6 +30,7 @@ import (
 	"github.com/measures-sql/msql/internal/optimizer"
 	"github.com/measures-sql/msql/internal/parser"
 	"github.com/measures-sql/msql/internal/sqltypes"
+	"github.com/measures-sql/msql/internal/wal"
 )
 
 // Value is a SQL value.
@@ -77,6 +78,80 @@ type DB struct {
 func Open() *DB {
 	return &DB{session: engine.New()}
 }
+
+// SyncPolicy controls when the write-ahead log is fsynced; see OpenDir.
+type SyncPolicy = wal.SyncPolicy
+
+const (
+	// SyncAlways fsyncs before acknowledging each mutation (group
+	// commit batches concurrent writers into shared fsyncs). No
+	// acknowledged write is ever lost to a crash.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs on a short timer; a crash can lose the last
+	// interval's writes but never corrupts the store.
+	SyncInterval = wal.SyncInterval
+	// SyncOff never fsyncs explicitly (the OS flushes eventually).
+	SyncOff = wal.SyncOff
+)
+
+// ParseSyncPolicy parses "always", "interval", or "off".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// DirOption adjusts OpenDir.
+type DirOption func(*wal.Options)
+
+// WithSyncPolicy selects the WAL fsync policy (default SyncAlways).
+func WithSyncPolicy(p SyncPolicy) DirOption {
+	return func(o *wal.Options) { o.Sync = p }
+}
+
+// WithSyncInterval sets the SyncInterval flush period (default 50ms).
+func WithSyncInterval(d time.Duration) DirOption {
+	return func(o *wal.Options) { o.SyncEvery = d }
+}
+
+// OpenDir opens a durable database backed by dir, creating it if
+// needed. Catalog and data mutations are written to an append-only,
+// checksummed write-ahead log before they are acknowledged; Checkpoint
+// snapshots the full store and truncates the log. Reopening the
+// directory recovers the store — after a crash, recovery replays the
+// snapshot plus the log tail, truncating a torn final record cleanly.
+func OpenDir(dir string, opts ...DirOption) (*DB, error) {
+	var o wal.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s, err := engine.NewDurable(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{session: s}, nil
+}
+
+// Durable reports whether this database writes through a WAL.
+func (db *DB) Durable() bool { return db.session.Durable() }
+
+// Checkpoint snapshots the full store to disk and truncates the WAL,
+// bounding the next recovery's replay work. No-op for in-memory
+// databases.
+func (db *DB) Checkpoint() error { return db.session.Checkpoint() }
+
+// Sync forces every acknowledged mutation onto disk regardless of the
+// sync policy (useful before a planned stop under SyncInterval/SyncOff).
+// No-op for in-memory databases.
+func (db *DB) Sync() error { return db.session.SyncWAL() }
+
+// Close flushes and closes the write-ahead log. The database stays
+// readable; mutations fail after Close. No-op for in-memory databases.
+func (db *DB) Close() error { return db.session.CloseDurability() }
+
+// WALStats is a point-in-time copy of the durability layer's counters.
+type WALStats = wal.Stats
+
+// WALStats returns WAL/checkpoint/recovery counters (zero value for
+// in-memory databases). The same data is queryable as
+// msql_stats.storage and exported via Metrics().
+func (db *DB) WALStats() WALStats { return db.session.WALStats() }
 
 // SetStrategy switches the measure evaluation strategy for subsequent
 // statements.
