@@ -97,6 +97,48 @@ func (c *Catalog) CreateTable(name string, cols []string, types []sqltypes.Type,
 	return t, nil
 }
 
+// CheckCreate reports whether a CREATE (table or view) of name would
+// succeed under the or-replace flag, without applying anything. The
+// durable engine calls it before logging a DDL record, so a record is
+// only written for a statement that will apply cleanly; the check must
+// mirror the preconditions of CreateTable and CreateView exactly.
+func (c *Catalog) CheckCreate(name string, orReplace bool) error {
+	if orReplace {
+		return nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	k := key(name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("table %s already exists", name)
+	}
+	if _, ok := c.views[k]; ok {
+		return fmt.Errorf("view %s already exists", name)
+	}
+	return nil
+}
+
+// CheckDrop reports whether Drop(kind, name) would succeed, without
+// applying anything; it must mirror Drop's preconditions exactly.
+func (c *Catalog) CheckDrop(kind, name string) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	k := key(name)
+	switch kind {
+	case "TABLE":
+		if _, ok := c.tables[k]; !ok {
+			return fmt.Errorf("table %s does not exist", name)
+		}
+	case "VIEW":
+		if _, ok := c.views[k]; !ok {
+			return fmt.Errorf("view %s does not exist", name)
+		}
+	default:
+		return fmt.Errorf("unknown object kind %s", kind)
+	}
+	return nil
+}
+
 // CreateView registers a view definition.
 func (c *Catalog) CreateView(name string, q *ast.Query, orReplace bool) error {
 	c.mu.Lock()

@@ -74,3 +74,46 @@ func TestViews(t *testing.T) {
 		t.Errorf("names: %v %v", tables, views)
 	}
 }
+
+// TestCheckMirrorsApply: CheckCreate/CheckDrop must agree with the
+// mutating methods they gate — the durable engine logs a DDL record
+// between the check and the apply, so a divergence would log a record
+// that cannot replay (or reject one that could).
+func TestCheckMirrorsApply(t *testing.T) {
+	c := New()
+	names, types := intCols()
+	if err := c.CheckCreate("t", false); err != nil {
+		t.Fatalf("CheckCreate on empty catalog: %v", err)
+	}
+	if err := c.CheckDrop("TABLE", "t"); err == nil {
+		t.Error("CheckDrop of a missing table should fail")
+	}
+	if _, err := c.CreateTable("t", names, types, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckCreate("T", false); err == nil {
+		t.Error("CheckCreate over an existing table should fail")
+	}
+	if err := c.CheckCreate("T", true); err != nil {
+		t.Errorf("CheckCreate OR REPLACE should pass: %v", err)
+	}
+	if err := c.CheckDrop("TABLE", "T"); err != nil {
+		t.Errorf("CheckDrop of an existing table: %v", err)
+	}
+	if err := c.CheckDrop("VIEW", "t"); err == nil {
+		t.Error("CheckDrop with the wrong kind should fail")
+	}
+	if err := c.CheckDrop("NONSENSE", "t"); err == nil {
+		t.Error("CheckDrop with a bad kind should fail")
+	}
+	q := &ast.Query{Body: &ast.Select{Items: []ast.SelectItem{{Expr: &ast.NumberLit{Text: "1", IsInt: true, Int: 1}, Alias: "x"}}}}
+	if err := c.CreateView("v", q, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckCreate("v", false); err == nil {
+		t.Error("CheckCreate over an existing view should fail")
+	}
+	if err := c.CheckDrop("VIEW", "v"); err != nil {
+		t.Errorf("CheckDrop of an existing view: %v", err)
+	}
+}

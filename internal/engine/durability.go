@@ -4,9 +4,15 @@
 //
 // The contract with the WAL layer:
 //
-//   - Every mutation holds dur.mu across apply-to-memory and
-//     append-to-log, so log order equals apply order and replay is
-//     deterministic.
+//   - Every mutation holds dur.mu across validate, append-to-log, and
+//     apply-to-memory, so log order equals apply order and replay is
+//     deterministic. INSERT re-resolves its target table under dur.mu,
+//     so a record can never be logged after the DROP or CREATE OR
+//     REPLACE that removed its table.
+//   - Mutations validate first and log before they apply: a record is
+//     only written for a statement that will apply cleanly, and a
+//     failed append changes nothing in memory — reads never observe a
+//     change whose statement was reported as failed.
 //   - INSERT coerces rows first (storage.CoerceRows), logs exactly the
 //     coerced values, then applies with InsertPrepared — the replayed
 //     table is byte-for-byte the pre-crash table.
@@ -116,9 +122,11 @@ func (s *Session) lockDurable() func() {
 }
 
 // logMutation appends one mutation record to the WAL. Callers hold
-// dur.mu (via lockDurable) and have already applied the change to
-// memory; an error here means the change did not become durable — the
-// statement fails and the poisoned manager fails everything after it.
+// dur.mu (via lockDurable), have validated that the mutation will apply
+// cleanly, and apply it to memory only after this returns nil; an error
+// here means the change did not become durable — the statement fails
+// with nothing applied, and the poisoned manager fails everything after
+// it.
 func (s *Session) logMutation(rec *wal.Record) error {
 	if s.dur == nil {
 		return nil

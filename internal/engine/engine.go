@@ -712,11 +712,17 @@ func (s *Session) execCreateTable(stmt *ast.CreateTable) (*Result, error) {
 		types[i] = sqltypes.Type{Kind: kind}
 	}
 	defer s.lockDurable()()
-	if _, err := s.cat.CreateTable(stmt.Name, names, types, stmt.OrReplace); err != nil {
+	// Validate, then log, then apply: a record is only written for DDL
+	// that will apply cleanly, and a failed append leaves the catalog
+	// untouched — reads never observe an object whose creation failed.
+	if err := s.cat.CheckCreate(stmt.Name, stmt.OrReplace); err != nil {
 		return nil, err
 	}
 	if err := s.logMutation(&wal.Record{Type: wal.RecCreateTable, Name: stmt.Name,
 		OrReplace: stmt.OrReplace, Cols: names, Types: types}); err != nil {
+		return nil, err
+	}
+	if _, err := s.cat.CreateTable(stmt.Name, names, types, stmt.OrReplace); err != nil {
 		return nil, err
 	}
 	return &Result{Message: fmt.Sprintf("created table %s", stmt.Name)}, nil
@@ -728,7 +734,7 @@ func (s *Session) execCreateView(stmt *ast.CreateView) (*Result, error) {
 		return nil, fmt.Errorf("invalid view definition: %w", err)
 	}
 	defer s.lockDurable()()
-	if err := s.cat.CreateView(stmt.Name, stmt.Query, stmt.OrReplace); err != nil {
+	if err := s.cat.CheckCreate(stmt.Name, stmt.OrReplace); err != nil {
 		return nil, err
 	}
 	// Views are logged as rendered SQL and re-parsed at recovery.
@@ -736,15 +742,21 @@ func (s *Session) execCreateView(stmt *ast.CreateView) (*Result, error) {
 		OrReplace: stmt.OrReplace, SQL: ast.FormatQuery(stmt.Query)}); err != nil {
 		return nil, err
 	}
+	if err := s.cat.CreateView(stmt.Name, stmt.Query, stmt.OrReplace); err != nil {
+		return nil, err
+	}
 	return &Result{Message: fmt.Sprintf("created view %s", stmt.Name)}, nil
 }
 
 func (s *Session) execDrop(stmt *ast.Drop) (*Result, error) {
 	defer s.lockDurable()()
-	if err := s.cat.Drop(stmt.Kind, stmt.Name); err != nil {
+	if err := s.cat.CheckDrop(stmt.Kind, stmt.Name); err != nil {
 		return nil, err
 	}
 	if err := s.logMutation(&wal.Record{Type: wal.RecDrop, Kind: stmt.Kind, Name: stmt.Name}); err != nil {
+		return nil, err
+	}
+	if err := s.cat.Drop(stmt.Kind, stmt.Name); err != nil {
 		return nil, err
 	}
 	return &Result{Message: fmt.Sprintf("dropped %s %s", strings.ToLower(stmt.Kind), stmt.Name)}, nil
@@ -825,6 +837,16 @@ func (s *Session) execInsert(env *stmtEnv, stmt *ast.Insert) (*Result, error) {
 		rows[ri] = row
 	}
 	defer s.lockDurable()()
+	// Re-resolve the table under the mutation lock: a concurrent DROP or
+	// CREATE OR REPLACE since the planning lookup above has already been
+	// logged, and an insert record written after it would never replay
+	// (the WAL would describe inserting into a dropped table). Fail the
+	// statement instead of logging an unreplayable history.
+	if cur, ok := s.cat.Table(stmt.Table); !ok {
+		return nil, fmt.Errorf("table %s does not exist", stmt.Table)
+	} else if cur != table {
+		return nil, fmt.Errorf("table %s was concurrently replaced", stmt.Table)
+	}
 	// Coerce first so the log carries exactly the values that will be
 	// stored; log before applying so an acknowledged insert is always
 	// recoverable, and a failed log append changes nothing in memory.
@@ -844,11 +866,13 @@ func (s *Session) execInsert(env *stmtEnv, stmt *ast.Insert) (*Result, error) {
 // InsertRows bulk-inserts pre-built rows into a base table, bypassing
 // SQL parsing (used by the benchmark harness to load large datasets).
 func (s *Session) InsertRows(table string, rows [][]sqltypes.Value) error {
+	// The lookup happens under the mutation lock so the logged record
+	// order matches apply order (see execInsert).
+	defer s.lockDurable()()
 	t, ok := s.cat.Table(table)
 	if !ok {
 		return fmt.Errorf("table %s does not exist", table)
 	}
-	defer s.lockDurable()()
 	coerced, err := t.Data.CoerceRows(rows)
 	if err != nil {
 		return err

@@ -69,6 +69,9 @@ func FuzzDecodeSnapshot(f *testing.F) {
 	f.Add(encodeSnapshot(&StoreDump{}, 0))
 	f.Add([]byte(snapMagic))
 	f.Add([]byte{})
+	// A CRC-valid snapshot whose claimed row count overflows the
+	// rows×cols size product: must fail the bound, not reach make().
+	f.Add(overflowSnapshotBytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, seq, err := DecodeSnapshot(data)
 		if err != nil {

@@ -268,7 +268,11 @@ func DecodeSnapshot(data []byte) (*StoreDump, uint64, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		if nrows*max(ncols, 1) > uint64(len(payload)-r.off) {
+		// Divide rather than multiply: nrows is attacker-controlled and
+		// nrows*ncols can wrap uint64, slipping a huge allocation past the
+		// bound. Every value costs at least one encoded byte, so nrows must
+		// fit in remaining/ncols.
+		if nrows > uint64(len(payload)-r.off)/max(ncols, 1) {
 			return fail("%d×%d values overrun %d remaining bytes", nrows, ncols, len(payload)-r.off)
 		}
 		t.Rows = make([][]sqltypes.Value, nrows)

@@ -2,7 +2,9 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -441,3 +443,34 @@ func recordBounds(t *testing.T, data []byte) []recBound {
 	return out
 }
 
+// overflowSnapshotBytes crafts a snapshot image with a valid CRC whose
+// claimed row count (2^63) wraps uint64 when multiplied by the column
+// count — a regression input for the pre-allocation size check.
+func overflowSnapshotBytes() []byte {
+	b := []byte(snapMagic)
+	b = appendUvarint(b, 0)       // lastSeq
+	b = binary.AppendVarint(b, 0) // catalog version
+	b = appendUvarint(b, 1)       // one table
+	b = appendString(b, "t")
+	b = appendUvarint(b, 2) // two columns
+	b = appendString(b, "a")
+	b = append(b, byte(sqltypes.KindInt))
+	b = appendString(b, "b")
+	b = append(b, byte(sqltypes.KindInt))
+	b = appendUvarint(b, 1<<63) // nrows: ×2 wraps to 0
+	crc := crc32.Checksum(b[len(snapMagic):], castagnoli)
+	return binary.LittleEndian.AppendUint32(b, crc)
+}
+
+// TestSnapshotOverflowRowCount: a crafted snapshot whose rows×cols size
+// product overflows must be rejected with a structured error before any
+// allocation, never a panic or a huge make().
+func TestSnapshotOverflowRowCount(t *testing.T) {
+	_, _, err := DecodeSnapshot(overflowSnapshotBytes())
+	if err == nil {
+		t.Fatal("decode of overflowing snapshot succeeded")
+	}
+	if !errors.As(err, new(*CorruptError)) {
+		t.Fatalf("unstructured error: %v", err)
+	}
+}

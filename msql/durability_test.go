@@ -8,8 +8,11 @@ package msql_test
 import (
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"github.com/measures-sql/msql/internal/wal"
 	"github.com/measures-sql/msql/msql"
 )
 
@@ -193,6 +196,109 @@ func TestDurableSyncPolicies(t *testing.T) {
 				t.Fatalf("recovered %d rows under %s", n, policy)
 			}
 		})
+	}
+}
+
+// TestDurableDDLFailedAppend: DDL whose WAL append fails must be
+// reported as failed AND leave the in-memory catalog untouched, so
+// reads never observe an object whose creation or drop did not become
+// durable, and recovery agrees with what the session answered.
+func TestDurableDDLFailedAppend(t *testing.T) {
+	dir := t.TempDir()
+	db, err := msql.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE keep (a INTEGER)`)
+	db.MustExec(`INSERT INTO keep VALUES (1)`)
+
+	wal.SetCrashHook(wal.CrashAt(wal.CrashBeforeAppend, 1))
+	defer wal.SetCrashHook(nil)
+	if err := db.Exec(`CREATE TABLE ghost (a INTEGER)`); err == nil {
+		t.Fatal("CREATE TABLE acknowledged with a failed WAL append")
+	}
+	// DROP on the (now poisoned) WAL also fails; the table must survive.
+	if err := db.Exec(`DROP TABLE keep`); err == nil {
+		t.Fatal("DROP acknowledged on a poisoned WAL")
+	}
+	wal.SetCrashHook(nil)
+
+	tables, _ := db.Tables()
+	if len(tables) != 1 || !strings.EqualFold(tables[0], "keep") {
+		t.Fatalf("catalog after failed DDL = %v, want [keep] only", tables)
+	}
+	if n := db.MustQuery(`SELECT COUNT(*) FROM keep`).Rows[0][0].I; n != 1 {
+		t.Fatalf("keep lost rows after failed DDL")
+	}
+
+	db.Close() // best-effort: the manager is poisoned
+	db, err = msql.OpenDir(dir)
+	if err != nil {
+		t.Fatalf("recovery after failed appends: %v", err)
+	}
+	defer db.Close()
+	tables, _ = db.Tables()
+	if len(tables) != 1 || !strings.EqualFold(tables[0], "keep") {
+		t.Fatalf("recovered catalog = %v, want [keep] only", tables)
+	}
+}
+
+// TestDurableConcurrentDDLInsertReplay: INSERTs racing DROP/CREATE on
+// the same table through a shared session must never write a WAL that
+// fails replay (e.g. an insert record logged after the drop of its
+// table). Before the insert path re-resolved its target under the
+// mutation lock, this workload could leave the data directory
+// permanently unrecoverable.
+func TestDurableConcurrentDDLInsertReplay(t *testing.T) {
+	dir := t.TempDir()
+	db, err := msql.OpenDir(dir, msql.WithSyncPolicy(msql.SyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE t (a INTEGER)`)
+	manyRows := "(0)" + strings.Repeat(", (1)", 39)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				// May fail while the table is dropped or replaced: a
+				// statement error is fine, an unreplayable log is not.
+				// A wide VALUES list keeps the window between the planning
+				// lookup and the logging lock open (every row evaluates as
+				// a one-off query in between).
+				db.Exec(`INSERT INTO t VALUES ` + manyRows)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			// Pace the DDL across the insert phase (on one CPU the whole
+			// loop would otherwise run inside a single scheduler quantum
+			// and never land inside an insert's lookup-to-log window).
+			time.Sleep(200 * time.Microsecond)
+			db.Exec(`DROP TABLE t`)
+			db.Exec(`CREATE TABLE t (a INTEGER)`)
+		}
+	}()
+	wg.Wait()
+
+	before := int64(-1)
+	if res, err := db.Query(`SELECT COUNT(*) FROM t`); err == nil {
+		before = res.Rows[0][0].I
+	}
+	db = reopen(t, dir, db)
+	defer db.Close()
+	after := int64(-1)
+	if res, err := db.Query(`SELECT COUNT(*) FROM t`); err == nil {
+		after = res.Rows[0][0].I
+	}
+	if before != after {
+		t.Fatalf("recovered state diverged: %d rows before close, %d after", before, after)
 	}
 }
 
