@@ -1085,6 +1085,9 @@ func runJSONBench() error {
 	if err := runWALBench(&results); err != nil {
 		return err
 	}
+	if err := runShardBench(&results); err != nil {
+		return err
+	}
 	b, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,191 @@
+package main
+
+// The sharded-execution rows of the -json bench artifact: the same
+// scan-filter-aggregate workload scattered across 1/2/4 in-process
+// shard servers (real server.Server instances behind HTTP listeners,
+// real wire protocol), the gather fallback for a measure query, and
+// the failover tail — a replica-backed shard whose primary is killed
+// mid-run, so the p99 shows what retry+failover costs instead of an
+// error.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"github.com/measures-sql/msql/internal/datagen"
+	"github.com/measures-sql/msql/internal/dist"
+	"github.com/measures-sql/msql/internal/server"
+	"github.com/measures-sql/msql/msql"
+	"github.com/measures-sql/msql/msql/client"
+)
+
+const shardScatterQ = `SELECT prodName, COUNT(*) AS cnt, SUM(revenue) AS rev,
+       SUM(revenue - cost) AS profit
+FROM Orders GROUP BY prodName`
+
+const shardGatherQ = `SELECT prodName, AGGREGATE(margin) AS m
+FROM (SELECT *, (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE margin
+      FROM Orders) AS o
+GROUP BY prodName`
+
+// shardFixture is a coordinator over nShards in-process shard servers,
+// each shard with `replicas` extra endpoints.
+type shardFixture struct {
+	coord   *dist.Coordinator
+	servers []*httptest.Server
+	dbs     []*msql.DB
+}
+
+func newShardFixture(nShards, replicas, orders int) (*shardFixture, error) {
+	f := &shardFixture{}
+	var topology [][]string
+	for i := 0; i < nShards; i++ {
+		var urls []string
+		for r := 0; r <= replicas; r++ {
+			db := msql.Open()
+			ts := httptest.NewServer(server.New(db, server.Config{
+				ShardID: fmt.Sprintf("shard-%d-%d", i, r),
+			}).Handler())
+			f.servers = append(f.servers, ts)
+			f.dbs = append(f.dbs, db)
+			urls = append(urls, ts.URL)
+		}
+		topology = append(topology, urls)
+	}
+	coord, err := dist.New(dist.Config{
+		Shards:       topology,
+		QueryTimeout: 60 * time.Second,
+		Backoff:      client.Backoff{Attempts: 3, Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Seed: 5},
+	})
+	if err != nil {
+		f.close()
+		return nil, err
+	}
+	f.coord = coord
+
+	ds := datagen.Generate(datagen.Config{
+		Seed: 11, Customers: 100, Products: 100, Orders: orders, Years: 3,
+	})
+	if err := coord.Exec(context.Background(), datagen.SetupSQL); err != nil {
+		f.close()
+		return nil, err
+	}
+	if err := coord.Exec(context.Background(), ds.InsertSQL()); err != nil {
+		f.close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *shardFixture) close() {
+	if f.coord != nil {
+		f.coord.Close()
+	}
+	for _, ts := range f.servers {
+		ts.Close()
+	}
+	for _, db := range f.dbs {
+		db.Close()
+	}
+}
+
+// timeCoordQuery mirrors timeQueryDist for a coordinator.
+func timeCoordQuery(c *dist.Coordinator, sql string, reps int) ([]time.Duration, int, error) {
+	res, err := c.Query(context.Background(), sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	rows := len(res.Rows)
+	durs := make([]time.Duration, reps)
+	for i := range durs {
+		start := time.Now()
+		if _, err := c.Query(context.Background(), sql); err != nil {
+			return nil, 0, err
+		}
+		durs[i] = time.Since(start)
+	}
+	return durs, rows, nil
+}
+
+// runShardBench appends the sharded_* rows to the -json artifact.
+func runShardBench(results *[]benchResult) error {
+	orders := 20000
+	reps := 9
+	if *quick {
+		orders = 2000
+	}
+
+	for _, nShards := range []int{1, 2, 4} {
+		f, err := newShardFixture(nShards, 0, orders)
+		if err != nil {
+			return err
+		}
+		durs, rows, err := timeCoordQuery(f.coord, shardScatterQ, reps)
+		if err != nil {
+			f.close()
+			return err
+		}
+		p50, p95, p99 := quantiles(durs)
+		*results = append(*results, benchResult{
+			Name: fmt.Sprintf("sharded_%d", nShards), Strategy: "scatter", Workers: nShards, Orders: orders,
+			NsOp:  minDur(durs).Nanoseconds(),
+			P50Ns: p50.Nanoseconds(), P95Ns: p95.Nanoseconds(), P99Ns: p99.Nanoseconds(),
+			Rows: rows,
+		})
+		if nShards == 4 {
+			// The always-correct fallback, measured on the widest fan-out.
+			durs, rows, err = timeCoordQuery(f.coord, shardGatherQ, reps)
+			if err != nil {
+				f.close()
+				return err
+			}
+			p50, p95, p99 = quantiles(durs)
+			*results = append(*results, benchResult{
+				Name: "sharded_gather_4", Strategy: "gather", Workers: nShards, Orders: orders,
+				NsOp:  minDur(durs).Nanoseconds(),
+				P50Ns: p50.Nanoseconds(), P95Ns: p95.Nanoseconds(), P99Ns: p99.Nanoseconds(),
+				Rows: rows,
+			})
+		}
+		f.close()
+	}
+
+	// Failover tail latency: a 2-shard topology where shard 0 has a
+	// replica; the primary dies mid-run and the remaining reps must
+	// absorb the retry+failover cost rather than fail.
+	f, err := newShardFixture(2, 1, orders)
+	if err != nil {
+		return err
+	}
+	defer f.close()
+	if _, err := f.coord.Query(context.Background(), shardScatterQ); err != nil {
+		return err
+	}
+	durs := make([]time.Duration, reps)
+	var rows int
+	for i := range durs {
+		if i == reps/2 {
+			// SIGKILL equivalent for an in-process server: connections
+			// reset, no drain.
+			f.servers[0].CloseClientConnections()
+			f.servers[0].Close()
+		}
+		start := time.Now()
+		res, err := f.coord.Query(context.Background(), shardScatterQ)
+		if err != nil {
+			return fmt.Errorf("failover bench rep %d: %w", i, err)
+		}
+		rows = len(res.Rows)
+		durs[i] = time.Since(start)
+	}
+	p50, p95, p99 := quantiles(durs)
+	*results = append(*results, benchResult{
+		Name: "sharded_failover_tail", Strategy: "scatter", Workers: 2, Orders: orders,
+		NsOp:  minDur(durs).Nanoseconds(),
+		P50Ns: p50.Nanoseconds(), P95Ns: p95.Nanoseconds(), P99Ns: p99.Nanoseconds(),
+		Rows: rows,
+	})
+	return nil
+}

@@ -1,0 +1,391 @@
+package main
+
+// Process-level shard chaos: build the real msqld binary, run a
+// 4-shard topology under an in-process coordinator, and SIGKILL/restart
+// shards mid-query while readers and a writer hammer it. The ledger
+// discipline is the package's robustness contract: every query finishes
+// in exactly one of three ways —
+//
+//   - complete: a result bit-identical to the single-node oracle
+//     (whether it was served cleanly or transparently retried/hedged/
+//     failed over is invisible, which is the point),
+//   - structured failure: errors.Is(err, msql.ErrUnavailable) and
+//     errors.As to *dist.ShardUnavailableError naming the lost shards,
+//   - nothing else. A silently partial result, a raw transport error,
+//     or a deadline blown by the failure envelope all fail the test.
+//
+// Mutations acknowledged OR reported unavailable are both durable in
+// the coordinator's replay log, so after the chaos stops and shards
+// rejoin, the sharded data must converge to the oracle exactly.
+//
+// MSQL_SHARD_CHAOS_SECONDS overrides the soak duration (default 3).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/measures-sql/msql/internal/dist"
+	"github.com/measures-sql/msql/internal/paperdata"
+	"github.com/measures-sql/msql/msql"
+	"github.com/measures-sql/msql/msql/client"
+)
+
+func chaosDuration() time.Duration {
+	if s := os.Getenv("MSQL_SHARD_CHAOS_SECONDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return 3 * time.Second
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// shardProc is one real msqld process on a fixed address.
+type shardProc struct {
+	t    *testing.T
+	bin  string
+	addr string
+	id   string
+
+	mu     sync.Mutex
+	cmd    *exec.Cmd
+	stderr *bytes.Buffer
+}
+
+func (p *shardProc) start() {
+	var stderr bytes.Buffer
+	cmd := exec.Command(p.bin, "-addr", p.addr, "-shard-id", p.id, "-no-access-log")
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		p.t.Fatalf("starting shard %s: %v", p.id, err)
+	}
+	hc := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := hc.Get("http://" + p.addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			p.t.Fatalf("shard %s never became healthy; stderr:\n%s", p.id, stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	p.mu.Lock()
+	p.cmd, p.stderr = cmd, &stderr
+	p.mu.Unlock()
+}
+
+func (p *shardProc) kill() {
+	p.mu.Lock()
+	cmd := p.cmd
+	p.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+}
+
+// chaosQueries are read-only and touch only the static paper tables, so
+// a mid-chaos success can be compared bitwise against the oracle even
+// while a writer mutates other tables.
+var chaosQueries = []string{
+	`SELECT prodName, COUNT(*) AS n, SUM(revenue) AS rev FROM Orders GROUP BY prodName`,
+	`SELECT prodName, SUM(revenue) - SUM(cost) AS profit FROM Orders GROUP BY prodName ORDER BY prodName`,
+	`SELECT custName, revenue FROM Orders WHERE prodName = 'Happy'`,
+	`SELECT prodName, AGGREGATE(profitMargin) AS profitMargin FROM EnhancedOrders GROUP BY prodName`,
+	`SELECT * FROM Orders ORDER BY revenue, prodName`,
+	`SELECT o.prodName, c.custAge FROM Orders o JOIN Customers c ON o.custName = c.custName ORDER BY o.prodName, c.custAge`,
+}
+
+func TestShardChaosLedger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and hard-kills real msqld shards; skipped with -short")
+	}
+	startGoroutines := runtime.NumGoroutine()
+
+	bin := filepath.Join(t.TempDir(), "msqld")
+	build := exec.Command("go", "build", "-o", bin, "../msqld")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building msqld: %v\n%s", err, out)
+	}
+
+	const nShards = 4
+	procs := make([]*shardProc, nShards)
+	shardURLs := make([][]string, nShards)
+	for i := range procs {
+		procs[i] = &shardProc{t: t, bin: bin, addr: freeAddr(t), id: fmt.Sprintf("shard-%d", i)}
+		procs[i].start()
+		shardURLs[i] = []string{"http://" + procs[i].addr}
+	}
+	defer func() {
+		for _, p := range procs {
+			p.kill()
+		}
+	}()
+
+	coord, err := dist.New(dist.Config{
+		Shards:           shardURLs,
+		QueryTimeout:     15 * time.Second,
+		Backoff:          client.Backoff{Attempts: 3, Base: 5 * time.Millisecond, Max: 50 * time.Millisecond, Seed: 11},
+		BreakerThreshold: 3,
+		BreakerCooldown:  100 * time.Millisecond,
+		HedgeDelay:       50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	oracle := msql.Open()
+	defer oracle.Close()
+
+	setup := paperdata.All + `CREATE TABLE kv (k INTEGER, v INTEGER);`
+	if err := coord.Exec(context.Background(), setup); err != nil {
+		t.Fatalf("setup through coordinator: %v", err)
+	}
+	oracle.MustExec(setup)
+
+	// Oracle answers for the static queries, computed once.
+	oracleRes := map[string]*msql.Result{}
+	for _, q := range chaosQueries {
+		res, err := oracle.QueryContext(context.Background(), q)
+		if err != nil {
+			t.Fatalf("oracle %q: %v", q, err)
+		}
+		oracleRes[q] = res
+	}
+
+	var (
+		complete    atomic.Int64
+		unavailable atomic.Int64
+		writeAcks   atomic.Int64
+		writeUnavs  atomic.Int64
+		ledgerMu    sync.Mutex
+		violations  []string
+	)
+	violation := func(format string, args ...any) {
+		ledgerMu.Lock()
+		if len(violations) < 10 {
+			violations = append(violations, fmt.Sprintf(format, args...))
+		}
+		ledgerMu.Unlock()
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Readers: every outcome must be complete-and-exact or structured.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := chaosQueries[rng.Intn(len(chaosQueries))]
+				got, err := coord.Query(context.Background(), q)
+				if err != nil {
+					var su *dist.ShardUnavailableError
+					if !errors.Is(err, msql.ErrUnavailable) || !errors.As(err, &su) || len(su.Shards) == 0 {
+						violation("query %q failed outside the taxonomy: %v", q, err)
+						return
+					}
+					unavailable.Add(1)
+					continue
+				}
+				want := oracleRes[q]
+				if diff := resultDiff(got, want); diff != "" {
+					violation("query %q returned a wrong (silently partial?) result: %s", q, diff)
+					return
+				}
+				complete.Add(1)
+			}
+		}(int64(w) + 1)
+	}
+
+	// One writer: acknowledged or structured-unavailable, nothing else.
+	// Either way the mutation is in the replay log, so the oracle
+	// applies it unconditionally and the end state must converge.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		k := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sql := fmt.Sprintf(`INSERT INTO kv VALUES (%d, %d)`, k, k*k)
+			err := coord.Exec(context.Background(), sql)
+			if err != nil {
+				var su *dist.ShardUnavailableError
+				if !errors.Is(err, msql.ErrUnavailable) || !errors.As(err, &su) {
+					violation("insert failed outside the taxonomy: %v", err)
+					return
+				}
+				writeUnavs.Add(1)
+			} else {
+				writeAcks.Add(1)
+			}
+			oracle.MustExec(sql)
+			k++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// The killer: SIGKILL a random shard mid-workload, let the breaker
+	// open, restart it empty, and watch the log replay bring it back.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(300 * time.Millisecond):
+			}
+			p := procs[rng.Intn(len(procs))]
+			p.kill()
+			select {
+			case <-stop:
+				p.start()
+				return
+			case <-time.After(150 * time.Millisecond):
+			}
+			p.start()
+		}
+	}()
+
+	time.Sleep(chaosDuration())
+	close(stop)
+	wg.Wait()
+
+	ledgerMu.Lock()
+	for _, v := range violations {
+		t.Errorf("ledger violation: %s", v)
+	}
+	ledgerMu.Unlock()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if complete.Load() == 0 {
+		t.Fatal("no query ever completed — the soak exercised nothing")
+	}
+	t.Logf("ledger: %d complete, %d structured-unavailable reads; %d acked, %d structured-unavailable writes",
+		complete.Load(), unavailable.Load(), writeAcks.Load(), writeUnavs.Load())
+
+	// Convergence: once every shard is back, the replay log must make
+	// the sharded kv table exactly the oracle's, and the static queries
+	// must still answer exactly.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		got, err := coord.Query(context.Background(), `SELECT k, v FROM kv ORDER BY k`)
+		if err == nil {
+			want, oerr := oracle.QueryContext(context.Background(), `SELECT k, v FROM kv ORDER BY k`)
+			if oerr != nil {
+				t.Fatal(oerr)
+			}
+			if diff := resultDiff(got, want); diff == "" {
+				break
+			} else if time.Now().After(deadline) {
+				t.Fatalf("sharded kv never converged to the oracle: %s", diff)
+			}
+		} else if time.Now().After(deadline) {
+			t.Fatalf("kv read never succeeded after chaos: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, q := range chaosQueries {
+		got, err := coord.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("post-chaos %q: %v", q, err)
+		}
+		if diff := resultDiff(got, oracleRes[q]); diff != "" {
+			t.Fatalf("post-chaos %q diverged: %s", q, diff)
+		}
+	}
+
+	// The failure envelope must have left evidence in the metrics.
+	prom := coord.Local().Metrics().Prometheus()
+	for _, name := range []string{
+		"msql_shard_retries_total", "msql_shard_hedges_total",
+		"msql_shard_breaker_open_total", "msql_shard_failovers_total",
+	} {
+		if !contains(prom, name) {
+			t.Errorf("metric %s missing from Prometheus exposition", name)
+		}
+	}
+
+	// Goroutine-leak check: with the shard processes dead (their stderr
+	// pipe readers reaped) and the coordinator closed (idle connections
+	// dropped), the goroutine count must return to the baseline.
+	for _, p := range procs {
+		p.kill()
+	}
+	coord.Close()
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= startGoroutines+5 {
+			break
+		} else if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d at start, %d after close\n%s",
+				startGoroutines, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func resultDiff(got, want *msql.Result) string {
+	if fmt.Sprint(got.Columns) != fmt.Sprint(want.Columns) {
+		return fmt.Sprintf("columns %v vs %v", got.Columns, want.Columns)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		return fmt.Sprintf("%d rows vs %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		if fmt.Sprint(got.Rows[i]) != fmt.Sprint(want.Rows[i]) {
+			return fmt.Sprintf("row %d: %v vs %v", i, got.Rows[i], want.Rows[i])
+		}
+	}
+	return ""
+}
+
+func contains(haystack, needle string) bool {
+	return bytes.Contains([]byte(haystack), []byte(needle))
+}

@@ -68,6 +68,7 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "durable storage directory (empty = in-memory)")
 		walSync      = flag.String("wal-sync", "always", "WAL fsync policy with -data-dir: always | interval | off")
 		checkpointIv = flag.Duration("checkpoint-interval", 0, "periodic checkpoint interval with -data-dir (0 = manual only)")
+		shardID      = flag.String("shard-id", "", "serve as a shard of a distributed topology under this ID (exposed via /catalog)")
 	)
 	flag.Parse()
 	log.SetPrefix("msqld: ")
@@ -156,6 +157,10 @@ func main() {
 		MaxTimeout:   *maxTimeout,
 		DrainTimeout: *drainTimeout,
 		EnablePprof:  *pprofOn,
+		ShardID:      *shardID,
+	}
+	if *shardID != "" {
+		log.Printf("serving as shard %q", *shardID)
 	}
 	if !*noAccessLog {
 		cfg.AccessLog = os.Stderr

@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState enumerates the circuit-breaker states.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-endpoint circuit breaker. Closed passes traffic and
+// counts consecutive failures; at threshold it opens and sheds calls
+// without touching the endpoint. After the cooldown the next Allow
+// admits exactly one probe (half-open): success closes the breaker,
+// failure re-opens it for another cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	fails     int // consecutive failures while closed
+	openedAt  time.Time
+	probing   bool      // a half-open probe is in flight
+	probeAt   time.Time // when the in-flight probe was admitted
+	lastErr   string
+	threshold int
+	cooldown  time.Duration
+
+	// onOpen is called (outside the lock) on each closed/half-open →
+	// open transition, so the coordinator can count breaker opens.
+	onOpen func()
+}
+
+// Allow reports whether a call may proceed right now. In the half-open
+// window only one probe is admitted at a time.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		b.probeAt = time.Now()
+		return true
+	default: // half-open
+		// A probe that was admitted but never reported back (its caller
+		// found a winner elsewhere and returned early) must not wedge
+		// the breaker: let it expire after a cooldown.
+		if b.probing && time.Since(b.probeAt) < b.cooldown {
+			return false
+		}
+		b.probing = true
+		b.probeAt = time.Now()
+		return true
+	}
+}
+
+// Success records a successful call, closing the breaker.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+	b.lastErr = ""
+	b.mu.Unlock()
+}
+
+// Failure records a failed call: a half-open probe re-opens the
+// breaker, the threshold-th consecutive closed failure opens it.
+func (b *breaker) Failure(err error) {
+	var opened bool
+	b.mu.Lock()
+	if err != nil {
+		b.lastErr = err.Error()
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.probing = false
+		opened = true
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			opened = true
+		}
+	}
+	b.mu.Unlock()
+	if opened && b.onOpen != nil {
+		b.onOpen()
+	}
+}
+
+// snapshot returns the state, consecutive-failure count, and last error
+// for introspection.
+func (b *breaker) snapshot() (breakerState, int, string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.fails, b.lastErr
+}

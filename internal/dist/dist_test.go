@@ -1,0 +1,577 @@
+package dist_test
+
+// In-process cluster tests: every shard is a real server.Server over a
+// real msql.DB behind an httptest listener, and every result the
+// coordinator returns is compared bit-for-bit against a single-node
+// oracle session running the same statements.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/measures-sql/msql/internal/dist"
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/paperdata"
+	"github.com/measures-sql/msql/internal/server"
+	"github.com/measures-sql/msql/msql"
+	"github.com/measures-sql/msql/msql/client"
+)
+
+// shardNode is one restartable shard process stand-in: a server over a
+// fresh DB on a fixed address, so a "restart" comes back empty (catalog
+// version 0) on the same URL, exactly like a crashed msqld without
+// durable storage.
+type shardNode struct {
+	t    *testing.T
+	id   string
+	addr string
+
+	mu   sync.Mutex
+	srv  *httptest.Server
+	db   *msql.DB
+	down bool
+}
+
+func startShardNode(t *testing.T, id string) *shardNode {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &shardNode{t: t, id: id, addr: l.Addr().String()}
+	n.startOn(l)
+	t.Cleanup(n.Stop)
+	return n
+}
+
+func (n *shardNode) startOn(l net.Listener) {
+	db := msql.Open()
+	srv := httptest.NewUnstartedServer(server.New(db, server.Config{ShardID: n.id}).Handler())
+	srv.Listener.Close()
+	srv.Listener = l
+	srv.Start()
+	n.mu.Lock()
+	n.srv, n.db, n.down = srv, db, false
+	n.mu.Unlock()
+}
+
+func (n *shardNode) URL() string { return "http://" + n.addr }
+
+// Stop kills the node (connections reset, state lost).
+func (n *shardNode) Stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return
+	}
+	n.down = true
+	n.srv.CloseClientConnections()
+	n.srv.Close()
+	n.db.Close()
+}
+
+// Restart brings the node back empty on the same address.
+func (n *shardNode) Restart() {
+	n.Stop()
+	var l net.Listener
+	var err error
+	for i := 0; i < 50; i++ {
+		l, err = net.Listen("tcp", n.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		n.t.Fatalf("rebind %s: %v", n.addr, err)
+	}
+	n.startOn(l)
+}
+
+func testConfig(shards [][]string) dist.Config {
+	return dist.Config{
+		Shards:           shards,
+		QueryTimeout:     10 * time.Second,
+		Backoff:          client.Backoff{Attempts: 2, Base: time.Millisecond, Max: 5 * time.Millisecond, Seed: 7},
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+		HedgeDelay:       25 * time.Millisecond,
+	}
+}
+
+// cluster spins nShards single-endpoint shards plus a coordinator and a
+// single-node oracle.
+func cluster(t *testing.T, nShards int) (*dist.Coordinator, *msql.DB, []*shardNode) {
+	t.Helper()
+	var nodes []*shardNode
+	var shards [][]string
+	for i := 0; i < nShards; i++ {
+		n := startShardNode(t, fmt.Sprintf("shard-%d", i))
+		nodes = append(nodes, n)
+		shards = append(shards, []string{n.URL()})
+	}
+	coord, err := dist.New(testConfig(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	oracle := msql.Open()
+	t.Cleanup(func() { oracle.Close() })
+	return coord, oracle, nodes
+}
+
+// execBoth applies the same statements to coordinator and oracle.
+func execBoth(t *testing.T, c *dist.Coordinator, oracle *msql.DB, sql string) {
+	t.Helper()
+	if err := c.Exec(context.Background(), sql); err != nil {
+		t.Fatalf("coordinator exec %q: %v", firstLine(sql), err)
+	}
+	oracle.MustExec(sql)
+}
+
+// queryBoth runs sql on both and requires bit-identical results.
+func queryBoth(t *testing.T, c *dist.Coordinator, oracle *msql.DB, sql string) *msql.Result {
+	t.Helper()
+	got, err := c.Query(context.Background(), sql)
+	if err != nil {
+		t.Fatalf("coordinator query %q: %v", sql, err)
+	}
+	want, err := oracle.QueryContext(context.Background(), sql)
+	if err != nil {
+		t.Fatalf("oracle query %q: %v", sql, err)
+	}
+	sameResult(t, sql, got, want)
+	return got
+}
+
+func sameResult(t *testing.T, sql string, got, want *msql.Result) {
+	t.Helper()
+	if fmt.Sprint(got.Columns) != fmt.Sprint(want.Columns) {
+		t.Fatalf("%s:\ncolumns %v\nwant    %v", sql, got.Columns, want.Columns)
+	}
+	gt := make([]string, len(got.Types))
+	for i, ty := range got.Types {
+		gt[i] = ty.String()
+	}
+	wt := make([]string, len(want.Types))
+	for i, ty := range want.Types {
+		wt[i] = ty.String()
+	}
+	if fmt.Sprint(gt) != fmt.Sprint(wt) {
+		t.Fatalf("%s:\ntypes %v\nwant  %v", sql, gt, wt)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s:\n%d rows\nwant %d rows\ngot:  %v\nwant: %v", sql, len(got.Rows), len(want.Rows), fmtRows(got), fmtRows(want))
+	}
+	for i := range got.Rows {
+		if fmt.Sprint(got.Rows[i]) != fmt.Sprint(want.Rows[i]) {
+			t.Fatalf("%s:\nrow %d = %v\nwant    %v", sql, i, got.Rows[i], want.Rows[i])
+		}
+	}
+}
+
+func fmtRows(r *msql.Result) string {
+	var b strings.Builder
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%v; ", row)
+	}
+	return b.String()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + "..."
+	}
+	return s
+}
+
+// differentialQueries covers all four execution paths over the paper's
+// dataset.
+var differentialQueries = []string{
+	// local (no sharded table)
+	`SELECT 1 + 2 AS three`,
+	// routed (partition column pinned; prodName is Orders' first column)
+	`SELECT custName, revenue FROM Orders WHERE prodName = 'Happy'`,
+	`SELECT COUNT(*) AS n, SUM(revenue) AS rev FROM Orders WHERE prodName = 'Happy' AND cost > 1`,
+	// scatter (exactly mergeable aggregates)
+	`SELECT prodName, COUNT(*) AS n, SUM(revenue) AS rev, MIN(cost) AS lo, MAX(cost) AS hi FROM Orders GROUP BY prodName`,
+	`SELECT prodName, SUM(revenue) AS rev FROM Orders GROUP BY prodName ORDER BY rev DESC, prodName`,
+	`SELECT custName, COUNT(*) AS n FROM Orders WHERE revenue > 3 GROUP BY custName ORDER BY n DESC, custName LIMIT 2`,
+	`SELECT COUNT(*) AS n, MIN(orderDate) AS earliest, MAX(orderDate) AS latest FROM Orders`,
+	`SELECT COUNT(*) AS n FROM Orders WHERE revenue > 100`,
+	`SELECT prodName, SUM(revenue) - SUM(cost) AS profit FROM Orders GROUP BY prodName ORDER BY prodName`,
+	// gather (AVG merge is not exact; joins; measures; DISTINCT)
+	`SELECT prodName, AVG(revenue) AS avgRev FROM Orders GROUP BY prodName ORDER BY prodName`,
+	`SELECT DISTINCT prodName FROM Orders ORDER BY prodName`,
+	`SELECT o.prodName, c.custAge FROM Orders o JOIN Customers c ON o.custName = c.custName ORDER BY o.prodName, c.custAge`,
+	`SELECT prodName, AGGREGATE(profitMargin) AS profitMargin FROM EnhancedOrders GROUP BY prodName`,
+	`SELECT orderDate, AGGREGATE(profitMargin) AS m FROM EnhancedOrders WHERE prodName = 'Happy' GROUP BY orderDate ORDER BY orderDate`,
+	`SELECT custName, AGGREGATE(sumRevenue) AS rev FROM OrdersWithRevenue GROUP BY custName ORDER BY custName`,
+	`SELECT prodName, profitMargin FROM SummarizedOrders ORDER BY prodName, profitMargin`,
+	`SELECT * FROM Orders ORDER BY revenue, prodName`,
+}
+
+func TestDifferentialAgainstSingleNode(t *testing.T) {
+	for _, nShards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", nShards), func(t *testing.T) {
+			coord, oracle, _ := cluster(t, nShards)
+			execBoth(t, coord, oracle, paperdata.All)
+			for _, q := range differentialQueries {
+				queryBoth(t, coord, oracle, q)
+			}
+			// Mutate after the fact and re-verify: the replay log and the
+			// global sequence keep tracking.
+			execBoth(t, coord, oracle, `INSERT INTO Orders VALUES ('Acme', 'Celia', DATE '2024-01-02', 9, 3)`)
+			for _, q := range differentialQueries {
+				queryBoth(t, coord, oracle, q)
+			}
+		})
+	}
+}
+
+func TestInsertSpreadsAcrossShards(t *testing.T) {
+	coord, oracle, nodes := cluster(t, 4)
+	execBoth(t, coord, oracle, `CREATE TABLE kv (k INTEGER, v VARCHAR)`)
+	var ins strings.Builder
+	ins.WriteString(`INSERT INTO kv VALUES `)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			ins.WriteString(", ")
+		}
+		fmt.Fprintf(&ins, "(%d, 'v%d')", i, i)
+	}
+	execBoth(t, coord, oracle, ins.String())
+
+	total := 0
+	for _, n := range nodes {
+		cli := client.New(n.URL())
+		res, err := cli.Query(context.Background(), `SELECT COUNT(*) FROM kv`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt := int(asInt64(t, res.Rows[0][0]))
+		if cnt == 0 {
+			t.Fatalf("shard %s received no rows — hash partitioning is degenerate", n.id)
+		}
+		total += cnt
+	}
+	if total != 64 {
+		t.Fatalf("shards hold %d rows in total, want 64", total)
+	}
+	queryBoth(t, coord, oracle, `SELECT COUNT(*) AS n, SUM(k) AS s FROM kv`)
+	queryBoth(t, coord, oracle, `SELECT v FROM kv WHERE k = 17`)
+}
+
+func asInt64(t *testing.T, v any) int64 {
+	t.Helper()
+	switch x := v.(type) {
+	case float64:
+		return int64(x)
+	case int64:
+		return x
+	default:
+		t.Fatalf("unexpected count type %T", v)
+		return 0
+	}
+}
+
+func TestPartitionColumnOverride(t *testing.T) {
+	n0 := startShardNode(t, "s0")
+	n1 := startShardNode(t, "s1")
+	cfg := testConfig([][]string{{n0.URL()}, {n1.URL()}})
+	cfg.PartitionCols = map[string]string{"orders": "custName"}
+	coord, err := dist.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	oracle := msql.Open()
+	defer oracle.Close()
+	execBoth(t, coord, oracle, paperdata.Schema)
+	// Pinning prodName no longer routes (it is not the partition column)
+	// but stays correct; pinning custName routes.
+	queryBoth(t, coord, oracle, `SELECT custName, revenue FROM Orders WHERE prodName = 'Happy'`)
+	queryBoth(t, coord, oracle, `SELECT prodName, revenue FROM Orders WHERE custName = 'Alice'`)
+	queryBoth(t, coord, oracle, `SELECT custName, SUM(revenue) AS rev FROM Orders GROUP BY custName ORDER BY custName`)
+}
+
+func TestStructuredUnavailableError(t *testing.T) {
+	coord, oracle, nodes := cluster(t, 2)
+	execBoth(t, coord, oracle, paperdata.Schema)
+	nodes[1].Stop()
+
+	_, err := coord.Query(context.Background(), `SELECT prodName, COUNT(*) FROM Orders GROUP BY prodName`)
+	if err == nil {
+		t.Fatal("query over a dead shard returned a result")
+	}
+	if !errors.Is(err, msql.ErrUnavailable) {
+		t.Fatalf("error is not ErrUnavailable: %v", err)
+	}
+	var su *dist.ShardUnavailableError
+	if !errors.As(err, &su) {
+		t.Fatalf("error carries no *ShardUnavailableError: %v", err)
+	}
+	if len(su.Shards) != 1 || su.Shards[0] != 1 {
+		t.Fatalf("lost shards = %v, want [1]", su.Shards)
+	}
+
+	// Queries that avoid the dead shard still answer: local...
+	if _, err := coord.Query(context.Background(), `SELECT 41 + 1`); err != nil {
+		t.Fatalf("local query: %v", err)
+	}
+	// ...and the virtual health table reports the breaker's state.
+	res, err := coord.Query(context.Background(),
+		`SELECT breaker FROM msql_stats.shards WHERE shard = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("shards vtable rows = %d, want 1", len(res.Rows))
+	}
+}
+
+func TestBreakerOpensThenRejoins(t *testing.T) {
+	coord, oracle, nodes := cluster(t, 2)
+	execBoth(t, coord, oracle, paperdata.Schema)
+	queryBoth(t, coord, oracle, `SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName ORDER BY prodName`)
+
+	nodes[1].Stop()
+	// Hammer until the breaker opens (threshold 2).
+	for i := 0; i < 4; i++ {
+		coord.Query(context.Background(), `SELECT COUNT(*) FROM Orders`)
+	}
+	res, err := coord.Query(context.Background(),
+		`SELECT breaker FROM msql_stats.shards WHERE shard = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := fmt.Sprint(res.Rows[0][0])
+	if !strings.Contains(state, "open") {
+		t.Fatalf("breaker state after repeated failures = %q, want open", state)
+	}
+
+	// Restart empty: the coordinator must notice version 0 < cursor,
+	// replay the log, and answer exactly again — transparently, after
+	// the cooldown admits a probe.
+	nodes[1].Restart()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err = coord.Query(context.Background(), `SELECT COUNT(*) FROM Orders`)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard never rejoined: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, q := range []string{
+		`SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName ORDER BY prodName`,
+		`SELECT * FROM Orders ORDER BY revenue, prodName`,
+	} {
+		queryBoth(t, coord, oracle, q)
+	}
+	if !strings.Contains(coord.Local().Metrics().Prometheus(), "msql_shard_breaker_open_total") {
+		t.Fatal("breaker-open counter missing from Prometheus exposition")
+	}
+}
+
+func TestReplicaFailover(t *testing.T) {
+	primary := startShardNode(t, "s0-a")
+	replica := startShardNode(t, "s0-b")
+	coord, err := dist.New(testConfig([][]string{{primary.URL(), replica.URL()}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	oracle := msql.Open()
+	defer oracle.Close()
+	execBoth(t, coord, oracle, paperdata.Schema)
+
+	primary.Stop()
+	for _, q := range []string{
+		`SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName ORDER BY prodName`,
+		`SELECT custName FROM Orders WHERE prodName = 'Whizz'`,
+		`SELECT * FROM Orders ORDER BY revenue`,
+	} {
+		queryBoth(t, coord, oracle, q)
+	}
+	// Mutations keep working against the replica and replay to the
+	// primary when it returns.
+	execBoth(t, coord, oracle, `INSERT INTO Orders VALUES ('Whizz', 'Bob', DATE '2024-05-05', 8, 2)`)
+	queryBoth(t, coord, oracle, `SELECT COUNT(*) AS n FROM Orders`)
+
+	primary.Restart()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := coord.Query(context.Background(),
+			`SELECT pending FROM msql_stats.shards WHERE role = 'primary'`)
+		if err == nil && len(res.Rows) == 1 && fmt.Sprint(res.Rows[0][0]) == "0" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted primary never caught up")
+		}
+		// Any query syncs lagging endpoints as a side effect.
+		coord.Query(context.Background(), `SELECT COUNT(*) FROM Orders`)
+		time.Sleep(20 * time.Millisecond)
+	}
+	prom := coord.Local().Metrics().Prometheus()
+	if !strings.Contains(prom, "msql_shard_failovers_total") {
+		t.Fatal("failover counter missing from Prometheus exposition")
+	}
+}
+
+func TestHedgingToReplica(t *testing.T) {
+	// A primary that answers reads slowly (but correctly) should lose
+	// the hedge race to the replica without any error surfacing.
+	slowDB := msql.Open()
+	defer slowDB.Close()
+	slowInner := server.New(slowDB, server.Config{ShardID: "slow"}).Handler()
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/query" || r.URL.Path == "/partial" {
+			time.Sleep(300 * time.Millisecond)
+		}
+		slowInner.ServeHTTP(w, r)
+	}))
+	defer slow.Close()
+	fast := startShardNode(t, "fast")
+
+	cfg := testConfig([][]string{{slow.URL, fast.URL()}})
+	cfg.HedgeDelay = 10 * time.Millisecond
+	coord, err := dist.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	oracle := msql.Open()
+	defer oracle.Close()
+	execBoth(t, coord, oracle, paperdata.Schema)
+
+	start := time.Now()
+	queryBoth(t, coord, oracle, `SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName ORDER BY prodName`)
+	if d := time.Since(start); d > 250*time.Millisecond {
+		t.Fatalf("hedged query took %v — the slow primary held the tail hostage", d)
+	}
+	res, err := coord.Query(context.Background(), `SELECT SUM(hedges) FROM msql_stats.shards`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res.Rows[0][0]) == "0" {
+		t.Fatal("no hedged request was recorded")
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	coord, oracle, _ := cluster(t, 2)
+	execBoth(t, coord, oracle, paperdata.Schema)
+
+	var mu sync.Mutex
+	ids := map[string]bool{}
+	coord.SetTrace(traceFunc(func(s exec.Span) {
+		if s.Phase == "shard" {
+			mu.Lock()
+			ids[s.Attrs["request_id"]] = true
+			mu.Unlock()
+		}
+	}))
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	body := strings.NewReader(`{"sql": "SELECT prodName, COUNT(*) AS n FROM Orders GROUP BY prodName"}`)
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/query", body)
+	req.Header.Set("X-Request-Id", "req-abc-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "req-abc-123" {
+		t.Fatalf("response X-Request-Id = %q, want req-abc-123", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !ids["req-abc-123"] {
+		t.Fatalf("no shard span carried the request ID; saw %v", ids)
+	}
+}
+
+type traceFunc func(exec.Span)
+
+func (f traceFunc) Span(s exec.Span) { f(s) }
+
+func TestCoordinatorHTTPSurface(t *testing.T) {
+	coord, oracle, _ := cluster(t, 2)
+	execBoth(t, coord, oracle, paperdata.All)
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	// The stock client speaks to a coordinator exactly as to a node.
+	cli := client.New(ts.URL)
+	res, err := cli.Query(context.Background(),
+		`SELECT prodName, AGGREGATE(profitMargin) AS profitMargin FROM EnhancedOrders GROUP BY prodName`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("listing 3 over HTTP returned %d rows, want 3", len(res.Rows))
+	}
+	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/metrics.json"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestReservedColumnRejected(t *testing.T) {
+	coord, _, _ := cluster(t, 2)
+	err := coord.Exec(context.Background(), `CREATE TABLE bad (__mseq INTEGER)`)
+	if err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Fatalf("reserved column create = %v, want reserved-name error", err)
+	}
+}
+
+func TestConcurrentScatterQueries(t *testing.T) {
+	coord, oracle, _ := cluster(t, 4)
+	execBoth(t, coord, oracle, paperdata.All)
+	want, err := oracle.QueryContext(context.Background(),
+		`SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName ORDER BY prodName`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := coord.Query(context.Background(),
+				`SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName ORDER BY prodName`)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(got.Rows) != len(want.Rows) {
+				errs <- fmt.Errorf("got %d rows, want %d", len(got.Rows), len(want.Rows))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

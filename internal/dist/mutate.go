@@ -1,0 +1,451 @@
+package dist
+
+// The mutation path: DDL broadcasts to every shard, INSERT partitions
+// rows by the partition column's hash, and both are recorded in a
+// per-shard replay log before any endpoint sees them. Replication to an
+// endpoint is a compare-and-swap on its catalog version — entry i
+// applies only at version i — which makes application exactly-once even
+// across lost acks (a transport error is resolved by probing /catalog:
+// the entry landed iff the version advanced) and makes a restarted,
+// empty endpoint self-identifying (its version fell below the cursor,
+// so the log replays from where it stands).
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"github.com/measures-sql/msql/internal/ast"
+	"github.com/measures-sql/msql/internal/engine"
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/fn"
+	"github.com/measures-sql/msql/internal/sqltypes"
+	"github.com/measures-sql/msql/internal/wire"
+	"github.com/measures-sql/msql/msql"
+)
+
+// seqCol is the hidden ordering column appended to every sharded
+// table: a global insertion sequence that lets the coordinator rebuild
+// (or merge) rows in exactly the order a single node would have seen
+// them, which is what makes gathered and scattered results bit-
+// identical to the single-node oracle.
+const seqCol = "__mseq"
+
+func bindErr(format string, args ...any) error {
+	return &exec.Error{Code: exec.CodeBind, Phase: exec.PhaseBind, Pos: -1, Err: fmt.Errorf(format, args...)}
+}
+
+// runOne executes one statement (row-producing or not) on db and
+// returns its result.
+func runOne(ctx context.Context, db *msql.DB, sql string) (*msql.Result, error) {
+	results, err := db.RunContext(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return &msql.Result{Message: "ok"}, nil
+	}
+	return results[len(results)-1], nil
+}
+
+// exec applies one mutation statement: validate against the local
+// mirrors, log per shard, then push to every endpoint of every affected
+// shard. A shard counts as reached when at least one of its endpoints
+// acknowledged; shards with no reachable endpoint are reported in a
+// structured unavailability error, and the logged entry replays to them
+// on rejoin.
+func (c *Coordinator) execStmt(ctx context.Context, stmt ast.Statement, reqID string) (*msql.Result, error) {
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+	switch s := stmt.(type) {
+	case *ast.CreateTable:
+		return c.execCreateTable(ctx, s, reqID)
+	case *ast.CreateView, *ast.Drop:
+		return c.execSchemaChange(ctx, stmt, reqID)
+	case *ast.Insert:
+		return c.execInsert(ctx, s, reqID)
+	default:
+		// Session statements (SET, KILL, PREPARE, ...) act on the
+		// coordinator's own session.
+		return runOne(ctx, c.local, ast.FormatStatement(stmt))
+	}
+}
+
+func (c *Coordinator) execCreateTable(ctx context.Context, s *ast.CreateTable, reqID string) (*msql.Result, error) {
+	for _, col := range s.Cols {
+		if lower(col.Name) == seqCol {
+			return nil, bindErr("column name %q is reserved for distributed execution", seqCol)
+		}
+	}
+	localSQL := ast.FormatStatement(s)
+	shardStmt := *s
+	shardStmt.Cols = append(append([]ast.ColumnDef{}, s.Cols...), ast.ColumnDef{Name: seqCol, TypeName: "INTEGER"})
+	shardSQL := ast.FormatStatement(&shardStmt)
+
+	res, err := runOne(ctx, c.local, localSQL)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := runOne(ctx, c.shadow, shardSQL); err != nil {
+		// Keep the mirrors consistent: undo the local side.
+		_, _ = runOne(ctx, c.local, "DROP TABLE "+s.Name)
+		return nil, err
+	}
+
+	meta := &tableMeta{name: s.Name, pcol: 0}
+	for _, col := range s.Cols {
+		meta.cols = append(meta.cols, col.Name)
+		meta.kinds = append(meta.kinds, sqltypes.KindFromName(col.TypeName))
+	}
+	if want, ok := c.cfg.PartitionCols[lower(s.Name)]; ok {
+		meta.pcol = -1
+		for i, col := range meta.cols {
+			if lower(col) == lower(want) {
+				meta.pcol = i
+			}
+		}
+		if meta.pcol < 0 {
+			_, _ = runOne(ctx, c.local, "DROP TABLE "+s.Name)
+			_, _ = runOne(ctx, c.shadow, "DROP TABLE "+s.Name)
+			return nil, bindErr("partition column %q not found in table %s", want, s.Name)
+		}
+	}
+
+	c.mu.Lock()
+	c.tables[lower(s.Name)] = meta
+	c.ddl = append(c.ddl, localSQL)
+	c.mu.Unlock()
+	return res, c.broadcast(ctx, mutation{sql: shardSQL}, reqID)
+}
+
+func (c *Coordinator) execSchemaChange(ctx context.Context, stmt ast.Statement, reqID string) (*msql.Result, error) {
+	sql := ast.FormatStatement(stmt)
+	res, err := runOne(ctx, c.local, sql)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := runOne(ctx, c.shadow, sql); err != nil {
+		// A view can be valid against the original schema yet invalid
+		// against the shard schema only in pathological cases; surface
+		// it rather than diverge, and undo the local apply.
+		if cv, ok := stmt.(*ast.CreateView); ok {
+			_, _ = runOne(ctx, c.local, "DROP VIEW "+cv.Name)
+		}
+		return nil, err
+	}
+	if d, ok := stmt.(*ast.Drop); ok && d.Kind == "TABLE" {
+		c.mu.Lock()
+		delete(c.tables, lower(d.Name))
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	c.ddl = append(c.ddl, sql)
+	c.mu.Unlock()
+	return res, c.broadcast(ctx, mutation{sql: sql}, reqID)
+}
+
+func (c *Coordinator) execInsert(ctx context.Context, s *ast.Insert, reqID string) (*msql.Result, error) {
+	meta, ok := c.meta(s.Table)
+	if !ok {
+		return nil, bindErr("unknown table %s", s.Table)
+	}
+
+	var rows [][]sqltypes.Value
+	switch {
+	case s.Query != nil:
+		// INSERT ... SELECT: run the source query through the
+		// coordinator itself (it may touch sharded tables), then
+		// partition the materialized rows.
+		res, err := c.queryText(ctx, ast.FormatQuery(s.Query), reqID)
+		if err != nil {
+			return nil, err
+		}
+		rows = res.Rows
+	default:
+		for _, exprs := range s.Rows {
+			row := make([]sqltypes.Value, len(exprs))
+			for i, e := range exprs {
+				v, err := engine.EvalConstExpr(e)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	full, err := expandInsertColumns(meta, s.Columns, rows)
+	if err != nil {
+		return nil, err
+	}
+
+	// Coerce (mirroring storage), assign the global sequence, and
+	// partition.
+	batches := make([][][]sqltypes.Value, len(c.shards))
+	c.mu.Lock()
+	for _, row := range full {
+		for i := range row {
+			v, err := coerceValue(row[i], meta.kinds[i])
+			if err != nil {
+				c.mu.Unlock()
+				return nil, exec.Wrap(fmt.Errorf("column %s: %w", meta.cols[i], err), exec.CodeRuntime, exec.PhaseExecute)
+			}
+			row[i] = v
+		}
+		idx := c.shardFor(row[meta.pcol])
+		withSeq := make([]sqltypes.Value, len(row)+1)
+		copy(withSeq, row)
+		withSeq[len(row)] = sqltypes.NewInt(c.seq)
+		c.seq++
+		batches[idx] = append(batches[idx], withSeq)
+	}
+	c.mu.Unlock()
+
+	failed := map[int]error{}
+	for idx, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		m := mutation{table: meta.name, rows: wire.EncodeRowsBinary(batch)}
+		sh := c.shards[idx]
+		sh.appendLog(m)
+		if err := c.pushShard(ctx, sh, reqID); err != nil {
+			failed[idx] = err
+		}
+	}
+	if len(failed) > 0 {
+		c.metrics.shardErrors.Add(1)
+		return nil, unavailable(failed)
+	}
+	return &msql.Result{Message: fmt.Sprintf("%d rows inserted", len(full))}, nil
+}
+
+// expandInsertColumns maps a (possibly partial) column list onto the
+// table's full column order, filling unnamed columns with NULL.
+func expandInsertColumns(meta *tableMeta, cols []string, rows [][]sqltypes.Value) ([][]sqltypes.Value, error) {
+	if len(cols) == 0 {
+		for _, row := range rows {
+			if len(row) != len(meta.cols) {
+				return nil, bindErr("INSERT into %s expects %d values, got %d", meta.name, len(meta.cols), len(row))
+			}
+		}
+		return rows, nil
+	}
+	pos := make([]int, len(cols))
+	for i, name := range cols {
+		pos[i] = -1
+		for j, col := range meta.cols {
+			if lower(col) == lower(name) {
+				pos[i] = j
+			}
+		}
+		if pos[i] < 0 {
+			return nil, bindErr("unknown column %s in INSERT into %s", name, meta.name)
+		}
+	}
+	out := make([][]sqltypes.Value, len(rows))
+	for r, row := range rows {
+		if len(row) != len(cols) {
+			return nil, bindErr("INSERT into %s expects %d values, got %d", meta.name, len(cols), len(row))
+		}
+		full := make([]sqltypes.Value, len(meta.cols))
+		for j, k := range meta.kinds {
+			full[j] = sqltypes.Null(k)
+		}
+		for i, v := range row {
+			full[pos[i]] = v
+		}
+		out[r] = full
+	}
+	return out, nil
+}
+
+// coerceValue mirrors the storage layer's insert coercion so the value
+// the coordinator hashes is byte-identical to the value the shard
+// stores (and to the literal a routed query will hash later).
+func coerceValue(v sqltypes.Value, kind sqltypes.Kind) (sqltypes.Value, error) {
+	if v.Null {
+		return sqltypes.Null(kind), nil
+	}
+	if v.K == kind {
+		return v, nil
+	}
+	switch {
+	case kind == sqltypes.KindFloat && v.K == sqltypes.KindInt,
+		kind == sqltypes.KindDate && v.K == sqltypes.KindString:
+		return sqltypes.Cast(v, kind)
+	case kind == sqltypes.KindInt && v.K == sqltypes.KindFloat:
+		if v.F == float64(int64(v.F)) {
+			return sqltypes.NewInt(int64(v.F)), nil
+		}
+		return sqltypes.Value{}, fmt.Errorf("cannot insert non-integral %v into INTEGER column", v)
+	default:
+		return sqltypes.Value{}, fmt.Errorf("cannot insert %s value into %s column", v.K, kind)
+	}
+}
+
+// shardFor hashes a coerced partition value's canonical encoding. The
+// FNV digest gets a 64-bit avalanche finalizer: raw FNV modulo a small
+// (especially power-of-two) shard count collapses onto a few residues
+// for dense integer keys, which would leave shards empty.
+func (c *Coordinator) shardFor(v sqltypes.Value) int {
+	h := fnv.New64a()
+	h.Write(fn.AppendValue(nil, v))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(len(c.shards)))
+}
+
+// broadcast logs m on every shard and pushes; shards with no reachable
+// endpoint are reported as unavailable (the entry replays on rejoin).
+func (c *Coordinator) broadcast(ctx context.Context, m mutation, reqID string) error {
+	for _, sh := range c.shards {
+		sh.appendLog(m)
+	}
+	failed := map[int]error{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, sh := range c.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			if err := c.pushShard(ctx, sh, reqID); err != nil {
+				mu.Lock()
+				failed[sh.idx] = err
+				mu.Unlock()
+			}
+		}(sh)
+	}
+	wg.Wait()
+	if len(failed) > 0 {
+		c.metrics.shardErrors.Add(1)
+		return unavailable(failed)
+	}
+	return nil
+}
+
+// pushShard replicates the shard's log to every endpoint; the shard is
+// reached when at least one endpoint is fully synced. Endpoints that
+// fail keep their cursor and are repaired on a later push, a query-time
+// sync, or a breaker half-open probe.
+func (c *Coordinator) pushShard(ctx context.Context, sh *shard, reqID string) error {
+	var firstErr error
+	okCount := 0
+	for _, ep := range sh.endpoints {
+		if !ep.br.Allow() {
+			continue
+		}
+		if err := c.syncEndpoint(ctx, sh, ep, reqID); err != nil {
+			ep.br.Failure(err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ep.br.Success()
+		okCount++
+	}
+	if okCount == 0 {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("all %d endpoints have open circuit breakers", len(sh.endpoints))
+		}
+		return fmt.Errorf("shard %d: %w", sh.idx, firstErr)
+	}
+	return nil
+}
+
+// syncEndpoint replays the shard log tail to ep under the CAS
+// discipline. It resolves lost acks by probing the catalog version, and
+// rewinds the cursor when the endpoint reports a version below it
+// (a restarted endpoint that lost state).
+func (c *Coordinator) syncEndpoint(ctx context.Context, sh *shard, ep *endpoint, reqID string) error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	const maxAttemptsPerEntry = 4
+	attempts := 0
+	for {
+		n := sh.logLen()
+		if ep.applied >= n {
+			return nil
+		}
+		m, ok := sh.entry(ep.applied)
+		if !ok {
+			return fmt.Errorf("shard %d: log entry %d vanished", sh.idx, ep.applied)
+		}
+		expect := int64(ep.applied)
+		var v int64
+		var applied bool
+		var err error
+		if m.sql != "" {
+			v, applied, err = ep.cli.ApplyDDL(ctx, m.sql, expect, reqID)
+		} else {
+			v, applied, err = ep.cli.ApplyRows(ctx, m.table, m.rows, expect, reqID)
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			// Lost ack: did it land? The catalog version answers
+			// unambiguously.
+			info, perr := ep.cli.Catalog(ctx)
+			if perr != nil {
+				return fmt.Errorf("applying log entry %d: %w", ep.applied, err)
+			}
+			v, applied = info.Version, false
+		}
+		switch {
+		case applied, v == expect+1:
+			ep.applied++
+			attempts = 0
+		case v < expect:
+			// The endpoint lost state (restart). Its version counts the
+			// mutations it still holds — rewind and replay the tail.
+			ep.applied = int(v)
+			attempts = 0
+		case v == expect:
+			// Transport failed and the probe shows the entry did not
+			// land: try the same entry again, boundedly.
+			attempts++
+			if attempts >= maxAttemptsPerEntry {
+				return fmt.Errorf("applying log entry %d: %w", ep.applied, err)
+			}
+		default:
+			return fmt.Errorf("shard %d endpoint %s diverged: at catalog version %d, expected at most %d",
+				sh.idx, ep.url, v, expect+1)
+		}
+	}
+}
+
+// rewindAndSync handles a catalog-version mismatch reported by a read:
+// the endpoint is at a different version than our cursor says, most
+// likely because it restarted and lost state after the cursor had
+// caught up (so the CAS replay loop, which only runs while entries are
+// pending, never got a chance to notice). Probe the authoritative
+// version, rewind the cursor to it, and replay the tail.
+func (c *Coordinator) rewindAndSync(ctx context.Context, sh *shard, ep *endpoint, reqID string) error {
+	info, err := ep.cli.Catalog(ctx)
+	if err != nil {
+		return err
+	}
+	ep.mu.Lock()
+	if int(info.Version) < ep.applied {
+		ep.applied = int(info.Version)
+	}
+	ep.mu.Unlock()
+	return c.syncEndpoint(ctx, sh, ep, reqID)
+}
+
+// ensureSynced fast-paths the common case (cursor already at the log
+// head) and otherwise replays the tail before a read.
+func (c *Coordinator) ensureSynced(ctx context.Context, sh *shard, ep *endpoint, reqID string) error {
+	if int(ep.version()) >= sh.logLen() {
+		return nil
+	}
+	return c.syncEndpoint(ctx, sh, ep, reqID)
+}

@@ -1,0 +1,857 @@
+package dist
+
+// Query classification and the four execution paths. Every path is
+// bit-identical to a single-node session running the same statements:
+// routed queries read exactly one partition that provably contains
+// every qualifying row; scattered aggregations merge only aggregates
+// whose two-phase merge is exact, ordering per-group partials by the
+// global insertion sequence so even first-seen-sensitive aggregates
+// (ANY_VALUE) and group output order match the oracle; and the gather
+// fallback rebuilds the tables in insertion order and runs the original
+// statement unchanged.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/measures-sql/msql/internal/ast"
+	"github.com/measures-sql/msql/internal/engine"
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/fn"
+	"github.com/measures-sql/msql/internal/parser"
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+	"github.com/measures-sql/msql/internal/wire"
+	"github.com/measures-sql/msql/msql"
+	"github.com/measures-sql/msql/msql/client"
+)
+
+// Run executes sql (one or more statements) across the topology and
+// returns one result per statement.
+func (c *Coordinator) Run(ctx context.Context, sql string) ([]*msql.Result, error) {
+	return c.RunWithRequestID(ctx, sql, c.newRequestID())
+}
+
+// RunWithRequestID is Run with an explicit correlation ID, which is
+// propagated to every shard call as X-Request-Id.
+func (c *Coordinator) RunWithRequestID(ctx context.Context, sql, reqID string) ([]*msql.Result, error) {
+	stmts, err := parser.ParseStatements(sql)
+	if err != nil {
+		return nil, err
+	}
+	var out []*msql.Result
+	for _, stmt := range stmts {
+		var res *msql.Result
+		if qs, ok := stmt.(*ast.QueryStmt); ok {
+			res, err = c.queryText(ctx, ast.FormatQuery(qs.Query), reqID)
+		} else {
+			res, err = c.execStmt(ctx, stmt, reqID)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Query executes sql and returns the last statement's result.
+func (c *Coordinator) Query(ctx context.Context, sql string) (*msql.Result, error) {
+	res, err := c.Run(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(res) == 0 {
+		return &msql.Result{Message: "ok"}, nil
+	}
+	return res[len(res)-1], nil
+}
+
+// Exec executes sql, discarding results.
+func (c *Coordinator) Exec(ctx context.Context, sql string) error {
+	_, err := c.Run(ctx, sql)
+	return err
+}
+
+// MustExec executes sql and panics on error (test/bootstrap helper).
+func (c *Coordinator) MustExec(sql string) {
+	if err := c.Exec(context.Background(), sql); err != nil {
+		panic(err)
+	}
+}
+
+// queryText executes one query, picking the cheapest safe path.
+func (c *Coordinator) queryText(ctx context.Context, sql, reqID string) (*msql.Result, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.QueryTimeout)
+	defer cancel()
+
+	node, err := c.local.PlanQuery(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	sharded := c.scanShardTables(node)
+	if len(sharded) == 0 {
+		return c.local.QueryContext(ctx, sql)
+	}
+	if q, err := parser.ParseQuery(sql); err == nil {
+		if idx, ok := c.routeSingle(q); ok {
+			return c.routed(ctx, idx, sql, reqID)
+		}
+	}
+	if res, handled, err := c.scatter(ctx, sql, node, reqID); handled {
+		return res, err
+	}
+	return c.gather(ctx, sql, sharded, reqID)
+}
+
+// scanShardTables collects the sharded tables the plan scans, looking
+// through view expansions and subquery plans.
+func (c *Coordinator) scanShardTables(node plan.Node) map[string]*tableMeta {
+	out := map[string]*tableMeta{}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	plan.Walk(node, func(n plan.Node) {
+		if sc, ok := n.(*plan.Scan); ok {
+			if meta, ok := c.tables[lower(sc.Source.Name())]; ok {
+				out[lower(meta.name)] = meta
+			}
+		}
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Routed execution (single-shard)
+
+// routeSingle reports whether q can run whole on one shard: its FROM is
+// a single sharded table and the WHERE pins that table's partition
+// column to a literal, so every qualifying row — and every row any
+// measure or AT context in the query can reach — lives on the owning
+// shard.
+func (c *Coordinator) routeSingle(q *ast.Query) (int, bool) {
+	if len(q.With) != 0 {
+		return 0, false
+	}
+	sel, ok := q.Body.(*ast.Select)
+	if !ok || sel.From == nil {
+		return 0, false
+	}
+	tn, ok := sel.From.(*ast.TableName)
+	if !ok {
+		return 0, false
+	}
+	meta, ok := c.meta(tn.Name)
+	if !ok {
+		return 0, false
+	}
+	pcol := meta.cols[meta.pcol]
+	alias := tn.Alias
+	if alias == "" {
+		alias = tn.Name
+	}
+	// A shard-side SELECT * would expose the hidden sequence column.
+	for _, it := range sel.Items {
+		if it.Star {
+			return 0, false
+		}
+	}
+	var exprs []ast.Expr
+	for _, it := range sel.Items {
+		exprs = append(exprs, it.Expr)
+	}
+	exprs = append(exprs, sel.Where, sel.Having, sel.Qualify, q.Limit, q.Offset)
+	for _, gi := range sel.GroupBy {
+		exprs = append(exprs, gi.Exprs...)
+		for _, set := range gi.Sets {
+			exprs = append(exprs, set...)
+		}
+	}
+	for _, oi := range q.OrderBy {
+		exprs = append(exprs, oi.Expr)
+	}
+	for _, e := range exprs {
+		if !routeSafeExpr(e, pcol) {
+			return 0, false
+		}
+	}
+	for _, conj := range conjuncts(sel.Where) {
+		b, ok := conj.(*ast.Binary)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		for _, pair := range [][2]ast.Expr{{b.L, b.R}, {b.R, b.L}} {
+			id, ok := pair[0].(*ast.Ident)
+			if !ok || !strings.EqualFold(id.Name(), pcol) {
+				continue
+			}
+			if qual := id.Qualifier(); qual != "" && !strings.EqualFold(qual, alias) {
+				continue
+			}
+			v, err := engine.EvalConstExpr(pair[1])
+			if err != nil {
+				continue
+			}
+			cv, err := coerceValue(v, meta.kinds[meta.pcol])
+			if err != nil {
+				continue
+			}
+			return c.shardFor(cv), true
+		}
+	}
+	return 0, false
+}
+
+// conjuncts flattens a top-level AND chain.
+func conjuncts(e ast.Expr) []ast.Expr {
+	b, ok := e.(*ast.Binary)
+	if ok && strings.EqualFold(b.Op, "AND") {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []ast.Expr{e}
+}
+
+// routeSafeExpr rejects expressions that could reach rows outside the
+// pinned partition: subqueries, AT WHERE, AT ALL with no dimensions
+// (full context reset), and AT modifiers that touch the partition
+// column itself.
+func routeSafeExpr(e ast.Expr, pcol string) bool {
+	if e == nil {
+		return true
+	}
+	safe := true
+	ast.WalkExpr(e, func(x ast.Expr) bool {
+		switch t := x.(type) {
+		case *ast.ScalarSubquery, *ast.InSubquery, *ast.Exists:
+			safe = false
+		case *ast.At:
+			for _, mod := range t.Mods {
+				switch m := mod.(type) {
+				case *ast.AtVisible:
+				case *ast.AtWhere:
+					safe = false
+				case *ast.AtAll:
+					if len(m.Dims) == 0 {
+						safe = false
+					}
+					for _, d := range m.Dims {
+						if mentionsCol(d, pcol) {
+							safe = false
+						}
+					}
+				case *ast.AtSet:
+					if mentionsCol(m.Dim, pcol) {
+						safe = false
+					}
+				default:
+					safe = false
+				}
+			}
+		}
+		return safe
+	})
+	return safe
+}
+
+func mentionsCol(e ast.Expr, col string) bool {
+	found := false
+	ast.WalkExpr(e, func(x ast.Expr) bool {
+		if id, ok := x.(*ast.Ident); ok && strings.EqualFold(id.Name(), col) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// routed executes sql whole on shard idx.
+func (c *Coordinator) routed(ctx context.Context, idx int, sql, reqID string) (*msql.Result, error) {
+	sh := c.shards[idx]
+	res, err := callShard(ctx, c, sh, "route", reqID, func(cctx context.Context, ep *endpoint) (*client.Result, error) {
+		return c.shardQuery(cctx, sh, ep, sql, reqID)
+	})
+	if err != nil {
+		return nil, c.shardFailure(ctx, map[int]error{idx: err})
+	}
+	return decodeClientResult(res)
+}
+
+// shardQuery runs a full query on one endpoint at its expected catalog
+// version, syncing first and repairing once on a version mismatch.
+func (c *Coordinator) shardQuery(ctx context.Context, sh *shard, ep *endpoint, sql, reqID string) (*client.Result, error) {
+	if err := c.ensureSynced(ctx, sh, ep, reqID); err != nil {
+		return nil, err
+	}
+	run := func() (*client.Result, error) {
+		opts := []client.QueryOption{
+			client.WithIdempotent(), client.WithRawNumbers(),
+			client.WithRequestID(reqID), client.WithExpectCatalogVersion(ep.version()),
+		}
+		if d, ok := ctx.Deadline(); ok {
+			opts = append(opts, client.WithTimeout(time.Until(d)))
+		}
+		return ep.cli.Query(ctx, sql, opts...)
+	}
+	res, err := run()
+	if err != nil && strings.Contains(err.Error(), "catalog version mismatch") {
+		if serr := c.rewindAndSync(ctx, sh, ep, reqID); serr == nil {
+			res, err = run()
+		}
+	}
+	return res, err
+}
+
+// shardFailure classifies a set of per-shard failures: a context
+// cancellation/timeout keeps its own taxonomy code, anything else is
+// the structured unavailability error.
+func (c *Coordinator) shardFailure(ctx context.Context, failed map[int]error) error {
+	if err := ctx.Err(); err != nil {
+		return exec.CtxError(err)
+	}
+	c.metrics.shardErrors.Add(1)
+	return unavailable(failed)
+}
+
+// ---------------------------------------------------------------------------
+// Scatter execution (partial aggregation + exact merge)
+
+// scatter attempts the scatter/partial path. handled=false means the
+// query's shape is not scatter-safe and the caller should gather.
+func (c *Coordinator) scatter(ctx context.Context, sql string, localPlan plan.Node, reqID string) (res *msql.Result, handled bool, err error) {
+	q, perr := parser.ParseQuery(sql)
+	if perr != nil {
+		return nil, false, nil
+	}
+	sel, ok := q.Body.(*ast.Select)
+	if !ok || sel.Distinct || sel.Having != nil || sel.Qualify != nil {
+		return nil, false, nil
+	}
+	for _, it := range sel.Items {
+		if it.Star {
+			return nil, false, nil
+		}
+	}
+	// Append the bookkeeping aggregate and strip the post-aggregation
+	// clauses (they run on the coordinator after the merge). Appending
+	// (not prepending) keeps GROUP BY ordinals valid.
+	sel.Items = append(sel.Items, ast.SelectItem{
+		Expr:  &ast.FuncCall{Name: "MIN", Args: []ast.Expr{&ast.Ident{Parts: []string{seqCol}}}},
+		Alias: "__mseq_min",
+	})
+	q.OrderBy, q.Limit, q.Offset = nil, nil, nil
+	shardSQL := ast.FormatQuery(q)
+
+	// Validate the rewrite against the shard-schema mirror before any
+	// shard sees it; any planning failure (hidden column not in scope,
+	// ambiguity through a join) simply falls through to gather.
+	shadowPlan, perr := c.shadow.PlanQuery(ctx, shardSQL)
+	if perr != nil {
+		return nil, false, nil
+	}
+	aggSh, ok := unwrapPartialAgg(shadowPlan)
+	if !ok || !c.scatterPlanSafe(shadowPlan) {
+		return nil, false, nil
+	}
+	if len(aggSh.Sets) > 1 || (len(aggSh.Sets) == 1 && len(aggSh.Sets[0]) != len(aggSh.GroupExprs)) {
+		return nil, false, nil
+	}
+	aggCount := len(aggSh.Aggs) - 1
+	groupCount := len(aggSh.GroupExprs)
+	if aggCount < 0 || aggSh.Aggs[aggCount].Name != "MIN" {
+		return nil, false, nil
+	}
+	for i := 0; i < aggCount; i++ {
+		if !scatterSafeAgg(aggSh.Aggs[i]) {
+			return nil, false, nil
+		}
+	}
+	// Align the local plan: the merged groups replace its Aggregate
+	// node, so the aggregates must correspond one to one.
+	aggLoc, ok := unwrapLocalAgg(localPlan)
+	if !ok || len(aggLoc.Aggs) != aggCount || len(aggLoc.GroupExprs) != groupCount {
+		return nil, false, nil
+	}
+	for i := 0; i < aggCount; i++ {
+		a, b := aggLoc.Aggs[i], aggSh.Aggs[i]
+		if a.Name != b.Name || a.Star != b.Star || a.Distinct != b.Distinct || len(a.Args) != len(b.Args) {
+			return nil, false, nil
+		}
+	}
+	out, err := c.scatterRun(ctx, sql, shardSQL, localPlan, aggLoc, groupCount, aggCount, reqID)
+	return out, true, err
+}
+
+// unwrapPartialAgg mirrors exec.PartialAggregate's accepted shape:
+// Project* over a single Aggregate.
+func unwrapPartialAgg(n plan.Node) (*plan.Aggregate, bool) {
+	for {
+		switch t := n.(type) {
+		case *plan.Project:
+			n = t.Input
+		case *plan.Aggregate:
+			return t, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// unwrapLocalAgg walks the local plan's root chain (Project/Sort/Limit
+// — the operators that legally sit above a merged aggregate) down to
+// its Aggregate.
+func unwrapLocalAgg(n plan.Node) (*plan.Aggregate, bool) {
+	for {
+		switch t := n.(type) {
+		case *plan.Project:
+			n = t.Input
+		case *plan.Sort:
+			n = t.Input
+		case *plan.Limit:
+			n = t.Input
+		case *plan.Aggregate:
+			return t, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// scatterPlanSafe requires exactly one table scan (no joins — a
+// per-shard join of per-shard slices is not the global join), every
+// scan on a sharded table, and no subqueries or window functions
+// anywhere (measure expansions that survive as correlated subqueries
+// need rows beyond the shard's partition).
+func (c *Coordinator) scatterPlanSafe(n plan.Node) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	safe := true
+	scans := 0
+	plan.Walk(n, func(m plan.Node) {
+		switch t := m.(type) {
+		case *plan.Scan:
+			scans++
+			if _, ok := c.tables[lower(t.Source.Name())]; !ok {
+				safe = false
+			}
+		case *plan.Window, *plan.Join, *plan.SetOp, *plan.Distinct:
+			safe = false
+		}
+		plan.VisitNodeExprs(m, func(e plan.Expr) {
+			plan.WalkExprs(e, func(x plan.Expr) {
+				if _, ok := x.(*plan.Subquery); ok {
+					safe = false
+				}
+			})
+		})
+	})
+	return safe && scans == 1
+}
+
+// scatterSafeAgg whitelists aggregates whose two-phase merge is exact
+// under arbitrary row interleaving across shards: pure comparisons and
+// integer arithmetic. Order-sensitive accumulators (float SUM/AVG/
+// variance) and tie-broken selectors (ARG_MIN/ARG_MAX, whose merge
+// keeps the receiver's candidate on equal keys regardless of global
+// row order) fall through to the gather path.
+func scatterSafeAgg(a plan.AggCall) bool {
+	if a.Distinct || a.Filter != nil || len(a.WithinDistinct) > 0 {
+		return false
+	}
+	def, ok := fn.LookupAgg(a.Name)
+	if !ok {
+		return false
+	}
+	argTypes := make([]sqltypes.Type, len(a.Args))
+	for i, e := range a.Args {
+		argTypes[i] = e.Type()
+	}
+	if !def.MergesExactly(argTypes) {
+		return false
+	}
+	switch a.Name {
+	case "COUNT", "MIN", "MAX", "ANY_VALUE":
+		return true
+	case "SUM":
+		return len(argTypes) == 1 && argTypes[0].Kind == sqltypes.KindInt
+	default:
+		return false
+	}
+}
+
+// partialPiece is one shard's contribution to one group.
+type partialPiece struct {
+	seq    int64 // the shard's MIN(__mseq) for the group
+	states []fn.AggState
+}
+
+// scatterRun fans the rewritten query out, merges the partial states in
+// global insertion order, and finishes the original plan locally with
+// the merged groups substituted for its Aggregate node.
+func (c *Coordinator) scatterRun(ctx context.Context, sql, shardSQL string, localPlan plan.Node, aggLoc *plan.Aggregate, groupCount, aggCount int, reqID string) (*msql.Result, error) {
+	c.metrics.scatters.Add(int64(len(c.shards)))
+	type shardOut struct {
+		idx int
+		p   *client.Partials
+		err error
+	}
+	outs := make([]shardOut, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			p, err := callShard(ctx, c, sh, "partial", reqID, func(cctx context.Context, ep *endpoint) (*client.Partials, error) {
+				return c.shardPartial(cctx, sh, ep, shardSQL, groupCount, aggCount+1, reqID)
+			})
+			outs[i] = shardOut{idx: i, p: p, err: err}
+		}(i, sh)
+	}
+	wg.Wait()
+	failed := map[int]error{}
+	for _, o := range outs {
+		if o.err != nil {
+			failed[o.idx] = o.err
+		}
+	}
+	if len(failed) > 0 {
+		return nil, c.shardFailure(ctx, failed)
+	}
+
+	// Merge per group, ordering each group's pieces (and the groups
+	// themselves) by the minimum global sequence they contain — the
+	// order a single node would first have seen them.
+	type groupAcc struct {
+		key    string
+		pieces []partialPiece
+	}
+	byKey := map[string]*groupAcc{}
+	var order []*groupAcc
+	for _, o := range outs {
+		for _, g := range o.p.Groups {
+			states, err := wire.DecodeStates(g.States)
+			if err != nil {
+				return nil, exec.Wrap(fmt.Errorf("shard %d partial state: %w", o.idx, err), exec.CodeRuntime, exec.PhaseExecute)
+			}
+			if len(states) != aggCount+1 {
+				return nil, exec.Wrap(fmt.Errorf("shard %d returned %d states, want %d", o.idx, len(states), aggCount+1), exec.CodeRuntime, exec.PhaseExecute)
+			}
+			seqv := states[aggCount].Result()
+			if seqv.Null || seqv.K != sqltypes.KindInt {
+				return nil, exec.Wrap(fmt.Errorf("shard %d returned no sequence for a group", o.idx), exec.CodeRuntime, exec.PhaseExecute)
+			}
+			acc := byKey[g.Key]
+			if acc == nil {
+				acc = &groupAcc{key: g.Key}
+				byKey[g.Key] = acc
+				order = append(order, acc)
+			}
+			acc.pieces = append(acc.pieces, partialPiece{seq: seqv.I, states: states[:aggCount]})
+		}
+	}
+	if len(order) == 0 {
+		// No shard saw a qualifying row. The coordinator's empty local
+		// mirror produces the exact empty-input answer, including the
+		// one-row result of an ungrouped aggregate.
+		return c.local.QueryContext(ctx, sql)
+	}
+	type mergedGroup struct {
+		key    []sqltypes.Value
+		vals   []sqltypes.Value
+		minSeq int64
+	}
+	merged := make([]mergedGroup, 0, len(order))
+	for _, acc := range order {
+		sort.Slice(acc.pieces, func(i, j int) bool { return acc.pieces[i].seq < acc.pieces[j].seq })
+		base := acc.pieces[0].states
+		for _, p := range acc.pieces[1:] {
+			for i := range base {
+				if err := base[i].Merge(p.states[i]); err != nil {
+					return nil, exec.Wrap(err, exec.CodeRuntime, exec.PhaseExecute)
+				}
+			}
+		}
+		key, err := wire.DecodeKey(acc.key)
+		if err != nil {
+			return nil, exec.Wrap(err, exec.CodeRuntime, exec.PhaseExecute)
+		}
+		if len(key) != groupCount {
+			return nil, exec.Wrap(fmt.Errorf("group key has %d values, want %d", len(key), groupCount), exec.CodeRuntime, exec.PhaseExecute)
+		}
+		vals := make([]sqltypes.Value, len(base))
+		for i, st := range base {
+			vals[i] = st.Result()
+		}
+		merged = append(merged, mergedGroup{key: key, vals: vals, minSeq: acc.pieces[0].seq})
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].minSeq < merged[j].minSeq })
+
+	rows := make([][]plan.Expr, len(merged))
+	for i, g := range merged {
+		row := make([]plan.Expr, 0, groupCount+aggCount)
+		for _, v := range g.key {
+			row = append(row, &plan.Lit{Val: v})
+		}
+		for _, v := range g.vals {
+			row = append(row, &plan.Lit{Val: v})
+		}
+		rows[i] = row
+	}
+	values := &plan.Values{Rows: rows, Sch: aggLoc.Schema()}
+	newRoot, ok := replaceAggregate(localPlan, aggLoc, values)
+	if !ok {
+		return nil, exec.Wrap(fmt.Errorf("internal: aggregate node not found for substitution"), exec.CodeRuntime, exec.PhaseExecute)
+	}
+	outRows, err := exec.RunContext(ctx, newRoot, exec.DefaultSettings())
+	if err != nil {
+		return nil, err
+	}
+	sch := newRoot.Schema()
+	types := make([]sqltypes.Type, len(sch.Cols))
+	for i, col := range sch.Cols {
+		types[i] = col.Typ
+	}
+	return &msql.Result{Columns: sch.ColNames(), Types: types, Rows: outRows}, nil
+}
+
+// shardPartial runs the partial-aggregation call on one endpoint,
+// syncing its log cursor first and repairing once on version mismatch.
+func (c *Coordinator) shardPartial(ctx context.Context, sh *shard, ep *endpoint, shardSQL string, groups, aggs int, reqID string) (*client.Partials, error) {
+	if err := c.ensureSynced(ctx, sh, ep, reqID); err != nil {
+		return nil, err
+	}
+	run := func() (*client.Partials, error) {
+		opts := []client.QueryOption{client.WithRequestID(reqID)}
+		if d, ok := ctx.Deadline(); ok {
+			opts = append(opts, client.WithTimeout(time.Until(d)))
+		}
+		return ep.cli.Partial(ctx, shardSQL, groups, aggs, ep.version(), opts...)
+	}
+	p, err := run()
+	if vm := (*client.VersionMismatchError)(nil); errorsAs(err, &vm) {
+		if serr := c.rewindAndSync(ctx, sh, ep, reqID); serr == nil {
+			p, err = run()
+		}
+	}
+	return p, err
+}
+
+// replaceAggregate rebuilds the root chain with repl in place of
+// target, copying the pass-through nodes.
+func replaceAggregate(n plan.Node, target *plan.Aggregate, repl plan.Node) (plan.Node, bool) {
+	if n == plan.Node(target) {
+		return repl, true
+	}
+	switch t := n.(type) {
+	case *plan.Project:
+		if in, ok := replaceAggregate(t.Input, target, repl); ok {
+			cp := *t
+			cp.Input = in
+			return &cp, true
+		}
+	case *plan.Sort:
+		if in, ok := replaceAggregate(t.Input, target, repl); ok {
+			cp := *t
+			cp.Input = in
+			return &cp, true
+		}
+	case *plan.Limit:
+		if in, ok := replaceAggregate(t.Input, target, repl); ok {
+			cp := *t
+			cp.Input = in
+			return &cp, true
+		}
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Gather execution (fallback)
+
+// gather fetches every referenced sharded table's rows from every
+// shard, rebuilds them in global insertion order in a scratch session,
+// and runs the original query there. It is the always-correct fallback
+// for any query shape.
+func (c *Coordinator) gather(ctx context.Context, sql string, sharded map[string]*tableMeta, reqID string) (*msql.Result, error) {
+	ddl := c.ddlSnapshot()
+
+	type fetch struct {
+		meta *tableMeta
+		idx  int
+		rows [][]sqltypes.Value
+		err  error
+	}
+	var jobs []*fetch
+	for _, meta := range sharded {
+		for i := range c.shards {
+			jobs = append(jobs, &fetch{meta: meta, idx: i})
+		}
+	}
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j *fetch) {
+			defer wg.Done()
+			sh := c.shards[j.idx]
+			fetchSQL := ast.FormatQuery(&ast.Query{Body: &ast.Select{
+				Items: []ast.SelectItem{{Star: true}},
+				From:  &ast.TableName{Name: j.meta.name},
+			}})
+			res, err := callShard(ctx, c, sh, "gather", reqID, func(cctx context.Context, ep *endpoint) (*client.Result, error) {
+				return c.shardQuery(cctx, sh, ep, fetchSQL, reqID)
+			})
+			if err != nil {
+				j.err = err
+				return
+			}
+			if len(res.Columns) == 0 || res.Columns[len(res.Columns)-1] != seqCol {
+				j.err = fmt.Errorf("shard %d table %s: missing %s ordering column", j.idx, j.meta.name, seqCol)
+				return
+			}
+			dec, err := decodeClientResult(res)
+			if err != nil {
+				j.err = err
+				return
+			}
+			j.rows = dec.Rows
+		}(j)
+	}
+	wg.Wait()
+	failed := map[int]error{}
+	for _, j := range jobs {
+		if j.err != nil {
+			failed[j.idx] = j.err
+		}
+	}
+	if len(failed) > 0 {
+		return nil, c.shardFailure(ctx, failed)
+	}
+
+	scratch := msql.Open()
+	defer scratch.Close()
+	for _, stmt := range ddl {
+		if _, err := runOne(ctx, scratch, stmt); err != nil {
+			return nil, exec.Wrap(fmt.Errorf("rebuilding schema: %w", err), exec.CodeRuntime, exec.PhaseExecute)
+		}
+	}
+	byTable := map[string][][]sqltypes.Value{}
+	for _, j := range jobs {
+		key := lower(j.meta.name)
+		byTable[key] = append(byTable[key], j.rows...)
+	}
+	for _, meta := range sharded {
+		rows := byTable[lower(meta.name)]
+		// Global insertion order: the hidden sequence travels as the
+		// last column.
+		sort.SliceStable(rows, func(i, j int) bool {
+			return rows[i][len(rows[i])-1].I < rows[j][len(rows[j])-1].I
+		})
+		stripped := make([][]sqltypes.Value, len(rows))
+		for i, r := range rows {
+			stripped[i] = r[:len(r)-1]
+		}
+		if err := scratch.InsertRows(meta.name, stripped); err != nil {
+			return nil, err
+		}
+	}
+	return scratch.QueryContext(ctx, sql)
+}
+
+// ---------------------------------------------------------------------------
+// Wire decoding
+
+// decodeClientResult converts a wire result (decoded with UseNumber)
+// back to typed values, preserving 64-bit integers exactly.
+func decodeClientResult(res *client.Result) (*msql.Result, error) {
+	types := make([]sqltypes.Type, len(res.Types))
+	for i, name := range res.Types {
+		t, err := parseTypeName(name)
+		if err != nil {
+			return nil, err
+		}
+		types[i] = t
+	}
+	rows := make([][]sqltypes.Value, len(res.Rows))
+	for r, in := range res.Rows {
+		if len(in) != len(types) {
+			return nil, fmt.Errorf("row %d has %d values, want %d", r, len(in), len(types))
+		}
+		row := make([]sqltypes.Value, len(in))
+		for i, v := range in {
+			sv, err := decodeWireValue(v, types[i].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("row %d column %s: %w", r, res.Columns[i], err)
+			}
+			row[i] = sv
+		}
+		rows[r] = row
+	}
+	return &msql.Result{Columns: res.Columns, Types: types, Rows: rows, Message: res.Message}, nil
+}
+
+func parseTypeName(name string) (sqltypes.Type, error) {
+	base, measure := strings.CutSuffix(name, " MEASURE")
+	k := sqltypes.KindFromName(base)
+	if k == sqltypes.KindUnknown && !strings.EqualFold(base, "UNKNOWN") {
+		return sqltypes.Type{}, fmt.Errorf("unknown wire type %q", name)
+	}
+	return sqltypes.Type{Kind: k, Measure: measure}, nil
+}
+
+func decodeWireValue(v any, kind sqltypes.Kind) (sqltypes.Value, error) {
+	if v == nil {
+		return sqltypes.Null(kind), nil
+	}
+	switch x := v.(type) {
+	case bool:
+		return sqltypes.NewBool(x), nil
+	case json.Number:
+		switch kind {
+		case sqltypes.KindFloat:
+			f, err := x.Float64()
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			return sqltypes.NewFloat(f), nil
+		default:
+			if i, err := x.Int64(); err == nil {
+				return sqltypes.NewInt(i), nil
+			}
+			f, err := x.Float64()
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			return sqltypes.NewFloat(f), nil
+		}
+	case string:
+		if kind == sqltypes.KindDate {
+			return sqltypes.ParseDate(x)
+		}
+		return sqltypes.NewString(x), nil
+	case float64:
+		// Only reachable without UseNumber; kept for safety.
+		if kind == sqltypes.KindInt && f64IsInt(x) {
+			return sqltypes.NewInt(int64(x)), nil
+		}
+		return sqltypes.NewFloat(x), nil
+	default:
+		return sqltypes.Value{}, fmt.Errorf("unsupported wire value %T", v)
+	}
+}
+
+func f64IsInt(f float64) bool { return f == float64(int64(f)) }
+
+// errorsAs is a typed wrapper over errors.As.
+func errorsAs[T error](err error, target *T) bool {
+	if err == nil {
+		return false
+	}
+	return errors.As(err, target)
+}

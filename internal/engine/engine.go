@@ -64,6 +64,10 @@ type Session struct {
 	// queries is the live-query registry backing
 	// msql_stats.active_queries and KILL.
 	queries *queryRegistry
+	// cas serializes ExecCAS/InsertRowsCAS so their catalog-version
+	// check-then-apply is atomic (the shard /apply endpoint's
+	// exactly-once contract).
+	cas sync.Mutex
 	// slow is the slow-query log configuration; a statement whose total
 	// wall time meets the threshold emits one JSON line to w.
 	slow struct {

@@ -52,6 +52,43 @@ type Metrics struct {
 	// storageFn supplies the durability layer's counters (registered by
 	// NewDurable) so snapshots cover WAL and checkpoint activity.
 	storageFn func() StorageCounters
+	// shardFn supplies the distributed coordinator's counters (a
+	// dist.Coordinator registers itself here) so one snapshot covers the
+	// whole scatter-gather failure envelope.
+	shardFn func() ShardCounters
+}
+
+// ShardCounters is the distributed coordinator's slice of a metrics
+// snapshot: the scatter-gather failure envelope. ShardsTotal and
+// BreakersOpen are gauges; the rest are cumulative.
+type ShardCounters struct {
+	// Scatters counts shard fan-out calls issued (one per shard per
+	// distributed query phase).
+	Scatters int64 `json:"scatters"`
+	// Retries counts transport-level retry attempts beyond the first try.
+	Retries int64 `json:"retries"`
+	// Hedges counts hedged requests sent to a second endpoint after the
+	// p99-based delay.
+	Hedges int64 `json:"hedges"`
+	// Failovers counts shard calls answered by an endpoint other than
+	// the first one tried.
+	Failovers int64 `json:"failovers"`
+	// BreakerOpens counts closed→open circuit-breaker transitions.
+	BreakerOpens int64 `json:"breaker_opens"`
+	// ShardErrors counts queries that failed with ErrShardUnavailable.
+	ShardErrors int64 `json:"shard_errors"`
+	// ShardsTotal and BreakersOpen describe the topology right now.
+	ShardsTotal  int64 `json:"shards_total"`
+	BreakersOpen int64 `json:"breakers_open"`
+}
+
+// SetShardSource registers (or with nil removes) the distributed
+// coordinator's counter source; Snapshot calls it to fill the Shards
+// section.
+func (m *Metrics) SetShardSource(fn func() ShardCounters) {
+	m.mu.Lock()
+	m.shardFn = fn
+	m.mu.Unlock()
 }
 
 // StorageCounters is the durability layer's slice of a metrics
@@ -212,6 +249,9 @@ type MetricsSnapshot struct {
 	// Storage carries the durability layer's counters when the session
 	// writes through a WAL (SetStorageSource); nil otherwise.
 	Storage *StorageCounters `json:"storage,omitempty"`
+	// Shards carries the distributed coordinator's counters when one has
+	// registered itself (SetShardSource); nil otherwise.
+	Shards *ShardCounters `json:"shards,omitempty"`
 }
 
 // Snapshot returns a consistent copy of the counters.
@@ -243,7 +283,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	for k, v := range m.byStrategy {
 		s.ByStrategy[k] = *v
 	}
-	serverFn, planFn, storageFn := m.serverFn, m.planFn, m.storageFn
+	serverFn, planFn, storageFn, shardFn := m.serverFn, m.planFn, m.storageFn, m.shardFn
 	m.mu.Unlock()
 	if planFn != nil {
 		pc := planFn()
@@ -256,6 +296,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	if storageFn != nil {
 		st := storageFn()
 		s.Storage = &st
+	}
+	if shardFn != nil {
+		sh := shardFn()
+		s.Shards = &sh
 	}
 	return s
 }
@@ -364,6 +408,19 @@ func (s MetricsSnapshot) Prometheus() string {
 		fmt.Fprintf(&sb, "# HELP msql_recovery_seconds Time the last crash recovery took.\n# TYPE msql_recovery_seconds gauge\nmsql_recovery_seconds %g\n", float64(st.RecoveryNs)/1e9)
 		counter("msql_recovered_records_total", "Log records replayed by the last recovery.", st.RecoveredRecords)
 		counter("msql_torn_tail_bytes_total", "Trailing log bytes discarded as torn by the last recovery.", st.TornTailBytes)
+	}
+	if sh := s.Shards; sh != nil {
+		gauge := func(name, help string, v int64) {
+			fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		}
+		counter("msql_shard_scatters_total", "Shard fan-out calls issued by the coordinator.", sh.Scatters)
+		counter("msql_shard_retries_total", "Shard call retry attempts beyond the first try.", sh.Retries)
+		counter("msql_shard_hedges_total", "Hedged requests sent to a second endpoint.", sh.Hedges)
+		counter("msql_shard_failovers_total", "Shard calls answered by a non-primary endpoint.", sh.Failovers)
+		counter("msql_shard_breaker_open_total", "Circuit-breaker closed-to-open transitions.", sh.BreakerOpens)
+		counter("msql_shard_errors_total", "Queries failed with a structured shard-unavailable error.", sh.ShardErrors)
+		gauge("msql_shard_count", "Shards in the topology.", sh.ShardsTotal)
+		gauge("msql_shard_breakers_open", "Endpoints whose breaker is currently open.", sh.BreakersOpen)
 	}
 	return sb.String()
 }

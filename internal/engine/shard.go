@@ -1,0 +1,166 @@
+// Shard-facing session surface: the engine entry points msqld exposes
+// when it serves as one shard of a distributed topology. A coordinator
+// (internal/dist) drives these through the /partial and /apply wire
+// endpoints; they run inside the same withStmtEnv guard rail as every
+// other statement, so KILL, timeouts, metrics, statement stats, and the
+// slow-query log all see shard traffic.
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"time"
+
+	"github.com/measures-sql/msql/internal/ast"
+	"github.com/measures-sql/msql/internal/catalog"
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/parser"
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// RegisterVirtualTable installs (or replaces) a read-only virtual table
+// backed by provider. Coordinators use it to publish topology state
+// (msql_stats.shards) through the same SQL surface as the built-in
+// introspection tables.
+func (s *Session) RegisterVirtualTable(name string, cols []string, types []sqltypes.Type, provider func() [][]sqltypes.Value) error {
+	return s.cat.RegisterVirtual(&catalog.VirtualTable{TableName: name, Cols: cols, Types: types, Provider: provider})
+}
+
+// PlanQuery plans a single query without executing it and returns the
+// physical plan tree. A coordinator uses the shape of the plan — which
+// tables are scanned, whether the root is a mergeable aggregate,
+// whether subqueries appear — to pick a distributed execution path
+// before any shard sees the statement. Planning runs inside the usual
+// statement guard rail, so coordinator-side planning shows up in
+// msql_stats.statements like any other statement.
+func (s *Session) PlanQuery(ctx context.Context, sql string, ov *Overrides) (plan.Node, error) {
+	var q *ast.Query
+	if err := s.parseSpanned(sql, func() (int, error) {
+		var err error
+		q, err = parser.ParseQuery(sql)
+		return 0, err
+	}); err != nil {
+		return nil, err
+	}
+	stmt := &ast.QueryStmt{Query: q}
+	var node plan.Node
+	_, err := s.withStmtEnv(ctx, ov, s.statementInfo(stmt), func(env *stmtEnv) (*Result, error) {
+		n, _, err := s.planQuery(env, q)
+		if err != nil {
+			return nil, err
+		}
+		node = n
+		return &Result{Message: "planned"}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// EvalConstExpr evaluates a constant expression the way INSERT VALUES
+// does (wrapping it in a one-row query), for callers that partition
+// literal rows before any table sees them.
+func EvalConstExpr(e ast.Expr) (sqltypes.Value, error) {
+	return evalConstExpr(e)
+}
+
+// CatalogVersion returns the session's current catalog version: a
+// deterministic count of applied mutations (durable recovery restores
+// the pre-crash value). Coordinators use it as the compare-and-swap
+// token that makes replicated mutations exactly-once.
+func (s *Session) CatalogVersion() int64 { return s.cat.Version() }
+
+// PartialAggregate plans sql and runs its scan/filter/group phase,
+// returning per-group partial aggregate states instead of final rows.
+// groups and aggs cross-check the plan shape (see exec.PartialAggregate).
+func (s *Session) PartialAggregate(ctx context.Context, sql string, groups, aggs int, ov *Overrides) (*exec.PartialResult, error) {
+	var q *ast.Query
+	if err := s.parseSpanned(sql, func() (int, error) {
+		var err error
+		q, err = parser.ParseQuery(sql)
+		return 0, err
+	}); err != nil {
+		return nil, err
+	}
+	stmt := &ast.QueryStmt{Query: q}
+	var out *exec.PartialResult
+	_, err := s.withStmtEnv(ctx, ov, s.statementInfo(stmt), func(env *stmtEnv) (*Result, error) {
+		node, planNs, err := s.planQuery(env, q)
+		if err != nil {
+			return nil, err
+		}
+		env.live.setPhase(phaseExecute)
+		settings := env.cfg.exec
+		settings.Tracer = env.tracer
+		start := time.Now()
+		res, err := exec.PartialAggregate(env.ctx, node, groups, aggs, &settings)
+		execNs := int64(time.Since(start))
+		if err != nil {
+			return nil, err
+		}
+		if e := env.stats; e != nil {
+			e.rows.Add(int64(len(res.Groups)))
+			e.plan.Observe(planNs)
+			e.exec.Observe(execNs)
+		}
+		env.span(exec.Span{Phase: "execute", Name: "partial", DurNs: execNs,
+			Attrs: map[string]string{"groups": fmt.Sprintf("%d", len(res.Groups))}})
+		out = res
+		return &Result{Message: fmt.Sprintf("%d partial groups", len(res.Groups))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExecCAS executes one mutation statement if and only if the catalog
+// version equals expect; on success the version is expect+1. A version
+// mismatch returns the current version and a nil result with ok=false —
+// not an error — so callers can distinguish "already applied" (version
+// is expect+1) from genuine divergence. Concurrent ExecCAS/InsertRowsCAS
+// calls serialize on the session's CAS lock, making the
+// check-then-apply atomic.
+func (s *Session) ExecCAS(ctx context.Context, sql string, expect int64, ov *Overrides) (res *Result, version int64, ok bool, err error) {
+	s.cas.Lock()
+	defer s.cas.Unlock()
+	if v := s.cat.Version(); v != expect {
+		return nil, v, false, nil
+	}
+	stmts, err := s.parseStatements(sql)
+	if err != nil {
+		return nil, s.cat.Version(), false, err
+	}
+	if len(stmts) != 1 {
+		return nil, s.cat.Version(), false, exec.Wrap(fmt.Errorf("apply expects exactly one statement, got %d", len(stmts)), exec.CodeParse, exec.PhaseParse)
+	}
+	switch stmts[0].(type) {
+	case *ast.CreateTable, *ast.CreateView, *ast.Drop, *ast.Insert:
+	default:
+		return nil, s.cat.Version(), false, exec.Wrap(fmt.Errorf("apply accepts only mutation statements"), exec.CodeParse, exec.PhaseParse)
+	}
+	res, err = s.ExecStatementContext(ctx, stmts[0], ov)
+	if err != nil {
+		return nil, s.cat.Version(), false, err
+	}
+	return res, s.cat.Version(), true, nil
+}
+
+// InsertRowsCAS bulk-inserts pre-partitioned rows if and only if the
+// catalog version equals expect (see ExecCAS for the contract). The
+// rows are coerced against the target table, so a coordinator can send
+// values in wire form.
+func (s *Session) InsertRowsCAS(table string, rows [][]sqltypes.Value, expect int64) (version int64, ok bool, err error) {
+	s.cas.Lock()
+	defer s.cas.Unlock()
+	if v := s.cat.Version(); v != expect {
+		return v, false, nil
+	}
+	if err := s.InsertRows(table, rows); err != nil {
+		return s.cat.Version(), false, err
+	}
+	return s.cat.Version(), true, nil
+}

@@ -42,6 +42,11 @@ const (
 	// CodeResourceExhausted: a resource governor limit tripped
 	// (MaxRows, MaxMemBytes, MaxSubqueryEvals, MaxExpansionDepth).
 	CodeResourceExhausted
+	// CodeUnavailable: a required remote participant (a shard, or every
+	// endpoint of one) could not be reached after retries, failover, and
+	// hedging. Distributed queries fail with this rather than return a
+	// silently partial answer.
+	CodeUnavailable
 )
 
 var codeNames = map[Code]string{
@@ -53,6 +58,7 @@ var codeNames = map[Code]string{
 	CodeCanceled:          "CANCELED",
 	CodeTimeout:           "TIMEOUT",
 	CodeResourceExhausted: "RESOURCE_EXHAUSTED",
+	CodeUnavailable:       "UNAVAILABLE",
 }
 
 // String returns the stable name of the code.

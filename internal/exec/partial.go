@@ -1,0 +1,156 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/measures-sql/msql/internal/fn"
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// Partial aggregation: the shard-side half of scatter-gather. A
+// coordinator pushes an aggregation query to each shard; instead of
+// finishing the aggregates, the shard exports per-group fn.AggState
+// partials for the coordinator to Merge across shards — the Data Cube
+// decomposition that makes distributed GROUP BY exact for every
+// aggregate whose states merge exactly.
+
+// ErrPartialUnsupported reports a plan whose shape the partial path
+// cannot export (set operations, grouping sets, DISTINCT aggregates,
+// window functions above the aggregate, …). Coordinators treat it as
+// "run this query another way", not as a failure.
+var ErrPartialUnsupported = errors.New("query shape not supported for partial aggregation")
+
+// PartialGroup is one group's exported state: the GROUP BY key values,
+// one partial state per aggregate call in plan order, and the index of
+// the group's first post-filter input row on this shard (coordinators
+// combine it with a global-sequence aggregate to reproduce first-seen
+// output order).
+type PartialGroup struct {
+	Key    []sqltypes.Value
+	States []fn.AggState
+	Order  int
+}
+
+// PartialResult is a shard's answer to a partial-aggregation request.
+// Groups are sorted by first appearance in the shard's input. An empty
+// input yields zero groups even for a global aggregate — synthesizing
+// the empty-input row is the coordinator's job, exactly once.
+type PartialResult struct {
+	Groups []PartialGroup
+}
+
+// PartialAggregate evaluates the scan/filter/group phase of an
+// aggregation plan and exports partial states instead of final values.
+// The plan must be an Aggregate, optionally under Projects (the shape
+// the planner emits for a plain single-set GROUP BY query); groups and
+// aggs cross-check the expected counts so a coordinator and shard that
+// planned different texts can never silently merge mismatched state.
+func PartialAggregate(ctx context.Context, root plan.Node, groups, aggs int, settings *Settings) (res *PartialResult, err error) {
+	if settings == nil {
+		settings = DefaultSettings()
+	}
+	if t := settings.Limits.Timeout; t > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, t)
+			defer cancel()
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, PanicError(r, PhaseExecute)
+		}
+		err = Wrap(err, CodeRuntime, PhaseExecute)
+	}()
+
+	agg, err := unwrapAggregate(root)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkPartialShape(agg, groups, aggs); err != nil {
+		return nil, err
+	}
+
+	env, err := newAggEnv(agg)
+	if err != nil {
+		return nil, err
+	}
+	rt := newRuntime(ctx, settings)
+	in, err := rt.run(agg.Input)
+	if err != nil {
+		return nil, err
+	}
+	// One grouping set, so one table; the serial accumulate path keeps
+	// group order = first input row even with a parallel-capable runtime.
+	tables := newSetTables(1)
+	if err := rt.accumulateRows(env, tables, in, 0, len(in)); err != nil {
+		return nil, err
+	}
+
+	accs := make([]*groupAcc, 0, len(tables[0].groups))
+	for _, acc := range tables[0].groups {
+		accs = append(accs, acc)
+	}
+	sortAccs(accs)
+	out := &PartialResult{Groups: make([]PartialGroup, len(accs))}
+	for i, acc := range accs {
+		out.Groups[i] = PartialGroup{Key: acc.keyVals, States: acc.states, Order: acc.order}
+	}
+	return out, nil
+}
+
+// unwrapAggregate walks the Project chain the planner stacks on top of
+// an Aggregate (final select-list shaping) down to the Aggregate
+// itself. Any other operator above the aggregate means the query's
+// final answer is not a pure merge of per-shard groups.
+func unwrapAggregate(n plan.Node) (*plan.Aggregate, error) {
+	for {
+		switch t := n.(type) {
+		case *plan.Aggregate:
+			return t, nil
+		case *plan.Project:
+			n = t.Input
+		default:
+			return nil, partialShapeError("plan has %T above the aggregate", n)
+		}
+	}
+}
+
+// checkPartialShape rejects aggregate plans whose states do not merge
+// group-wise across shards.
+func checkPartialShape(agg *plan.Aggregate, groups, aggs int) error {
+	if len(agg.Sets) != 1 {
+		return partialShapeError("%d grouping sets", len(agg.Sets))
+	}
+	if len(agg.Sets[0]) != len(agg.GroupExprs) {
+		return partialShapeError("grouping set covers %d of %d keys", len(agg.Sets[0]), len(agg.GroupExprs))
+	}
+	for _, call := range agg.Aggs {
+		if call.Name == "GROUPING" {
+			return partialShapeError("GROUPING call")
+		}
+		if call.Distinct || len(call.WithinDistinct) > 0 {
+			return partialShapeError("%s with DISTINCT needs the full row stream in one place", call.Name)
+		}
+	}
+	if len(agg.GroupExprs) != groups || len(agg.Aggs) != aggs {
+		return &Error{
+			Code:  CodeBind,
+			Phase: PhaseBind,
+			Err: fmt.Errorf("partial aggregation shape mismatch: plan has %d keys and %d aggregates, request expects %d and %d",
+				len(agg.GroupExprs), len(agg.Aggs), groups, aggs),
+		}
+	}
+	return nil
+}
+
+func partialShapeError(format string, args ...any) error {
+	return &Error{
+		Code:  CodeBind,
+		Phase: PhaseBind,
+		Err:   fmt.Errorf("%w: %s", ErrPartialUnsupported, fmt.Sprintf(format, args...)),
+	}
+}

@@ -48,6 +48,13 @@ type Agg struct {
 	ExactMerge func(args []sqltypes.Type) bool
 }
 
+// MergesExactly reports ExactMerge for the given argument types,
+// treating a nil ExactMerge as "never exact" (the order-sensitive
+// float accumulators leave it unset).
+func (a *Agg) MergesExactly(args []sqltypes.Type) bool {
+	return a.ExactMerge != nil && a.ExactMerge(args)
+}
+
 var aggs = map[string]*Agg{}
 
 // LookupAgg finds an aggregate by (case-insensitive) name.

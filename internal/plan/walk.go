@@ -1,0 +1,23 @@
+package plan
+
+// Walk calls f for n and every node beneath it — through Children and
+// through the plans of subqueries held by node expressions (measure
+// expansions, IN/EXISTS, context links). Distributed-execution
+// classification depends on this being exhaustive: a scan hidden
+// inside a measure's expansion must be as visible as a top-level one.
+func Walk(n Node, f func(Node)) {
+	if n == nil {
+		return
+	}
+	f(n)
+	VisitNodeExprs(n, func(e Expr) {
+		WalkExprs(e, func(x Expr) {
+			if sq, ok := x.(*Subquery); ok {
+				Walk(sq.Plan, f)
+			}
+		})
+	})
+	for _, c := range n.Children() {
+		Walk(c, f)
+	}
+}

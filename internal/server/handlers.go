@@ -44,6 +44,9 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/prepare", s.servePrepare)
 	mux.HandleFunc("/execute", s.serveExecute)
+	mux.HandleFunc("/partial", s.servePartial)
+	mux.HandleFunc("/apply", s.serveApply)
+	mux.HandleFunc("/catalog", s.serveCatalog)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
@@ -193,6 +196,16 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, ndjson bool)
 		return
 	}
 	defer s.release()
+
+	// Catalog-version guard: a coordinator pins the version its plan was
+	// built against so a lagging or diverged shard rejects instead of
+	// answering from the wrong schema.
+	if v := s.db.CatalogVersion(); req.ExpectCatalogVersion > 0 && v != req.ExpectCatalogVersion {
+		s.finishAdmitted(exec.CodeRuntime, false)
+		s.writeError(w, versionMismatchError(v, req.ExpectCatalogVersion, reqID), versionMismatchStatus)
+		s.logAccess(path, reqID, versionMismatchStatus, exec.CodeRuntime, time.Since(start), 0)
+		return
+	}
 
 	// The statement context: canceled when the client goes away or the
 	// drain deadline kills stragglers.

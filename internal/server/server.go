@@ -66,6 +66,11 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof's profiling handlers under
 	// /debug/pprof/ on the server's own mux (never the default mux).
 	EnablePprof bool
+	// ShardID names this node's slot in a sharded topology (e.g.
+	// "shard-2"). Exposed through GET /catalog so a coordinator can
+	// verify it attached the endpoint it meant to; empty for standalone
+	// servers.
+	ShardID string
 }
 
 func (c Config) withDefaults() Config {
@@ -139,7 +144,7 @@ type counters struct {
 	drainNs     atomic.Int64
 	// byCode counts finished requests per taxonomy code (index =
 	// exec.Code); byCode[0] counts successes.
-	byCode [8]atomic.Int64
+	byCode [9]atomic.Int64
 }
 
 // New creates a Server over db and registers its counters with the

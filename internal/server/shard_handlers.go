@@ -1,0 +1,277 @@
+package server
+
+// Shard-facing endpoints, used by a coordinator (internal/dist) rather
+// than interactive clients:
+//
+//	POST /partial  run an aggregation's scan/filter/group phase and
+//	               return serialized per-group partial states
+//	POST /apply    apply one replicated mutation, guarded by a
+//	               catalog-version compare-and-swap
+//	GET  /catalog  shard identity + catalog version/contents, for
+//	               endpoint attachment and lost-ack probes
+//
+// /partial and /apply go through the same admission control, request-ID
+// plumbing, panic isolation, and access logging as /query; /catalog is
+// a cheap read like /metrics.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/wire"
+	"github.com/measures-sql/msql/msql"
+)
+
+// versionMismatchStatus is the HTTP status of a catalog-version CAS
+// miss. It is deliberately not 429/503: a stale shard needs repair by
+// the coordinator, not a blind retry of the same request.
+const versionMismatchStatus = http.StatusConflict
+
+func versionMismatchError(have, want int64, reqID string) *wire.Error {
+	return &wire.Error{
+		Code:      exec.CodeRuntime.String(),
+		Phase:     "catalog",
+		Offset:    -1,
+		Hint:      "resynchronize the endpoint, then retry",
+		Message:   fmt.Sprintf("catalog version mismatch: shard at %d, request expects %d", have, want),
+		RequestID: reqID,
+	}
+}
+
+// readJSON decodes a bounded POST body, writing the structured parse
+// rejection itself on failure.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes))
+	if err == nil {
+		err = json.Unmarshal(body, into)
+	}
+	if err != nil {
+		s.outcome(exec.CodeParse)
+		s.writeError(w, &wire.Error{
+			Code:    exec.CodeParse.String(),
+			Phase:   "request",
+			Offset:  -1,
+			Message: fmt.Sprintf("bad request: %v", err),
+		}, http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// stmtContext wires one shard request's context the way serveQuery
+// does: canceled with the client connection or the drain kill switch.
+func (s *Server) stmtContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stopKill := context.AfterFunc(s.killCtx, cancel)
+	return ctx, func() { stopKill(); cancel() }
+}
+
+// errCode extracts the taxonomy code for outcome bookkeeping.
+func errCode(err error) exec.Code {
+	code := exec.CodeRuntime
+	var ee *exec.Error
+	if errors.As(err, &ee) {
+		code = ee.Code
+	}
+	return code
+}
+
+func (s *Server) servePartial(w http.ResponseWriter, r *http.Request) {
+	wrote := false
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.counters.panics.Add(1)
+			s.outcome(exec.CodeRuntime)
+			if !wrote {
+				s.writeError(w, wire.FromError(exec.PanicError(rec, exec.PhaseExecute)), http.StatusInternalServerError)
+			}
+		}
+	}()
+
+	s.counters.accepted.Add(1)
+	var req wire.PartialRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	reqID := s.requestID(w, r, req.RequestID)
+	start := time.Now()
+
+	if !s.admitOrReject(w, r) {
+		return
+	}
+	defer s.release()
+
+	writeResp := func(status int, resp wire.PartialResponse) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		wrote = true
+		json.NewEncoder(w).Encode(resp)
+	}
+
+	if v := s.db.CatalogVersion(); req.ExpectVersion > 0 && v != req.ExpectVersion {
+		s.finishAdmitted(exec.CodeRuntime, false)
+		writeResp(versionMismatchStatus, wire.PartialResponse{
+			Version: v, Error: versionMismatchError(v, req.ExpectVersion, reqID),
+		})
+		s.logAccess("/partial", reqID, versionMismatchStatus, exec.CodeRuntime, time.Since(start), 0)
+		return
+	}
+
+	ctx, cancel := s.stmtContext(r)
+	defer cancel()
+	opts := []msql.Option{msql.WithSource("shard"), msql.WithRequestID(reqID)}
+	if req.TimeoutMillis > 0 {
+		d := time.Duration(req.TimeoutMillis) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		opts = append(opts, msql.WithTimeout(d))
+	}
+
+	res, err := s.db.PartialAggregate(ctx, req.SQL, req.Groups, req.Aggs, opts...)
+	if err != nil {
+		code := errCode(err)
+		killed := code == exec.CodeCanceled && s.killCtx.Err() != nil
+		s.finishAdmitted(code, killed)
+		we := wire.FromError(err)
+		we.RequestID = reqID
+		status := we.HTTPStatus()
+		if killed || (code == exec.CodeCanceled && s.draining.Load()) {
+			status = http.StatusServiceUnavailable
+		}
+		writeResp(status, wire.PartialResponse{Version: s.db.CatalogVersion(), Error: we})
+		s.logAccess("/partial", reqID, status, code, time.Since(start), 0)
+		return
+	}
+	s.finishAdmitted(0, false)
+
+	resp := wire.PartialResponse{Version: s.db.CatalogVersion(), Groups: make([]wire.PartialGroup, len(res.Groups))}
+	for i, g := range res.Groups {
+		states, err := wire.EncodeStates(g.States)
+		if err != nil {
+			we := wire.FromError(exec.Wrap(err, exec.CodeRuntime, exec.PhaseExecute))
+			we.RequestID = reqID
+			s.outcome(exec.CodeRuntime)
+			writeResp(http.StatusInternalServerError, wire.PartialResponse{Version: resp.Version, Error: we})
+			s.logAccess("/partial", reqID, http.StatusInternalServerError, exec.CodeRuntime, time.Since(start), 0)
+			return
+		}
+		resp.Groups[i] = wire.PartialGroup{Key: wire.EncodeKey(g.Key), States: states}
+	}
+	s.logAccess("/partial", reqID, http.StatusOK, 0, time.Since(start), len(resp.Groups))
+	writeResp(http.StatusOK, resp)
+}
+
+func (s *Server) serveApply(w http.ResponseWriter, r *http.Request) {
+	wrote := false
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.counters.panics.Add(1)
+			s.outcome(exec.CodeRuntime)
+			if !wrote {
+				s.writeError(w, wire.FromError(exec.PanicError(rec, exec.PhaseExecute)), http.StatusInternalServerError)
+			}
+		}
+	}()
+
+	s.counters.accepted.Add(1)
+	var req wire.ApplyRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	reqID := s.requestID(w, r, req.RequestID)
+	start := time.Now()
+
+	if !s.admitOrReject(w, r) {
+		return
+	}
+	defer s.release()
+
+	writeResp := func(status int, resp wire.ApplyResponse) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		wrote = true
+		json.NewEncoder(w).Encode(resp)
+	}
+	fail := func(err error) {
+		code := errCode(err)
+		killed := code == exec.CodeCanceled && s.killCtx.Err() != nil
+		s.finishAdmitted(code, killed)
+		we := wire.FromError(err)
+		we.RequestID = reqID
+		status := we.HTTPStatus()
+		if killed || (code == exec.CodeCanceled && s.draining.Load()) {
+			status = http.StatusServiceUnavailable
+		}
+		writeResp(status, wire.ApplyResponse{Version: s.db.CatalogVersion(), Error: we})
+		s.logAccess("/apply", reqID, status, code, time.Since(start), 0)
+	}
+
+	ctx, cancel := s.stmtContext(r)
+	defer cancel()
+	opts := []msql.Option{msql.WithSource("shard"), msql.WithRequestID(reqID)}
+
+	var (
+		version int64
+		ok      bool
+		err     error
+		message string
+	)
+	switch {
+	case req.SQL != "":
+		var res *msql.Result
+		res, version, ok, err = s.db.ExecCAS(ctx, req.SQL, req.ExpectVersion, opts...)
+		if res != nil {
+			message = res.Message
+		}
+	case req.Table != "":
+		var rows [][]msql.Value
+		rows, err = wire.DecodeRowsBinary(req.Rows)
+		if err != nil {
+			fail(exec.Wrap(err, exec.CodeParse, exec.PhaseParse))
+			return
+		}
+		version, ok, err = s.db.InsertRowsCAS(req.Table, rows, req.ExpectVersion)
+		message = fmt.Sprintf("inserted %d rows into %s", len(rows), req.Table)
+	default:
+		fail(exec.Wrap(errors.New("apply carries neither sql nor rows"), exec.CodeParse, exec.PhaseParse))
+		return
+	}
+	if err != nil {
+		fail(err)
+		return
+	}
+	if !ok {
+		s.finishAdmitted(exec.CodeRuntime, false)
+		writeResp(versionMismatchStatus, wire.ApplyResponse{
+			Version: version, Error: versionMismatchError(version, req.ExpectVersion, reqID),
+		})
+		s.logAccess("/apply", reqID, versionMismatchStatus, exec.CodeRuntime, time.Since(start), 0)
+		return
+	}
+	s.finishAdmitted(0, false)
+	s.logAccess("/apply", reqID, http.StatusOK, 0, time.Since(start), 0)
+	writeResp(http.StatusOK, wire.ApplyResponse{Version: version, Message: message})
+}
+
+func (s *Server) serveCatalog(w http.ResponseWriter, r *http.Request) {
+	tables, views := s.db.Tables()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(wire.CatalogResponse{
+		Version: s.db.CatalogVersion(),
+		Tables:  tables,
+		Views:   views,
+		ShardID: s.cfg.ShardID,
+	})
+}

@@ -32,6 +32,91 @@ type QueryRequest struct {
 	// X-Request-Id response header, the server's access log, the
 	// engine's tracer spans, and any error payload.
 	RequestID string `json:"request_id,omitempty"`
+	// ExpectCatalogVersion, when > 0, makes the server reject the query
+	// with a structured RUNTIME error unless its catalog version matches.
+	// Shard coordinators use it to keep a scatter from silently reading
+	// an endpoint that missed (or replayed ahead of) a mutation.
+	ExpectCatalogVersion int64 `json:"expect_catalog_version,omitempty"`
+}
+
+// PartialRequest is the body of POST /partial: run an aggregation
+// query's scan/filter/group phase and return serialized per-group
+// AggStates instead of final values, for a coordinator to Merge with
+// partials from other shards.
+type PartialRequest struct {
+	// SQL is a single aggregation SELECT. The server validates that its
+	// plan is a plain aggregate (no DISTINCT aggregates, no GROUPING
+	// SETS) whose shape matches Groups/Aggs.
+	SQL string `json:"sql"`
+	// Groups/Aggs cross-check the expected plan shape: the number of
+	// GROUP BY expressions and of aggregate calls in SQL.
+	Groups int `json:"groups"`
+	Aggs   int `json:"aggs"`
+	// ExpectVersion, when > 0, is the catalog version this request was
+	// planned against; a mismatched server rejects instead of answering
+	// from a stale (or differently-mutated) catalog.
+	ExpectVersion int64 `json:"expect_version,omitempty"`
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	RequestID     string `json:"request_id,omitempty"`
+}
+
+// PartialGroup is one group's worth of partial aggregate state.
+type PartialGroup struct {
+	// Key is the base64 binary encoding (fn.AppendValues) of the group's
+	// GROUP BY values; canonical, so coordinators merge groups by
+	// comparing keys byte-wise.
+	Key string `json:"key"`
+	// States holds one base64 fn.EncodeState blob per aggregate, in
+	// select-list order.
+	States []string `json:"states"`
+}
+
+// PartialResponse is the body of a POST /partial reply.
+type PartialResponse struct {
+	// Version is the catalog version the query ran at.
+	Version int64          `json:"version"`
+	Groups  []PartialGroup `json:"groups,omitempty"`
+	Error   *Error         `json:"error,omitempty"`
+}
+
+// ApplyRequest is the body of POST /apply: one replicated mutation —
+// either a DDL statement (SQL set) or an insert of pre-partitioned,
+// pre-coerced rows (Table/Rows set). ExpectVersion makes application
+// exactly-once: the server applies only if its catalog version equals
+// ExpectVersion, and the version becomes ExpectVersion+1 on success, so
+// a coordinator that loses an ack can probe /catalog to learn whether
+// the mutation landed instead of resending it.
+type ApplyRequest struct {
+	SQL   string `json:"sql,omitempty"`
+	Table string `json:"table,omitempty"`
+	// Rows is the base64 binary encoding of the coerced rows: a
+	// fn.AppendValues tuple per row, concatenated, prefixed with a
+	// uvarint row count.
+	Rows          string `json:"rows,omitempty"`
+	ExpectVersion int64  `json:"expect_version"`
+	RequestID     string `json:"request_id,omitempty"`
+}
+
+// ApplyResponse is the body of a POST /apply reply. Version reports the
+// server's catalog version after the call (also on version-mismatch
+// rejections, so the coordinator can resynchronize).
+type ApplyResponse struct {
+	Version int64  `json:"version"`
+	Message string `json:"message,omitempty"`
+	Error   *Error `json:"error,omitempty"`
+}
+
+// CatalogResponse is the body of GET /catalog: the shard's identity and
+// catalog state, used by coordinators to attach endpoints and to probe
+// after a lost /apply ack.
+type CatalogResponse struct {
+	Version int64    `json:"version"`
+	Tables  []string `json:"tables,omitempty"`
+	Views   []string `json:"views,omitempty"`
+	// ShardID is the -shard-id the node was started with; empty for
+	// non-shard servers.
+	ShardID string `json:"shard_id,omitempty"`
+	Error   *Error `json:"error,omitempty"`
 }
 
 // QueryResponse is the body of a POST /query reply, success or failure.
@@ -155,6 +240,8 @@ func (w *Error) HTTPStatus() int {
 		return http.StatusGatewayTimeout
 	case exec.CodeResourceExhausted:
 		return http.StatusTooManyRequests
+	case exec.CodeUnavailable:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

@@ -4,11 +4,16 @@
 // errors.Is(err, msql.ErrTimeout) works across the wire), and retries
 // overload responses with capped exponential backoff plus jitter.
 //
-// The retry contract mirrors the server's shedding contract: only
-// HTTP 429 (overload shed) and 503 (draining / unavailable) are
-// retried, because only those are transient by construction. Every
-// deterministic failure — parse, bind, expand, runtime, timeout — is
-// surfaced on the first attempt.
+// The retry contract mirrors the server's shedding contract. Retried
+// with backoff are: HTTP 429 (overload shed) and 503 (draining /
+// unavailable), because those are transient by construction;
+// connection-refused dial failures, because no request reached a
+// server; and — only for requests marked WithIdempotent — connection
+// resets and unexpected EOFs, where the request may have executed but
+// re-executing a read is harmless. Every deterministic failure —
+// parse, bind, expand, runtime, timeout — is surfaced on the first
+// attempt, and a non-idempotent write that dies mid-flight is never
+// blindly resent.
 package client
 
 import (
@@ -22,6 +27,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/measures-sql/msql/internal/wire"
@@ -109,19 +115,50 @@ type Result struct {
 	RequestID string
 }
 
+// requestOpts is one request's wire body plus client-side knobs.
+type requestOpts struct {
+	req        wire.QueryRequest
+	idempotent bool
+	rawNumbers bool
+}
+
 // QueryOption adjusts one request.
-type QueryOption func(*wire.QueryRequest)
+type QueryOption func(*requestOpts)
 
 // WithTimeout asks the server for a per-statement deadline; the server
 // clamps it to its configured maximum.
 func WithTimeout(d time.Duration) QueryOption {
-	return func(r *wire.QueryRequest) { r.TimeoutMillis = int64(d / time.Millisecond) }
+	return func(o *requestOpts) { o.req.TimeoutMillis = int64(d / time.Millisecond) }
 }
 
 // WithRequestID sets the request correlation ID; without it the client
 // generates one per request, so every query is traceable end to end.
 func WithRequestID(id string) QueryOption {
-	return func(r *wire.QueryRequest) { r.RequestID = id }
+	return func(o *requestOpts) { o.req.RequestID = id }
+}
+
+// WithIdempotent marks the request as a side-effect-free read, widening
+// the retry contract to connection resets and unexpected EOFs: the
+// request may have reached the server before the connection died, but
+// running a read twice is harmless. Never set it on a statement with
+// side effects.
+func WithIdempotent() QueryOption {
+	return func(o *requestOpts) { o.idempotent = true }
+}
+
+// WithExpectCatalogVersion pins the catalog version the statement was
+// planned against; a server whose catalog has diverged rejects with a
+// structured error instead of answering from the wrong schema.
+func WithExpectCatalogVersion(v int64) QueryOption {
+	return func(o *requestOpts) { o.req.ExpectCatalogVersion = v }
+}
+
+// WithRawNumbers decodes numeric result values as json.Number instead
+// of float64, preserving 64-bit integers exactly. Coordinators
+// gathering rows for re-insertion need this: a float64 round trip
+// silently rounds integers beyond 2^53.
+func WithRawNumbers() QueryOption {
+	return func(o *requestOpts) { o.rawNumbers = true }
 }
 
 // newRequestID draws a fresh correlation ID from the client's jitter
@@ -137,14 +174,14 @@ func (c *Client) newRequestID() string {
 // (HTTP 429/503) under the backoff policy. The returned error is the
 // reconstructed *msql.Error when the server produced one.
 func (c *Client) Query(ctx context.Context, sql string, opts ...QueryOption) (*Result, error) {
-	req := wire.QueryRequest{SQL: sql}
-	for _, o := range opts {
-		o(&req)
+	o := requestOpts{req: wire.QueryRequest{SQL: sql}}
+	for _, f := range opts {
+		f(&o)
 	}
-	if req.RequestID == "" {
-		req.RequestID = c.newRequestID()
+	if o.req.RequestID == "" {
+		o.req.RequestID = c.newRequestID()
 	}
-	body, err := json.Marshal(req)
+	body, err := json.Marshal(o.req)
 	if err != nil {
 		return nil, err
 	}
@@ -158,9 +195,9 @@ func (c *Client) Query(ctx context.Context, sql string, opts ...QueryOption) (*R
 				return nil, ctx.Err()
 			}
 		}
-		res, err := c.do(ctx, "/query", body, sql)
+		res, err := c.do(ctx, "/query", body, sql, &o)
 		if err == nil {
-			res.RequestID = req.RequestID
+			res.RequestID = o.req.RequestID
 			return res, nil
 		}
 		lastErr = err
@@ -176,8 +213,8 @@ func (c *Client) Query(ctx context.Context, sql string, opts ...QueryOption) (*R
 // fn once per row as rows arrive. It applies the same retry policy as
 // Query (the stream has not started when an overload response arrives).
 func (c *Client) QueryStream(ctx context.Context, sql string, fn func(row []any) error) (*Result, error) {
-	req := wire.QueryRequest{SQL: sql, RequestID: c.newRequestID()}
-	body, err := json.Marshal(req)
+	o := requestOpts{req: wire.QueryRequest{SQL: sql, RequestID: c.newRequestID()}}
+	body, err := json.Marshal(o.req)
 	if err != nil {
 		return nil, err
 	}
@@ -190,9 +227,9 @@ func (c *Client) QueryStream(ctx context.Context, sql string, fn func(row []any)
 				return nil, ctx.Err()
 			}
 		}
-		res, err := c.doStream(ctx, body, sql, fn)
+		res, err := c.doStream(ctx, body, sql, fn, &o)
 		if err == nil {
-			res.RequestID = req.RequestID
+			res.RequestID = o.req.RequestID
 			return res, nil
 		}
 		lastErr = err
@@ -213,7 +250,7 @@ func (c *Client) Kill(ctx context.Context, id int64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	resp, err := c.post(ctx, "/kill", body)
+	resp, err := c.post(ctx, "/kill", body, "")
 	if err != nil {
 		return false, err
 	}
@@ -297,25 +334,58 @@ func (c *Client) delay(attempt int, retryAfterSecs int) time.Duration {
 	return jittered
 }
 
-// post sends one JSON request body; callers own the response body.
-func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+// transportError classifies an error from the HTTP layer itself (no
+// response arrived). Connection-refused always invites a retry: the
+// dial failed, so no request can have executed — the exact window a
+// restarting server presents. Reset/EOF mean the connection died after
+// the request may have reached the server, so they retry only for
+// idempotent reads. Context cancellation/expiry is the caller's
+// verdict and is never retried.
+func transportError(err error, idempotent bool) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return &retryableError{err: err}
+	}
+	if idempotent && (errors.Is(err, syscall.ECONNRESET) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
+		return &retryableError{err: err}
+	}
+	return err
+}
+
+// post sends one JSON request body; callers own the response body. The
+// correlation ID travels as the X-Request-Id header on every request,
+// so fan-out requests from a coordinator land in each shard's access
+// log under the original client's ID.
+func (c *Client) post(ctx context.Context, path string, body []byte, requestID string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if requestID != "" {
+		req.Header.Set("X-Request-Id", requestID)
+	}
 	return c.hc.Do(req)
 }
 
-func (c *Client) do(ctx context.Context, path string, body []byte, sql string) (*Result, error) {
-	resp, err := c.post(ctx, path, body)
+func (c *Client) do(ctx context.Context, path string, body []byte, sql string, o *requestOpts) (*Result, error) {
+	resp, err := c.post(ctx, path, body, o.req.RequestID)
 	if err != nil {
-		return nil, err
+		return nil, transportError(err, o.idempotent)
 	}
 	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	if o.rawNumbers {
+		dec.UseNumber()
+	}
 	var qr wire.QueryResponse
-	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-		return nil, fmt.Errorf("decoding response (HTTP %d): %w", resp.StatusCode, err)
+	if err := dec.Decode(&qr); err != nil {
+		return nil, transportError(fmt.Errorf("decoding response (HTTP %d): %w", resp.StatusCode, err), o.idempotent)
 	}
 	if qr.Error != nil {
 		rerr := qr.Error.ToError(sql)
@@ -334,15 +404,10 @@ func (c *Client) do(ctx context.Context, path string, body []byte, sql string) (
 	return &Result{Columns: qr.Columns, Types: qr.Types, Rows: qr.Rows, Message: qr.Message}, nil
 }
 
-func (c *Client) doStream(ctx context.Context, body []byte, sql string, fn func(row []any) error) (*Result, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query.ndjson", bytes.NewReader(body))
+func (c *Client) doStream(ctx context.Context, body []byte, sql string, fn func(row []any) error, o *requestOpts) (*Result, error) {
+	resp, err := c.post(ctx, "/query.ndjson", body, o.req.RequestID)
 	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
+		return nil, transportError(err, o.idempotent)
 	}
 	defer resp.Body.Close()
 	dec := json.NewDecoder(resp.Body)

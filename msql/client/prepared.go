@@ -61,9 +61,9 @@ func (c *Client) Prepare(ctx context.Context, name, sql string) (*Stmt, error) {
 }
 
 func (c *Client) doPrepare(ctx context.Context, body []byte, sql string) (*Stmt, error) {
-	resp, err := c.post(ctx, "/prepare", body)
+	resp, err := c.post(ctx, "/prepare", body, "")
 	if err != nil {
-		return nil, err
+		return nil, transportError(err, false)
 	}
 	defer resp.Body.Close()
 	var pr wire.PrepareResponse
@@ -137,11 +137,11 @@ func (s *Stmt) Exec(ctx context.Context, args ...any) (*Result, error) {
 
 // ExecParams executes the statement with explicit typed parameters.
 func (s *Stmt) ExecParams(ctx context.Context, params []Param, opts ...QueryOption) (*Result, error) {
-	var qr wire.QueryRequest
-	for _, o := range opts {
-		o(&qr)
+	var o requestOpts
+	for _, f := range opts {
+		f(&o)
 	}
-	body, err := json.Marshal(wire.ExecuteRequest{Name: s.name, Params: params, TimeoutMillis: qr.TimeoutMillis})
+	body, err := json.Marshal(wire.ExecuteRequest{Name: s.name, Params: params, TimeoutMillis: o.req.TimeoutMillis})
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +155,7 @@ func (s *Stmt) ExecParams(ctx context.Context, params []Param, opts ...QueryOpti
 				return nil, ctx.Err()
 			}
 		}
-		res, err := c.do(ctx, "/execute", body, s.sql)
+		res, err := c.do(ctx, "/execute", body, s.sql, &o)
 		if err == nil {
 			return res, nil
 		}

@@ -1,0 +1,280 @@
+package client
+
+// Coordinator-facing methods: the shard endpoints (/partial, /apply,
+// /catalog) and the hedging helper a coordinator races a lagging
+// shard's replica with.
+//
+// Retry policy differs by endpoint. Partial and Catalog are idempotent
+// reads, so they retry the full transient set (429/503, refused,
+// reset/EOF). Apply is a version-guarded mutation: the client never
+// resends it on a transport error, because a lost ack leaves "did it
+// land?" genuinely unknown — the coordinator resolves that by probing
+// /catalog and comparing versions, which the CAS contract makes
+// unambiguous.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/measures-sql/msql/internal/wire"
+)
+
+// Partials is one shard's partial-aggregation answer: per-group keys
+// and aggregate states, still in their canonical base64 wire form (the
+// coordinator merges keys byte-wise and decodes states lazily).
+type Partials struct {
+	// Version is the shard's catalog version the query ran at.
+	Version int64
+	Groups  []PartialGroup
+}
+
+// PartialGroup mirrors the wire shape: a canonical base64 group key
+// and one base64 aggregate state per call.
+type PartialGroup struct {
+	Key    string
+	States []string
+}
+
+// CatalogInfo is a shard's identity and catalog state.
+type CatalogInfo struct {
+	Version int64
+	Tables  []string
+	Views   []string
+	ShardID string
+}
+
+// VersionMismatchError reports a catalog-version CAS miss: the server
+// is at Have, the request expected Want. The caller repairs the
+// endpoint (replaying missed mutations) rather than retrying blindly.
+type VersionMismatchError struct {
+	Have int64
+	Want int64
+}
+
+func (e *VersionMismatchError) Error() string {
+	return fmt.Sprintf("catalog version mismatch: server at %d, expected %d", e.Have, e.Want)
+}
+
+// Partial runs an aggregation query's scan/filter/group phase on the
+// server and returns serialized per-group partial states. It retries
+// transient failures like an idempotent Query; a catalog-version miss
+// surfaces as *VersionMismatchError.
+func (c *Client) Partial(ctx context.Context, sql string, groups, aggs int, expectVersion int64, opts ...QueryOption) (*Partials, error) {
+	o := requestOpts{idempotent: true}
+	for _, f := range opts {
+		f(&o)
+	}
+	req := wire.PartialRequest{
+		SQL: sql, Groups: groups, Aggs: aggs,
+		ExpectVersion: expectVersion,
+		TimeoutMillis: o.req.TimeoutMillis,
+		RequestID:     o.req.RequestID,
+	}
+	if req.RequestID == "" {
+		req.RequestID = c.newRequestID()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.backoff.Attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.delay(attempt, lastRetryAfter(lastErr))):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		res, err := c.doPartial(ctx, body, sql, req.RequestID, expectVersion)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		var re *retryableError
+		if !errors.As(err, &re) {
+			return nil, err
+		}
+	}
+	return nil, unwrapRetryable(lastErr)
+}
+
+func (c *Client) doPartial(ctx context.Context, body []byte, sql, reqID string, expect int64) (*Partials, error) {
+	resp, err := c.post(ctx, "/partial", body, reqID)
+	if err != nil {
+		return nil, transportError(err, true)
+	}
+	defer resp.Body.Close()
+	var pr wire.PartialResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, transportError(fmt.Errorf("decoding partial response (HTTP %d): %w", resp.StatusCode, err), true)
+	}
+	if resp.StatusCode == http.StatusConflict && pr.Error != nil {
+		return nil, &VersionMismatchError{Have: pr.Version, Want: expect}
+	}
+	if pr.Error != nil {
+		rerr := pr.Error.ToError(sql)
+		if wire.Retryable(resp.StatusCode) {
+			return nil, &retryableError{err: rerr, retryAfter: wire.RetryAfterSeconds(resp.Header)}
+		}
+		return nil, rerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("HTTP %d without a structured error", resp.StatusCode)
+		if wire.Retryable(resp.StatusCode) {
+			return nil, &retryableError{err: err, retryAfter: wire.RetryAfterSeconds(resp.Header)}
+		}
+		return nil, err
+	}
+	out := &Partials{Version: pr.Version, Groups: make([]PartialGroup, len(pr.Groups))}
+	for i, g := range pr.Groups {
+		out.Groups[i] = PartialGroup{Key: g.Key, States: g.States}
+	}
+	return out, nil
+}
+
+// ApplyDDL applies one DDL/DML statement under the catalog-version CAS:
+// the server executes it only if its version equals expect, advancing
+// to expect+1. ok=false with err=nil is a version miss (version holds
+// the server's current value). Transport errors are returned raw —
+// resolving a lost ack is the coordinator's job (probe Catalog; the
+// mutation landed iff the version advanced past expect).
+func (c *Client) ApplyDDL(ctx context.Context, sql string, expect int64, requestID string) (version int64, ok bool, err error) {
+	return c.apply(ctx, wire.ApplyRequest{SQL: sql, ExpectVersion: expect, RequestID: requestID})
+}
+
+// ApplyRows inserts pre-partitioned rows (EncodeRowsBinary wire form)
+// into table under the same CAS contract as ApplyDDL.
+func (c *Client) ApplyRows(ctx context.Context, table, rows string, expect int64, requestID string) (version int64, ok bool, err error) {
+	return c.apply(ctx, wire.ApplyRequest{Table: table, Rows: rows, ExpectVersion: expect, RequestID: requestID})
+}
+
+func (c *Client) apply(ctx context.Context, req wire.ApplyRequest) (int64, bool, error) {
+	if req.RequestID == "" {
+		req.RequestID = c.newRequestID()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, false, err
+	}
+	resp, err := c.post(ctx, "/apply", body, req.RequestID)
+	if err != nil {
+		// Deliberately no retry classification: the request may have
+		// executed. The CAS version lets the caller find out.
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	var ar wire.ApplyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		return 0, false, fmt.Errorf("decoding apply response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	if resp.StatusCode == http.StatusConflict {
+		return ar.Version, false, nil
+	}
+	if ar.Error != nil {
+		return ar.Version, false, ar.Error.ToError(req.SQL)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return ar.Version, false, fmt.Errorf("HTTP %d without a structured error", resp.StatusCode)
+	}
+	return ar.Version, true, nil
+}
+
+// Catalog fetches the shard's identity and catalog state. It is a
+// plain GET with no client-side retry loop: callers probe it inside
+// their own failure-handling (breaker) machinery.
+func (c *Client) Catalog(ctx context.Context) (*CatalogInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/catalog", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var cr wire.CatalogResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("decoding catalog response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	if cr.Error != nil {
+		return nil, cr.Error.ToError("")
+	}
+	return &CatalogInfo{Version: cr.Version, Tables: cr.Tables, Views: cr.Views, ShardID: cr.ShardID}, nil
+}
+
+// HedgeOutcome reports how a hedged call resolved.
+type HedgeOutcome struct {
+	// Winner is 0 when the primary's result was used, 1 for the hedge.
+	Winner int
+	// Hedged reports whether the secondary was launched at all (the
+	// primary outran the hedge delay otherwise).
+	Hedged bool
+}
+
+// Hedge runs primary immediately and, if it has not finished within
+// delay, races a single hedge request against it; the first success
+// wins and the loser's context is canceled. Both failing returns the
+// primary's error. Use only for idempotent calls — both requests may
+// execute.
+func Hedge[T any](ctx context.Context, delay time.Duration, primary, secondary func(context.Context) (T, error)) (T, HedgeOutcome, error) {
+	type outcome struct {
+		val  T
+		err  error
+		from int
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan outcome, 2)
+	launch := func(from int, fn func(context.Context) (T, error)) {
+		go func() {
+			v, err := fn(ctx)
+			ch <- outcome{val: v, err: err, from: from}
+		}()
+	}
+	launch(0, primary)
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var zero T
+	hedged := false
+	launched := 1
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				launched++
+				launch(1, secondary)
+			}
+		case out := <-ch:
+			if out.err == nil {
+				return out.val, HedgeOutcome{Winner: out.from, Hedged: hedged}, nil
+			}
+			if out.from == 0 || firstErr == nil {
+				firstErr = out.err
+			}
+			launched--
+			if launched == 0 {
+				if !hedged {
+					// The primary failed before the hedge delay: try the
+					// replica immediately rather than giving up.
+					hedged = true
+					launched++
+					launch(1, secondary)
+					continue
+				}
+				return zero, HedgeOutcome{Winner: -1, Hedged: hedged}, firstErr
+			}
+		case <-ctx.Done():
+			return zero, HedgeOutcome{Winner: -1, Hedged: hedged}, ctx.Err()
+		}
+	}
+}

@@ -39,4 +39,8 @@ const (
 	// ErrResourceExhausted: a resource governor limit tripped (MaxRows,
 	// MaxMemBytes, MaxSubqueryEvals, MaxExpansionDepth).
 	ErrResourceExhausted = exec.CodeResourceExhausted
+	// ErrUnavailable: a distributed query lost every endpoint of at least
+	// one required shard after retries, failover, and hedging. The error
+	// names the shards lost; no silently partial result is ever returned.
+	ErrUnavailable = exec.CodeUnavailable
 )

@@ -1,0 +1,77 @@
+package msql
+
+// Distributed-execution surface: the DB methods a shard server
+// (internal/server) and a coordinator (internal/dist) need beyond the
+// plain query API — partial aggregation, version-guarded mutations, and
+// the shard-health metrics/virtual-table hooks.
+
+import (
+	"context"
+
+	"github.com/measures-sql/msql/internal/engine"
+	"github.com/measures-sql/msql/internal/exec"
+	"github.com/measures-sql/msql/internal/plan"
+)
+
+// PartialResult is a shard's partial-aggregation answer: per-group
+// aggregate states ready to Merge with other shards' partials.
+type PartialResult = exec.PartialResult
+
+// PartialGroup is one group of a PartialResult.
+type PartialGroup = exec.PartialGroup
+
+// PlanQuery plans a single query without executing it. The returned
+// tree is the engine's internal plan representation — usable only
+// inside this module; coordinators walk it to classify queries for
+// distributed execution.
+func (db *DB) PlanQuery(ctx context.Context, sql string, opts ...Option) (plan.Node, error) {
+	return db.session.PlanQuery(ctx, sql, overrides(opts))
+}
+
+// CatalogVersion returns the catalog's mutation counter. Every DDL and
+// INSERT advances it by exactly one, and durable recovery restores the
+// pre-crash value, so coordinators use it as the compare-and-swap token
+// for exactly-once replicated mutations.
+func (db *DB) CatalogVersion() int64 { return db.session.CatalogVersion() }
+
+// PartialAggregate plans sql and runs its scan/filter/group phase,
+// returning per-group partial aggregate states instead of final rows.
+// groups/aggs cross-check the plan shape; a query whose shape cannot be
+// merged across shards fails with a structured BIND error wrapping
+// exec.ErrPartialUnsupported.
+func (db *DB) PartialAggregate(ctx context.Context, sql string, groups, aggs int, opts ...Option) (*PartialResult, error) {
+	return db.session.PartialAggregate(ctx, sql, groups, aggs, overrides(opts))
+}
+
+// ExecCAS executes one mutation statement iff the catalog version
+// equals expect; on success the returned version is expect+1. A version
+// mismatch is not an error: ok is false and version reports the current
+// value, letting a coordinator that lost an ack distinguish "already
+// applied" (version == expect+1) from divergence.
+func (db *DB) ExecCAS(ctx context.Context, sql string, expect int64, opts ...Option) (res *Result, version int64, ok bool, err error) {
+	return db.session.ExecCAS(ctx, sql, expect, overrides(opts))
+}
+
+// InsertRowsCAS bulk-inserts pre-built rows iff the catalog version
+// equals expect (see ExecCAS for the contract).
+func (db *DB) InsertRowsCAS(table string, rows [][]Value, expect int64) (version int64, ok bool, err error) {
+	return db.session.InsertRowsCAS(table, rows, expect)
+}
+
+// ShardCounters is the distributed coordinator's slice of a metrics
+// snapshot: scatter/retry/hedge/failover/breaker counters.
+type ShardCounters = engine.ShardCounters
+
+// RegisterShardMetrics installs (or with nil removes) a source of
+// shard-coordination counters; Metrics() calls it so the failure
+// envelope shows up in the same JSON and Prometheus output as the
+// engine's own counters.
+func (db *DB) RegisterShardMetrics(fn func() ShardCounters) {
+	db.session.Metrics().SetShardSource(fn)
+}
+
+// RegisterVirtualTable installs (or replaces) a read-only virtual table
+// backed by provider, queryable like the built-in msql_stats.* tables.
+func (db *DB) RegisterVirtualTable(name string, cols []string, types []Type, provider func() [][]Value) error {
+	return db.session.RegisterVirtualTable(name, cols, types, provider)
+}
