@@ -116,7 +116,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (E01..E28) or 'all'")
+	expFlag := flag.String("exp", "all", "experiment id (E01..E30) or 'all'")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
@@ -167,6 +167,7 @@ func main() {
 		{"E26", "Prepared statements: cold vs warm plan cache", e26},
 		{"E27", "Statement-stats overhead: observability on vs off", e27},
 		{"E28", "Durability: WAL insert overhead and crash-recovery time", e28},
+		{"E30", "Materialized rollups: dashboard latency over a mutating table", e30},
 	}
 
 	failed := 0
@@ -942,6 +943,130 @@ func e28() error {
 	return nil
 }
 
+// rollupInsertBatch renders one INSERT of `rows` synthetic orders. The
+// keys vary by round so batches both extend existing groups and mint
+// new (prodName, custName) pairs, exercising the lattice's in-place
+// fold and group creation paths.
+func rollupInsertBatch(round, rows int) string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO Orders VALUES ")
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "('prod%03d', 'cust%04d', DATE '2024-%02d-%02d', %d, %d)",
+			(round*7+i)%100, (round*13+i)%100,
+			1+(round+i)%12, 1+(round*3+i)%28,
+			10+(round+i)%90, 5+(round+i)%40)
+	}
+	return b.String()
+}
+
+// e30 measures the materialized rollup lattice: repeated dashboard
+// aggregations answered from per-group aggregate states instead of
+// base-table scans, including under interleaved INSERT batches that
+// exercise incremental maintenance. Gate: the single-key dashboard
+// query must be at least 5x faster at p50 with the lattice on.
+func e30() error {
+	n := 50000
+	if *quick {
+		n = 5000
+	}
+	const reps = 9
+	queries := []struct{ name, sql string }{
+		{"by_product", `SELECT prodName, COUNT(*) AS cnt, SUM(revenue) AS rev,
+		                       SUM(revenue - cost) AS profit
+		                FROM Orders GROUP BY prodName`},
+		{"by_prod_cust", `SELECT prodName, custName, SUM(revenue) AS rev
+		                  FROM Orders GROUP BY prodName, custName`},
+		{"rollup_2d", `SELECT prodName, custName, SUM(revenue) AS rev
+		               FROM Orders GROUP BY ROLLUP(prodName, custName)`},
+	}
+	fmt.Printf("%d orders; %d timed reps per mode after warmup\n", n, reps)
+	fmt.Printf("%-14s %-10s %12s %12s %12s %10s\n", "query", "mode", "p50", "p95", "p99", "speedup")
+	var gate float64
+	for _, q := range queries {
+		db := loadSynthetic(n, 100, 0)
+		offDurs := timeQueryDist(db, q.sql, reps)
+		offRes, err := db.Query(q.sql)
+		if err != nil {
+			return err
+		}
+		offP50, offP95, offP99 := quantiles(offDurs)
+		fmt.Printf("%-14s %-10s %12v %12v %12v %10s\n", q.name, "direct", offP50, offP95, offP99, "1.00x")
+
+		db.SetRollups(true)
+		onDurs := timeQueryDist(db, q.sql, reps)
+		onRes, err := db.Query(q.sql)
+		if err != nil {
+			return err
+		}
+		onSig, offSig := signature(onRes), signature(offRes)
+		if len(onSig) != len(offSig) {
+			return fmt.Errorf("%s: lattice returned %d rows, direct %d", q.name, len(onSig), len(offSig))
+		}
+		for i := range offSig {
+			if onSig[i] != offSig[i] {
+				return fmt.Errorf("%s row %d: lattice %q != direct %q", q.name, i, onSig[i], offSig[i])
+			}
+		}
+		onP50, onP95, onP99 := quantiles(onDurs)
+		speedup := float64(offP50) / float64(onP50)
+		if q.name == "by_product" {
+			gate = speedup
+		}
+		fmt.Printf("%-14s %-10s %12v %12v %12v %9.2fx\n", "", "lattice", onP50, onP95, onP99, speedup)
+
+		// Mutating: an INSERT batch lands between every timed query, so
+		// each rep pays incremental maintenance plus the lattice read.
+		mutDurs := make([]time.Duration, reps)
+		for i := range mutDurs {
+			if err := db.Exec(rollupInsertBatch(i, 20)); err != nil {
+				return err
+			}
+			start := time.Now()
+			if _, err := db.Query(q.sql); err != nil {
+				return err
+			}
+			mutDurs[i] = time.Since(start)
+		}
+		mutRes, err := db.Query(q.sql)
+		if err != nil {
+			return err
+		}
+		// Counters must be read before disabling detaches the lattice.
+		st := db.RollupStats()
+		// The mutated table must still agree with direct execution.
+		db.SetRollups(false)
+		directRes, err := db.Query(q.sql)
+		if err != nil {
+			return err
+		}
+		mutSig, dirSig := signature(mutRes), signature(directRes)
+		if len(mutSig) != len(dirSig) {
+			return fmt.Errorf("%s mutating: lattice %d rows, direct %d", q.name, len(mutSig), len(dirSig))
+		}
+		for i := range dirSig {
+			if mutSig[i] != dirSig[i] {
+				return fmt.Errorf("%s mutating row %d: lattice %q != direct %q", q.name, i, mutSig[i], dirSig[i])
+			}
+		}
+		mutP50, mutP95, mutP99 := quantiles(mutDurs)
+		fmt.Printf("%-14s %-10s %12v %12v %12v %9.2fx\n", "", "mutating", mutP50, mutP95, mutP99,
+			float64(offP50)/float64(mutP50))
+		if st.Hits == 0 {
+			return fmt.Errorf("%s: lattice recorded no hits: %+v", q.name, st)
+		}
+		fmt.Printf("%-14s %-10s hits=%d builds=%d rebuilds=%d incr=%d inval=%d\n",
+			"", "counters", st.Hits, st.Builds, st.Rebuilds, st.IncrementalRows, st.Invalidations)
+	}
+	fmt.Printf("by_product p50 speedup: %.2fx (gate: >= 5x)\n", gate)
+	if gate < 5 {
+		return fmt.Errorf("rollup p50 speedup %.2fx below the 5x gate", gate)
+	}
+	return nil
+}
+
 // ---------------------------------------------------------------------------
 // -json bench suite
 
@@ -1088,6 +1213,9 @@ func runJSONBench() error {
 	if err := runShardBench(&results); err != nil {
 		return err
 	}
+	if err := runRollupBench(&results); err != nil {
+		return err
+	}
 	b, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err
@@ -1185,6 +1313,62 @@ func runWALBench(results *[]benchResult) error {
 		}
 		row("recovery", pol, recDurs)
 	}
+	return nil
+}
+
+// runRollupBench appends the rollup_* rows to the -json artifact:
+// the single-key dashboard query over a 50k-row table with the lattice
+// off, on, and on-while-mutating (an INSERT batch between every timed
+// rep). EXPERIMENTS.md E30's machine-readable side.
+func runRollupBench(results *[]benchResult) error {
+	n := 50000
+	if *quick {
+		n = 5000
+	}
+	const reps = 9
+	dashQ := `SELECT prodName, COUNT(*) AS cnt, SUM(revenue) AS rev,
+	                 SUM(revenue - cost) AS profit
+	          FROM Orders GROUP BY prodName`
+	db := loadSynthetic(n, 100, 0)
+	row := func(name string, durs []time.Duration) error {
+		res, err := db.Query(dashQ)
+		if err != nil {
+			return err
+		}
+		p50, p95, p99 := quantiles(durs)
+		*results = append(*results, benchResult{
+			Name: name, Strategy: "none", Workers: 1, Orders: n,
+			NsOp:  minDur(durs).Nanoseconds(),
+			P50Ns: p50.Nanoseconds(), P95Ns: p95.Nanoseconds(), P99Ns: p99.Nanoseconds(),
+			Rows: len(res.Rows),
+		})
+		return nil
+	}
+	if err := row("rollup_off", timeQueryDist(db, dashQ, reps)); err != nil {
+		return err
+	}
+	db.SetRollups(true)
+	if err := row("rollup_on", timeQueryDist(db, dashQ, reps)); err != nil {
+		return err
+	}
+	mutDurs := make([]time.Duration, reps)
+	for i := range mutDurs {
+		if err := db.Exec(rollupInsertBatch(i, 20)); err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := db.Query(dashQ); err != nil {
+			return err
+		}
+		mutDurs[i] = time.Since(start)
+	}
+	if err := row("rollup_mutating", mutDurs); err != nil {
+		return err
+	}
+	if st := db.RollupStats(); st.Hits == 0 {
+		return fmt.Errorf("rollup bench recorded no lattice hits: %+v", st)
+	}
+	db.SetRollups(false)
 	return nil
 }
 

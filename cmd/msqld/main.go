@@ -62,6 +62,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain budget before canceling stragglers")
 		maxRows      = flag.Int64("max-rows", 0, "per-statement materialized-row budget (0 = unlimited)")
 		planCache    = flag.Int("plan-cache-size", 128, "prepared-statement plan cache entries (0 = disable)")
+		rollups      = flag.Bool("rollups", false, "materialize incremental rollup states for eligible aggregations")
 		slowQuery    = flag.Duration("slow-query-log", 0, "log statements slower than this to stderr (0 = off)")
 		noAccessLog  = flag.Bool("no-access-log", false, "disable the structured access log on stderr")
 		pprofOn      = flag.Bool("pprof", false, "mount /debug/pprof/ profiling handlers")
@@ -124,6 +125,10 @@ func main() {
 	db.SetWorkers(*workers)
 	db.SetLimits(msql.Limits{Timeout: *timeout, MaxRows: *maxRows})
 	db.SetPlanCacheSize(*planCache)
+	if *rollups {
+		db.SetRollups(true)
+		log.Printf("materialized rollups enabled")
+	}
 	if recovered && (*paper || *file != "") {
 		// The directory already holds a recovered schema; re-running the
 		// setup script would fail on CREATE TABLE.

@@ -57,6 +57,11 @@ type Drop struct {
 	Name string
 }
 
+// Truncate is TRUNCATE [TABLE] name: delete every row, keep the schema.
+type Truncate struct {
+	Table string
+}
+
 // Explain is EXPLAIN query: prints the logical plan. With Analyze set
 // (EXPLAIN ANALYZE) the query is executed and the plan is annotated with
 // per-operator runtime metrics. Execute is set instead of Query for
@@ -114,6 +119,7 @@ func (*CreateTable) node() {}
 func (*CreateView) node()  {}
 func (*Insert) node()      {}
 func (*Drop) node()        {}
+func (*Truncate) node()    {}
 func (*Explain) node()     {}
 func (*Expand) node()      {}
 func (*QueryStmt) node()   {}
@@ -126,6 +132,7 @@ func (*CreateTable) stmt() {}
 func (*CreateView) stmt()  {}
 func (*Insert) stmt()      {}
 func (*Drop) stmt()        {}
+func (*Truncate) stmt()    {}
 func (*Explain) stmt()     {}
 func (*Expand) stmt()      {}
 func (*QueryStmt) stmt()   {}

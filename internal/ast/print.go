@@ -92,6 +92,8 @@ func (p *printer) statement(s Statement) {
 		}
 	case *Drop:
 		p.wf("DROP %s %s", s.Kind, quoteIdent(s.Name))
+	case *Truncate:
+		p.wf("TRUNCATE TABLE %s", quoteIdent(s.Table))
 	case *Explain:
 		p.ws("EXPLAIN")
 		if s.Analyze {

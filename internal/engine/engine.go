@@ -10,6 +10,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/measures-sql/msql/internal/ast"
@@ -19,6 +20,7 @@ import (
 	"github.com/measures-sql/msql/internal/optimizer"
 	"github.com/measures-sql/msql/internal/parser"
 	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/rollup"
 	"github.com/measures-sql/msql/internal/sqltypes"
 	"github.com/measures-sql/msql/internal/wal"
 )
@@ -68,6 +70,10 @@ type Session struct {
 	// check-then-apply is atomic (the shard /apply endpoint's
 	// exactly-once contract).
 	cas sync.Mutex
+	// rollups is the materialized rollup lattice (see rollups.go); nil
+	// until SetRollups enables it. Atomic so the msql_stats.rollups
+	// provider can read it without touching the session mutex.
+	rollups atomic.Pointer[rollup.Lattice]
 	// slow is the slow-query log configuration; a statement whose total
 	// wall time meets the threshold emits one JSON line to w.
 	slow struct {
@@ -466,6 +472,8 @@ func (s *Session) execStatement(env *stmtEnv, stmt ast.Statement) (*Result, erro
 		return s.execInsert(env, stmt)
 	case *ast.Drop:
 		return s.execDrop(stmt)
+	case *ast.Truncate:
+		return s.execTruncate(stmt)
 	case *ast.QueryStmt:
 		return s.runQuery(env, stmt.Query)
 	case *ast.Prepare:
@@ -648,6 +656,9 @@ func (s *Session) execPlan(env *stmtEnv, node plan.Node, planNs int64, withProfi
 		attrs["kernel_rows"] = fmt.Sprintf("%d", st.VecKernelRows)
 		attrs["fallback_rows"] = fmt.Sprintf("%d", st.VecFallbackRows)
 	}
+	if st.RollupHits > 0 {
+		attrs["rollup_hits"] = fmt.Sprintf("%d", st.RollupHits)
+	}
 	for k, v := range env.execAttrs {
 		attrs[k] = v
 	}
@@ -729,6 +740,9 @@ func (s *Session) execCreateTable(stmt *ast.CreateTable) (*Result, error) {
 	if _, err := s.cat.CreateTable(stmt.Name, names, types, stmt.OrReplace); err != nil {
 		return nil, err
 	}
+	// CREATE OR REPLACE detaches the old storage instance; drop any
+	// lattice nodes materialized over it.
+	s.rollupDDL(stmt.Name)
 	return &Result{Message: fmt.Sprintf("created table %s", stmt.Name)}, nil
 }
 
@@ -763,7 +777,32 @@ func (s *Session) execDrop(stmt *ast.Drop) (*Result, error) {
 	if err := s.cat.Drop(stmt.Kind, stmt.Name); err != nil {
 		return nil, err
 	}
+	s.rollupDDL(stmt.Name)
 	return &Result{Message: fmt.Sprintf("dropped %s %s", strings.ToLower(stmt.Kind), stmt.Name)}, nil
+}
+
+// execTruncate deletes every row of a base table, keeping the schema.
+// It follows the same durability contract as INSERT (validate, log,
+// apply under the mutation lock) and the same invalidation contract
+// (BumpVersion, so cached plans — including identical-binding result
+// memos — built over the old rows can never be served again).
+func (s *Session) execTruncate(stmt *ast.Truncate) (*Result, error) {
+	defer s.lockDurable()()
+	table, ok := s.cat.Table(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("table %s does not exist", stmt.Table)
+	}
+	if err := s.logMutation(&wal.Record{Type: wal.RecTruncate, Name: stmt.Table}); err != nil {
+		return nil, err
+	}
+	n := table.Data.NumRows()
+	table.Data.Truncate()
+	// Data changed: invalidate cached plans built against the old rows.
+	s.cat.BumpVersion()
+	// Reset rollup nodes eagerly: a later refill to the old row count
+	// must not let a length-based delta check miss the truncation.
+	s.rollupTruncate(stmt.Table)
+	return &Result{Message: fmt.Sprintf("truncated table %s (%d rows)", stmt.Table, n)}, nil
 }
 
 func (s *Session) execInsert(env *stmtEnv, stmt *ast.Insert) (*Result, error) {
@@ -864,6 +903,7 @@ func (s *Session) execInsert(env *stmtEnv, stmt *ast.Insert) (*Result, error) {
 	table.Data.InsertPrepared(coerced)
 	// Data changed: invalidate cached plans built against the old rows.
 	s.cat.BumpVersion()
+	s.rollupMutation(stmt.Table)
 	return &Result{Message: fmt.Sprintf("inserted %d rows", len(rows))}, nil
 }
 
@@ -886,6 +926,7 @@ func (s *Session) InsertRows(table string, rows [][]sqltypes.Value) error {
 	}
 	t.Data.InsertPrepared(coerced)
 	s.cat.BumpVersion()
+	s.rollupMutation(table)
 	return nil
 }
 

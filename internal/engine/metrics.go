@@ -56,6 +56,39 @@ type Metrics struct {
 	// dist.Coordinator registers itself here) so one snapshot covers the
 	// whole scatter-gather failure envelope.
 	shardFn func() ShardCounters
+	// rollupFn supplies the rollup lattice's counters (registered by
+	// SetRollups) so snapshots cover materialized-rollup activity.
+	rollupFn func() RollupCounters
+}
+
+// RollupCounters is the rollup lattice's slice of a metrics snapshot.
+// Nodes, Groups, and DirtyGroups are gauges; the rest are cumulative.
+type RollupCounters struct {
+	// Hits counts Aggregate executions answered from the lattice.
+	Hits int64 `json:"hits"`
+	// Misses counts consultations that fell back to direct execution.
+	Misses int64 `json:"misses"`
+	// Builds counts lattice node creations.
+	Builds int64 `json:"builds"`
+	// Rebuilds counts dirty groups rebuilt lazily from base rows.
+	Rebuilds int64 `json:"rebuilds"`
+	// IncrementalRows counts delta rows folded into exactly-mergeable
+	// nodes in place.
+	IncrementalRows int64 `json:"incremental_rows"`
+	// Invalidations counts truncate resets and DDL node drops.
+	Invalidations int64 `json:"invalidations"`
+	// Nodes/Groups/DirtyGroups describe the lattice right now.
+	Nodes       int64 `json:"nodes"`
+	Groups      int64 `json:"groups"`
+	DirtyGroups int64 `json:"dirty_groups"`
+}
+
+// SetRollupSource registers (or with nil removes) the rollup lattice's
+// counter source; Snapshot calls it to fill the Rollups section.
+func (m *Metrics) SetRollupSource(fn func() RollupCounters) {
+	m.mu.Lock()
+	m.rollupFn = fn
+	m.mu.Unlock()
 }
 
 // ShardCounters is the distributed coordinator's slice of a metrics
@@ -252,6 +285,9 @@ type MetricsSnapshot struct {
 	// Shards carries the distributed coordinator's counters when one has
 	// registered itself (SetShardSource); nil otherwise.
 	Shards *ShardCounters `json:"shards,omitempty"`
+	// Rollups carries the rollup lattice's counters when rollups are
+	// enabled (SetRollupSource); nil otherwise.
+	Rollups *RollupCounters `json:"rollups,omitempty"`
 }
 
 // Snapshot returns a consistent copy of the counters.
@@ -283,7 +319,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	for k, v := range m.byStrategy {
 		s.ByStrategy[k] = *v
 	}
-	serverFn, planFn, storageFn, shardFn := m.serverFn, m.planFn, m.storageFn, m.shardFn
+	serverFn, planFn, storageFn, shardFn, rollupFn := m.serverFn, m.planFn, m.storageFn, m.shardFn, m.rollupFn
 	m.mu.Unlock()
 	if planFn != nil {
 		pc := planFn()
@@ -300,6 +336,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	if shardFn != nil {
 		sh := shardFn()
 		s.Shards = &sh
+	}
+	if rollupFn != nil {
+		rc := rollupFn()
+		s.Rollups = &rc
 	}
 	return s
 }
@@ -421,6 +461,20 @@ func (s MetricsSnapshot) Prometheus() string {
 		counter("msql_shard_errors_total", "Queries failed with a structured shard-unavailable error.", sh.ShardErrors)
 		gauge("msql_shard_count", "Shards in the topology.", sh.ShardsTotal)
 		gauge("msql_shard_breakers_open", "Endpoints whose breaker is currently open.", sh.BreakersOpen)
+	}
+	if rc := s.Rollups; rc != nil {
+		gauge := func(name, help string, v int64) {
+			fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		}
+		counter("msql_rollup_hits_total", "Aggregate executions answered from the rollup lattice.", rc.Hits)
+		counter("msql_rollup_misses_total", "Lattice consultations that fell back to direct execution.", rc.Misses)
+		counter("msql_rollup_builds_total", "Rollup lattice nodes materialized.", rc.Builds)
+		counter("msql_rollup_rebuilds_total", "Dirty rollup groups rebuilt lazily from base rows.", rc.Rebuilds)
+		counter("msql_rollup_incremental_rows_total", "Insert delta rows folded into rollup states in place.", rc.IncrementalRows)
+		counter("msql_rollup_invalidations_total", "Rollup nodes reset by TRUNCATE or dropped by DDL.", rc.Invalidations)
+		gauge("msql_rollup_nodes", "Rollup lattice nodes currently materialized.", rc.Nodes)
+		gauge("msql_rollup_groups", "Groups currently materialized across all rollup nodes.", rc.Groups)
+		gauge("msql_rollup_dirty_groups", "Materialized groups currently awaiting lazy rebuild.", rc.DirtyGroups)
 	}
 	return sb.String()
 }

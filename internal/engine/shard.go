@@ -138,7 +138,7 @@ func (s *Session) ExecCAS(ctx context.Context, sql string, expect int64, ov *Ove
 		return nil, s.cat.Version(), false, exec.Wrap(fmt.Errorf("apply expects exactly one statement, got %d", len(stmts)), exec.CodeParse, exec.PhaseParse)
 	}
 	switch stmts[0].(type) {
-	case *ast.CreateTable, *ast.CreateView, *ast.Drop, *ast.Insert:
+	case *ast.CreateTable, *ast.CreateView, *ast.Drop, *ast.Insert, *ast.Truncate:
 	default:
 		return nil, s.cat.Version(), false, exec.Wrap(fmt.Errorf("apply accepts only mutation statements"), exec.CodeParse, exec.PhaseParse)
 	}

@@ -46,6 +46,9 @@ type Stats struct {
 	// (subqueries, CASE, anything without a kernel).
 	VecKernelRows   int64
 	VecFallbackRows int64
+	// RollupHits counts Aggregate nodes answered from the materialized
+	// rollup lattice instead of hash aggregation over their input.
+	RollupHits int64
 }
 
 // Reset zeroes the counters with atomic stores, so a session may reuse
@@ -59,6 +62,7 @@ func (s *Stats) Reset() {
 	atomic.StoreInt64(&s.VecBatches, 0)
 	atomic.StoreInt64(&s.VecKernelRows, 0)
 	atomic.StoreInt64(&s.VecFallbackRows, 0)
+	atomic.StoreInt64(&s.RollupHits, 0)
 }
 
 // Snapshot returns a copy taken with atomic loads, safe against
@@ -72,6 +76,7 @@ func (s *Stats) Snapshot() Stats {
 		VecBatches:        atomic.LoadInt64(&s.VecBatches),
 		VecKernelRows:     atomic.LoadInt64(&s.VecKernelRows),
 		VecFallbackRows:   atomic.LoadInt64(&s.VecFallbackRows),
+		RollupHits:        atomic.LoadInt64(&s.RollupHits),
 	}
 }
 
@@ -113,6 +118,11 @@ type Settings struct {
 	// plan.Node the pipeline was built for (compiled trees are keyed by
 	// node identity).
 	Pipeline *Pipeline
+	// Rollups, when non-nil, is consulted before every Aggregate
+	// execution; eligible nodes are answered from materialized rollup
+	// state instead of rescanning their input. Answers are bit-identical
+	// to direct execution for any setting.
+	Rollups RollupProvider
 }
 
 // DefaultSettings returns the production configuration.

@@ -160,6 +160,11 @@ func (rt *runtime) runNode(n plan.Node) ([]Row, error) {
 		return rt.runJoin(n)
 
 	case *plan.Aggregate:
+		if rows, ok, err := rt.tryRollup(n); err != nil {
+			return nil, err
+		} else if ok {
+			return rows, nil
+		}
 		return rt.runAggregate(n)
 
 	case *plan.Sort:

@@ -238,6 +238,16 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 		return p.parseInsert()
 	case p.peekKeyword("DROP"):
 		return p.parseDrop()
+	case p.peekIdent("TRUNCATE"):
+		// TRUNCATE is not a reserved word (it stays usable as a name);
+		// the statement form is TRUNCATE [TABLE] <name>.
+		p.advance()
+		p.accept("TABLE")
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Truncate{Table: name}, nil
 	case p.peekIdent("PREPARE"):
 		return p.parsePrepare()
 	case p.peekIdent("EXECUTE"):

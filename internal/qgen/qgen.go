@@ -70,6 +70,9 @@ type Generator struct {
 	cat    Catalog
 	lift   bool
 	params []string
+	// scratch tracks whether the mutation stream's scratch table
+	// currently exists (see Mutation).
+	scratch bool
 }
 
 // New returns a generator for the catalog, seeded so the query stream
@@ -279,6 +282,52 @@ func (g *Generator) MeasureQuery() string {
 		sb.WriteString(" ORDER BY " + strings.Join(order, ", "))
 	}
 	return sb.String()
+}
+
+// Mutation returns the next random mutation statement: usually a small
+// INSERT batch into the raw table, occasionally TRUNCATE TABLE, and
+// rarely scratch-table DDL churn (CREATE then DROP of a side table, so
+// catalog-version invalidation paths get exercised without disturbing
+// the data under test). The statement stream is fully determined by the
+// seed, like the query stream, so a mutation schedule replays
+// identically on two databases. The INSERT shape is the synthetic
+// datagen Orders layout: (prodName VARCHAR, custName VARCHAR, orderDate
+// DATE, revenue INTEGER, cost INTEGER).
+func (g *Generator) Mutation() string {
+	switch r := g.rng.Intn(24); {
+	case r == 0:
+		return "TRUNCATE TABLE " + g.cat.RowTable
+	case r <= 2:
+		if g.scratch {
+			g.scratch = false
+			return "DROP TABLE qgen_scratch"
+		}
+		g.scratch = true
+		return "CREATE TABLE qgen_scratch (k VARCHAR, v INTEGER)"
+	default:
+		return g.insertBatch()
+	}
+}
+
+// insertBatch renders an INSERT of 1-4 rows into the raw table, drawing
+// dimension values from the catalog (plus a NULL product now and then,
+// matching datagen's null fraction).
+func (g *Generator) insertBatch() string {
+	n := 1 + g.rng.Intn(4)
+	rows := make([]string, n)
+	for i := range rows {
+		prod := "NULL"
+		if g.rng.Intn(10) > 0 {
+			prod = fmt.Sprintf("'%s'", g.pick(g.cat.DimValues["prodName"]))
+		}
+		cust := g.pick(g.cat.DimValues["custName"])
+		date := fmt.Sprintf("DATE '202%d-%02d-%02d'",
+			g.rng.Intn(3), 1+g.rng.Intn(12), 1+g.rng.Intn(28))
+		revenue := 1 + g.rng.Intn(100)
+		cost := 1 + g.rng.Intn(revenue)
+		rows[i] = fmt.Sprintf("(%s, '%s', %s, %d, %d)", prod, cust, date, revenue, cost)
+	}
+	return fmt.Sprintf("INSERT INTO %s VALUES %s", g.cat.RowTable, strings.Join(rows, ", "))
 }
 
 // ScalarQuery returns a random non-aggregate projection over the raw

@@ -1,0 +1,409 @@
+// Package rollup materializes a cube lattice of aggregate states over
+// base tables, in the spirit of Gray et al.'s Data Cube: each lattice
+// node holds per-group fn.AggState values (not finalized results) for
+// one (base table, grouping-key set, aggregate list, row predicate)
+// combination, and coarser grouping sets are derived from finer nodes
+// by merging states instead of rescanning base rows. The lattice
+// implements exec.RollupProvider: the executor consults it before
+// every Aggregate node, so plain GROUP BY dashboards, measure
+// evaluation contexts (whose expansion is an Aggregate under a
+// key-pinning Filter), AT (ALL …) contexts, and ROLLUP queries are all
+// served in O(groups) once materialized.
+//
+// Maintenance: INSERT deltas are folded into exactly-mergeable nodes
+// in place (each group's Add stream stays in global row order, so the
+// states are bit-identical to a serial rescan); order-sensitive
+// aggregates (floating-point accumulation, AVG/VAR/STDDEV) only mark
+// the touched groups dirty and are rebuilt lazily in one pass on next
+// touch. TRUNCATE resets nodes; DDL drops them. The lattice is derived
+// state: it is never logged to the WAL and rebuilds naturally from the
+// recovered store after a crash.
+//
+// The correctness bar is bit-identity with direct execution under
+// arbitrary query/mutation interleavings; the differential
+// mutation-replay suite in msql/rollup_differential_test.go enforces
+// it.
+package rollup
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/measures-sql/msql/internal/plan"
+	"github.com/measures-sql/msql/internal/sqltypes"
+)
+
+// Defaults bounding lattice memory: more nodes than maxNodes evicts the
+// least recently used; a node exceeding maxGroupsPerNode disables
+// itself (the key set is too fine to be worth materializing).
+const (
+	defaultMaxNodes         = 64
+	defaultMaxGroupsPerNode = 1 << 16
+)
+
+type counters struct {
+	hits            atomic.Int64
+	misses          atomic.Int64
+	builds          atomic.Int64
+	rebuilds        atomic.Int64
+	incrementalRows atomic.Int64
+	invalidations   atomic.Int64
+}
+
+// Counters is a snapshot of lattice activity. Hits/Misses count
+// TryAggregate outcomes; Builds counts node creations; Rebuilds counts
+// dirty groups rebuilt lazily; IncrementalRows counts delta rows folded
+// into exactly-mergeable nodes in place; Invalidations counts truncate
+// resets and DDL drops. Nodes/Groups/DirtyGroups are point-in-time
+// gauges.
+type Counters struct {
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	Builds          int64 `json:"builds"`
+	Rebuilds        int64 `json:"rebuilds"`
+	IncrementalRows int64 `json:"incremental_rows"`
+	Invalidations   int64 `json:"invalidations"`
+	Nodes           int64 `json:"nodes"`
+	Groups          int64 `json:"groups"`
+	DirtyGroups     int64 `json:"dirty_groups"`
+}
+
+// NodeInfo describes one lattice node for introspection
+// (msql_stats.rollups).
+type NodeInfo struct {
+	Table    string
+	Keys     string
+	Aggs     string
+	Groups   int
+	Dirty    int
+	RowsSeen int
+	Exact    bool
+	Disabled bool
+}
+
+// Lattice is the cube lattice. It is safe for concurrent use; the
+// zero value is not usable, construct with New.
+type Lattice struct {
+	mu       sync.Mutex
+	nodes    map[string]*node
+	useSeq   int64
+	maxNodes int
+	maxGrps  int
+	c        counters
+}
+
+// New returns an empty lattice with default memory bounds.
+func New() *Lattice {
+	return NewWithLimits(defaultMaxNodes, defaultMaxGroupsPerNode)
+}
+
+// NewWithLimits returns an empty lattice with explicit bounds on node
+// count (LRU-evicted beyond it) and groups per node (a node crossing it
+// disables itself).
+func NewWithLimits(maxNodes, maxGroupsPerNode int) *Lattice {
+	if maxNodes <= 0 {
+		maxNodes = defaultMaxNodes
+	}
+	if maxGroupsPerNode <= 0 {
+		maxGroupsPerNode = defaultMaxGroupsPerNode
+	}
+	return &Lattice{
+		nodes:    map[string]*node{},
+		maxNodes: maxNodes,
+		maxGrps:  maxGroupsPerNode,
+	}
+}
+
+// TryAggregate implements exec.RollupProvider. It never returns an
+// error for lattice-internal failures — those disable the node and
+// miss, so the executor's direct path stays authoritative for error
+// behavior; the only errors surfaced are ones the direct path would
+// raise identically.
+func (l *Lattice) TryAggregate(n *plan.Aggregate, eval func(plan.Expr) (sqltypes.Value, error)) ([][]sqltypes.Value, bool, error) {
+	req, ok := analyze(n)
+	if !ok {
+		l.c.misses.Add(1)
+		return nil, false, nil
+	}
+
+	// Resolve the per-call values before touching the node: guards,
+	// selection values, and row-independent conjuncts all come from the
+	// calling statement's scope. Evaluation failures fall back to the
+	// direct path so error behavior is decided there.
+	empty := false
+	for _, ce := range req.consts {
+		v, err := eval(ce)
+		if err != nil {
+			l.c.misses.Add(1)
+			return nil, false, nil
+		}
+		if !v.IsTrue() {
+			empty = true
+		}
+	}
+	var active []activeTerm
+	for _, t := range req.terms {
+		inert := false
+		for _, g := range t.guards {
+			v, err := eval(g)
+			if err != nil {
+				l.c.misses.Add(1)
+				return nil, false, nil
+			}
+			if v.IsTrue() {
+				inert = true
+				break
+			}
+		}
+		if inert {
+			continue
+		}
+		v, err := eval(t.rhs)
+		if err != nil {
+			l.c.misses.Add(1)
+			return nil, false, nil
+		}
+		active = append(active, activeTerm{key: t.key, val: v, eq: t.eq})
+	}
+
+	// Deriving a coarser grouping than the node's key set merges states
+	// of row-wise interleaved groups, which only derivation-exact
+	// aggregates reproduce bit for bit. Merging happens whenever some
+	// node key column is neither pinned by an active term nor part of
+	// the emitted grouping set.
+	if !req.derivExact && needsMerge(req, active) {
+		l.c.misses.Add(1)
+		return nil, false, nil
+	}
+
+	nd := l.nodeFor(req)
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.disabled {
+		l.c.misses.Add(1)
+		return nil, false, nil
+	}
+	rows := nd.src.Rows()
+	if err := nd.sync(rows, &l.c); err != nil {
+		nd.disabled = true
+		nd.groups = nil
+		l.c.misses.Add(1)
+		return nil, false, nil
+	}
+	if nd.disabled { // group cap crossed during sync
+		l.c.misses.Add(1)
+		return nil, false, nil
+	}
+	if err := nd.rebuildDirty(rows, &l.c); err != nil {
+		nd.disabled = true
+		nd.groups = nil
+		l.c.misses.Add(1)
+		return nil, false, nil
+	}
+	out, err := nd.answer(req, active, empty)
+	if err != nil {
+		nd.disabled = true
+		nd.groups = nil
+		l.c.misses.Add(1)
+		return nil, false, nil
+	}
+	l.c.hits.Add(1)
+	return out, true, nil
+}
+
+// needsMerge reports whether answering req requires merging node
+// groups: true when any grouping set leaves some node key column
+// unconstrained (not pinned by an active term, not in the set).
+func needsMerge(req *request, active []activeTerm) bool {
+	pinned := map[int]bool{}
+	for _, t := range active {
+		pinned[t.key] = true
+	}
+	for _, set := range req.n.Sets {
+		covered := 0
+		seen := map[int]bool{}
+		for k := range pinned {
+			seen[k] = true
+			covered++
+		}
+		for _, j := range set {
+			if !seen[req.groupKey[j]] {
+				seen[req.groupKey[j]] = true
+				covered++
+			}
+		}
+		if covered < len(req.keys) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeFor finds or creates the node for req, evicting the least
+// recently used node beyond the cap.
+func (l *Lattice) nodeFor(req *request) *node {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.useSeq++
+	if nd, ok := l.nodes[req.nodeKey]; ok {
+		nd.lastUse = l.useSeq
+		return nd
+	}
+	if len(l.nodes) >= l.maxNodes {
+		var lruKey string
+		var lru *node
+		for k, nd := range l.nodes {
+			if lru == nil || nd.lastUse < lru.lastUse {
+				lruKey, lru = k, nd
+			}
+		}
+		delete(l.nodes, lruKey)
+	}
+	nd := newNode(req, l.maxGrps)
+	nd.lastUse = l.useSeq
+	l.nodes[req.nodeKey] = nd
+	l.c.builds.Add(1)
+	return nd
+}
+
+func (l *Lattice) nodesFor(table string) []*node {
+	table = strings.ToLower(table)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []*node
+	for _, nd := range l.nodes {
+		if nd.srcName == table {
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+// NotifyMutation folds freshly inserted rows of table into its nodes
+// eagerly (exactly-mergeable nodes update states in place; others mark
+// touched groups dirty). The engine calls it synchronously after every
+// INSERT applies, so a node can never answer from a shorter prefix
+// than the statement that just committed.
+func (l *Lattice) NotifyMutation(table string) {
+	for _, nd := range l.nodesFor(table) {
+		nd.mu.Lock()
+		if !nd.disabled {
+			if err := nd.sync(nd.src.Rows(), &l.c); err != nil {
+				nd.disabled = true
+				nd.groups = nil
+			}
+		}
+		nd.mu.Unlock()
+	}
+}
+
+// NotifyTruncate resets every node over table. Called synchronously
+// after TRUNCATE applies, before any subsequent statement can insert
+// replacement rows (a pure length check could miss a truncate-then-
+// refill that restores the old row count).
+func (l *Lattice) NotifyTruncate(table string) {
+	for _, nd := range l.nodesFor(table) {
+		nd.mu.Lock()
+		if !nd.disabled {
+			nd.resetLocked()
+			l.c.invalidations.Add(1)
+		}
+		nd.mu.Unlock()
+	}
+}
+
+// NotifyDDL drops every node over table: after DROP or CREATE OR
+// REPLACE the old storage instance is unreachable and its materialized
+// state is garbage.
+func (l *Lattice) NotifyDDL(table string) {
+	table = strings.ToLower(table)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for k, nd := range l.nodes {
+		if nd.srcName == table {
+			delete(l.nodes, k)
+			l.c.invalidations.Add(1)
+		}
+	}
+}
+
+// Reset drops all nodes.
+func (l *Lattice) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for k := range l.nodes {
+		delete(l.nodes, k)
+	}
+}
+
+// Stats returns an activity snapshot including point-in-time gauges.
+func (l *Lattice) Stats() Counters {
+	c := Counters{
+		Hits:            l.c.hits.Load(),
+		Misses:          l.c.misses.Load(),
+		Builds:          l.c.builds.Load(),
+		Rebuilds:        l.c.rebuilds.Load(),
+		IncrementalRows: l.c.incrementalRows.Load(),
+		Invalidations:   l.c.invalidations.Load(),
+	}
+	l.mu.Lock()
+	nodes := make([]*node, 0, len(l.nodes))
+	for _, nd := range l.nodes {
+		nodes = append(nodes, nd)
+	}
+	l.mu.Unlock()
+	for _, nd := range nodes {
+		nd.mu.Lock()
+		c.Nodes++
+		c.Groups += int64(len(nd.groups))
+		c.DirtyGroups += int64(nd.nDirty)
+		nd.mu.Unlock()
+	}
+	return c
+}
+
+// Snapshot lists the lattice nodes for introspection, ordered by table
+// then key signature for stable output.
+func (l *Lattice) Snapshot() []NodeInfo {
+	l.mu.Lock()
+	nodes := make([]*node, 0, len(l.nodes))
+	for _, nd := range l.nodes {
+		nodes = append(nodes, nd)
+	}
+	l.mu.Unlock()
+	infos := make([]NodeInfo, 0, len(nodes))
+	for _, nd := range nodes {
+		nd.mu.Lock()
+		keySigs := make([]string, len(nd.keys))
+		for i, k := range nd.keys {
+			keySigs[i] = k.String()
+		}
+		aggSigs := make([]string, len(nd.aggs))
+		for i := range nd.aggs {
+			aggSigs[i] = nd.aggs[i].sig
+		}
+		infos = append(infos, NodeInfo{
+			Table:    nd.srcName,
+			Keys:     strings.Join(keySigs, ", "),
+			Aggs:     strings.Join(aggSigs, ", "),
+			Groups:   len(nd.groups),
+			Dirty:    nd.nDirty,
+			RowsSeen: nd.rowsSeen,
+			Exact:    nd.exact,
+			Disabled: nd.disabled,
+		})
+		nd.mu.Unlock()
+	}
+	sort.Slice(infos, func(a, b int) bool {
+		if infos[a].Table != infos[b].Table {
+			return infos[a].Table < infos[b].Table
+		}
+		if infos[a].Keys != infos[b].Keys {
+			return infos[a].Keys < infos[b].Keys
+		}
+		return infos[a].Aggs < infos[b].Aggs
+	})
+	return infos
+}

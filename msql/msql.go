@@ -29,6 +29,7 @@ import (
 	"github.com/measures-sql/msql/internal/exec"
 	"github.com/measures-sql/msql/internal/optimizer"
 	"github.com/measures-sql/msql/internal/parser"
+	"github.com/measures-sql/msql/internal/rollup"
 	"github.com/measures-sql/msql/internal/sqltypes"
 	"github.com/measures-sql/msql/internal/wal"
 )
@@ -204,6 +205,23 @@ func (db *DB) SetVectorized(on bool) {
 		ex.Vectorized = on
 	})
 }
+
+// SetRollups toggles the materialized rollup lattice for subsequent
+// statements: eligible aggregations (plain GROUP BY dashboards, measure
+// contexts, AT (ALL ...), ROLLUP) are answered from incrementally
+// maintained per-group aggregate states instead of rescanning base
+// rows. Results are bit-identical to direct execution — queries the
+// lattice cannot answer exactly fall back transparently. Enabling
+// replaces any previous lattice with an empty one.
+func (db *DB) SetRollups(on bool) { db.session.SetRollups(on) }
+
+// RollupStats is a point-in-time copy of the rollup lattice's activity
+// counters.
+type RollupStats = rollup.Counters
+
+// RollupStats returns the lattice counters (zero value while rollups
+// are disabled).
+func (db *DB) RollupStats() RollupStats { return db.session.RollupStats() }
 
 // Limits bounds one statement's resource consumption; see SetLimits and
 // WithLimits. The zero value means unlimited in every dimension.

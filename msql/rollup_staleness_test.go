@@ -1,0 +1,99 @@
+package msql_test
+
+// Regression tests for the mutation-invalidation contract: every path
+// that can memoize results against a catalog version — the prepared
+// plan cache's identical-binding result memo, and the rollup lattice —
+// must observe INSERT and TRUNCATE immediately. TRUNCATE historically
+// had no statement form here, so nothing exercised its bump of the
+// shared invalidation path; these tests pin it alongside INSERT.
+
+import (
+	"testing"
+
+	"github.com/measures-sql/msql/msql"
+)
+
+// execOne runs the query through a prepared statement and returns the
+// single aggregate cell as its string rendering.
+func execOne(t *testing.T, stmt *msql.Stmt) string {
+	t.Helper()
+	res, err := stmt.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		t.Fatalf("want a single cell, got %d rows", len(res.Rows))
+	}
+	return res.Rows[0][0].String()
+}
+
+func TestPreparedMemoSeesInsertAndTruncate(t *testing.T) {
+	for _, rollups := range []bool{false, true} {
+		name := "rollups-off"
+		if rollups {
+			name = "rollups-on"
+		}
+		t.Run(name, func(t *testing.T) {
+			db := msql.Open()
+			db.SetRollups(rollups)
+			db.MustExec(`CREATE TABLE Sales (region VARCHAR, amount INTEGER)`)
+			db.MustExec(`INSERT INTO Sales VALUES ('east', 10), ('west', 20)`)
+			stmt, err := db.Prepare(`SELECT SUM(amount) FROM Sales`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Same statement, same (empty) bindings, twice: the second
+			// execution is the memoizable one.
+			if got := execOne(t, stmt); got != "30" {
+				t.Fatalf("initial sum = %s, want 30", got)
+			}
+			if got := execOne(t, stmt); got != "30" {
+				t.Fatalf("repeat sum = %s, want 30", got)
+			}
+			db.MustExec(`INSERT INTO Sales VALUES ('east', 5)`)
+			if got := execOne(t, stmt); got != "35" {
+				t.Fatalf("post-insert sum = %s, want 35 (stale memo?)", got)
+			}
+			db.MustExec(`TRUNCATE TABLE Sales`)
+			if got := execOne(t, stmt); got != "NULL" {
+				t.Fatalf("post-truncate sum = %s, want NULL (stale memo?)", got)
+			}
+			// Refill to the pre-truncate row count with different values:
+			// neither the memo nor a length-based lattice delta check may
+			// resurrect pre-truncate state.
+			db.MustExec(`INSERT INTO Sales VALUES ('east', 1), ('west', 2), ('east', 4)`)
+			if got := execOne(t, stmt); got != "7" {
+				t.Fatalf("post-refill sum = %s, want 7 (stale state)", got)
+			}
+			if rollups {
+				if st := db.RollupStats(); st.Hits == 0 {
+					t.Fatalf("rollups-on run never hit the lattice: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+// TestTruncateStatementSurface pins the statement form itself: parse,
+// message, idempotence on an empty table, and the error for a missing
+// table.
+func TestTruncateStatementSurface(t *testing.T) {
+	db := msql.Open()
+	db.MustExec(`CREATE TABLE T (x INTEGER)`)
+	db.MustExec(`INSERT INTO T VALUES (1), (2)`)
+	db.MustExec(`TRUNCATE TABLE T`)
+	db.MustExec(`TRUNCATE T`) // TABLE keyword is optional
+	res := db.MustQuery(`SELECT COUNT(*) FROM T`)
+	if res.Rows[0][0].I != 0 {
+		t.Fatalf("count after truncate = %d", res.Rows[0][0].I)
+	}
+	if err := db.Exec(`TRUNCATE TABLE NoSuch`); err == nil {
+		t.Fatal("TRUNCATE of a missing table succeeded")
+	}
+	// TRUNCATE must keep working as an identifier.
+	db.MustExec(`CREATE TABLE Truncate (x INTEGER)`)
+	db.MustExec(`INSERT INTO Truncate VALUES (9)`)
+	if got := db.MustQuery(`SELECT x FROM Truncate`).Rows[0][0].I; got != 9 {
+		t.Fatalf("identifier use of TRUNCATE broken, got %d", got)
+	}
+}
